@@ -1,0 +1,59 @@
+// Figure 11 (a/b/c): effect of the number of searched objects n.
+//
+// n sweeps 8 -> 128 on CA, NY, and Gaussian, all seven schemes. Expected
+// shape (paper Sec. 5.3): plain NWC is ~flat in n (it always visits every
+// object); SRR/DIP/NWC+ degrade toward NWC as n grows (fastest on the
+// Gaussian, where large n leaves no qualified window); DEP gains with n;
+// IWP stays a roughly constant cut; NWC* is best.
+
+#include <iterator>
+
+#include "bench/bench_common.h"
+#include "bench_util/table_printer.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace nwc;
+  using namespace nwc::bench;
+
+  PrintRunConfig("Figure 11 reproduction: I/O vs number of searched objects n");
+  const size_t query_count = QueryCountFromEnv();
+  const size_t kNs[] = {8, 16, 32, 64, 128};
+  const std::vector<Scheme> schemes = AllSchemes();
+
+  std::vector<std::string> columns = {"n"};
+  for (const Scheme& scheme : schemes) columns.push_back(scheme.name);
+
+  std::vector<Dataset> datasets = EvaluationDatasets();
+  const char* kSubfigure[] = {"(a)", "(b)", "(c)"};
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    const std::string name = datasets[d].name;
+    Progress("building %s (%zu objects)", name.c_str(), datasets[d].size());
+    ExperimentFixture fixture(std::move(datasets[d]));
+    const std::vector<Point> queries =
+        SampleQueryPoints(fixture.dataset(), query_count, kQuerySeed);
+
+    TablePrinter table(StrFormat("Fig. 11%s - avg node accesses on %s (window 8x8)",
+                                 kSubfigure[d], name.c_str()),
+                       columns);
+    for (const size_t n : kNs) {
+      std::vector<std::string> row = {StrFormat("%zu", n)};
+      for (const Scheme& scheme : schemes) {
+        Stopwatch timer;
+        const RunStats stats =
+            RunNwcPoint(fixture, scheme, queries, n, kDefaultWindow, kDefaultWindow);
+        Progress("%s n=%zu %-4s: io=%.1f (%.1fs)", name.c_str(), n, scheme.name.c_str(),
+                 stats.avg_io, timer.ElapsedSeconds());
+        row.push_back(FormatIo(stats.avg_io));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    table.WriteCsv(CsvPath(StrFormat("fig11_num_objects_%s.csv", name.c_str())));
+  }
+
+  std::printf("\nPaper shape check: NWC column ~constant; SRR/DIP/NWC+ converge to\n"
+              "NWC as n grows (already at small n on the Gaussian, never fully on\n"
+              "NY-like); DEP improves with n; IWP ~constant cut; NWC* minimal.\n");
+  return 0;
+}

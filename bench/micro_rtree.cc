@@ -1,0 +1,169 @@
+// Microbenchmarks (google-benchmark): wall-clock cost of the substrate
+// operations, plus two ablation studies the paper motivates but does not
+// plot — the IWP window-query saving in isolation, and how much of the
+// simulated I/O a small LRU buffer pool would absorb per scheme.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/nwc_engine.h"
+#include "datasets/generators.h"
+#include "grid/density_grid.h"
+#include "rtree/bulk_load.h"
+#include "rtree/iwp_index.h"
+#include "rtree/queries.h"
+#include "storage/buffer_pool.h"
+
+namespace {
+
+using namespace nwc;
+
+std::vector<DataObject> BenchObjects(size_t count) {
+  ClusteredSpec spec;
+  spec.cardinality = count;
+  spec.background_fraction = 0.25;
+  Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    spec.clusters.push_back(ClusterSpec{
+        Point{rng.NextDouble(500, 9500), rng.NextDouble(500, 9500)},
+        50.0 + 150.0 * rng.NextDouble(), 50.0 + 150.0 * rng.NextDouble(), 1.0});
+  }
+  return MakeClustered(spec, 7, "bench").objects;
+}
+
+void BM_RStarInsert(benchmark::State& state) {
+  const std::vector<DataObject> objects = BenchObjects(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RStarTree tree;
+    for (const DataObject& obj : objects) tree.Insert(obj);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RStarInsert)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_StrBulkLoad(benchmark::State& state) {
+  const std::vector<DataObject> objects = BenchObjects(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RStarTree tree = BulkLoadStr(objects, RTreeOptions{});
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StrBulkLoad)->Arg(10000)->Arg(50000)->Arg(250000)->Unit(benchmark::kMillisecond);
+
+void BM_WindowQuery(benchmark::State& state) {
+  const std::vector<DataObject> objects = BenchObjects(100000);
+  const RStarTree tree = BulkLoadStr(objects, RTreeOptions{});
+  Rng rng(11);
+  const double side = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const Point corner{rng.NextDouble(0, 10000 - side), rng.NextDouble(0, 10000 - side)};
+    benchmark::DoNotOptimize(
+        WindowQuery(tree, Rect::Window(corner, side, side), nullptr).size());
+  }
+}
+BENCHMARK(BM_WindowQuery)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_KnnQuery(benchmark::State& state) {
+  const std::vector<DataObject> objects = BenchObjects(100000);
+  const RStarTree tree = BulkLoadStr(objects, RTreeOptions{});
+  Rng rng(12);
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const Point q{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    benchmark::DoNotOptimize(KnnQuery(tree, q, k, nullptr).size());
+  }
+}
+BENCHMARK(BM_KnnQuery)->Arg(1)->Arg(10)->Arg(100);
+
+// IWP ablation: the same small window query answered from the root vs.
+// through the backward/overlapping pointers of a nearby leaf.
+void BM_WindowQueryFromRoot(benchmark::State& state) {
+  const std::vector<DataObject> objects = BenchObjects(100000);
+  const RStarTree tree = BulkLoadStr(objects, RTreeOptions{});
+  Rng rng(13);
+  uint64_t reads = 0;
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    const size_t idx = rng.NextUint64(objects.size());
+    const Rect window = Rect::FromPoint(objects[idx].pos).Inflated(8, 8);
+    IoCounter io;
+    benchmark::DoNotOptimize(WindowQuery(tree, window, &io).size());
+    reads += io.window_query_reads();
+    ++windows;
+  }
+  state.counters["node_reads_per_query"] =
+      benchmark::Counter(static_cast<double>(reads) / static_cast<double>(windows));
+}
+BENCHMARK(BM_WindowQueryFromRoot);
+
+void BM_WindowQueryViaIwp(benchmark::State& state) {
+  const std::vector<DataObject> objects = BenchObjects(100000);
+  const RStarTree tree = BulkLoadStr(objects, RTreeOptions{});
+  const IwpIndex iwp = IwpIndex::Build(tree);
+  // Map each object to its leaf the way the engine's traversal would.
+  DistanceBrowser browser(tree, Point{0, 0}, nullptr);
+  std::vector<std::pair<DataObject, NodeId>> located;
+  located.reserve(objects.size());
+  while (browser.HasNext()) {
+    const DistanceBrowser::BrowseItem item = browser.Next();
+    located.emplace_back(item.object, item.leaf);
+  }
+  Rng rng(13);
+  uint64_t reads = 0;
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    const auto& [obj, leaf] = located[rng.NextUint64(located.size())];
+    const Rect window = Rect::FromPoint(obj.pos).Inflated(8, 8);
+    IoCounter io;
+    benchmark::DoNotOptimize(iwp.WindowQuery(tree, leaf, window, &io).size());
+    reads += io.window_query_reads();
+    ++windows;
+  }
+  state.counters["node_reads_per_query"] =
+      benchmark::Counter(static_cast<double>(reads) / static_cast<double>(windows));
+}
+BENCHMARK(BM_WindowQueryViaIwp);
+
+// Buffer-pool ablation: replay an NWC* query's exact page-access trace
+// through LRU pools of growing size and report the miss ratio (what
+// fraction of the paper's counted I/O would still hit storage).
+void BM_BufferPoolAblation(benchmark::State& state) {
+  const std::vector<DataObject> objects = BenchObjects(100000);
+  const RStarTree tree = BulkLoadStr(objects, RTreeOptions{});
+  const IwpIndex iwp = IwpIndex::Build(tree);
+  Dataset dataset;
+  dataset.space = NormalizedSpace();
+  dataset.objects = objects;
+  const DensityGrid grid(dataset.space, 25.0, objects);
+  NwcEngine engine(tree, &iwp, &grid);
+
+  const NwcQuery query{Point{5000, 5000}, 64, 64, 8};
+  IoCounter io;
+  io.EnableTrace();
+  benchmark::DoNotOptimize(engine.Execute(query, NwcOptions::Star(), &io).ok());
+  const std::vector<uint32_t> trace = io.trace();
+
+  const size_t pool_pages = static_cast<size_t>(state.range(0));
+  uint64_t misses = 0;
+  uint64_t accesses = 0;
+  for (auto _ : state) {
+    BufferPool pool(pool_pages);
+    for (const uint32_t page : trace) {
+      if (!pool.Access(page)) ++misses;
+      ++accesses;
+    }
+    benchmark::DoNotOptimize(pool.size());
+  }
+  state.counters["miss_ratio"] = benchmark::Counter(
+      accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses));
+  state.counters["trace_len"] = benchmark::Counter(static_cast<double>(trace.size()));
+}
+BENCHMARK(BM_BufferPoolAblation)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

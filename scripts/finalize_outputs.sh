@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Appends the extension benches (added after the main suite was launched)
+# to bench_output.txt and records the final test log. Run from the repo
+# root after `for b in build/bench/*; do $b; done | tee bench_output.txt`.
+set -u
+
+cd "$(dirname "$0")/.."
+
+echo "== appending extension benches to bench_output.txt =="
+for b in ablation_index_build ablation_query_distribution sec42_knwc_model; do
+  echo "--- $b ---"
+  ./build/bench/"$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "== recording final test log =="
+ctest --test-dir build 2>&1 | tee test_output.txt

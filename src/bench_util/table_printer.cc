@@ -1,0 +1,54 @@
+#include "bench_util/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nwc {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const std::vector<std::string>& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::printf("\n=== %s ===\n", title_.c_str());
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "" : "  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  size_t total_width = columns_.empty() ? 0 : (columns_.size() - 1) * 2;
+  for (const size_t w : widths) total_width += w;
+  std::printf("%s\n", std::string(total_width, '-').c_str());
+  for (const std::vector<std::string>& row : rows_) print_row(row);
+}
+
+void TablePrinter::WriteCsv(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write CSV to %s\n", path.c_str());
+    return;
+  }
+  const auto write_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(file, "%s%s", c == 0 ? "" : ",", cells[c].c_str());
+    }
+    std::fprintf(file, "\n");
+  };
+  write_row(columns_);
+  for (const std::vector<std::string>& row : rows_) write_row(row);
+  std::fclose(file);
+}
+
+}  // namespace nwc

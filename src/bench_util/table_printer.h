@@ -1,0 +1,37 @@
+#ifndef NWC_BENCH_UTIL_TABLE_PRINTER_H_
+#define NWC_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nwc {
+
+/// Fixed-width console table, used by the benchmark drivers to print
+/// paper-style result tables (one row per parameter value, one column per
+/// scheme). Also writes a CSV copy when a path is supplied, so the series
+/// can be re-plotted against the paper's figures.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Adds one row; cell count must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV (header + rows) to `path`; best effort, logs
+  /// to stderr on failure.
+  void WriteCsv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_BENCH_UTIL_TABLE_PRINTER_H_

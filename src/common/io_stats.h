@@ -1,0 +1,112 @@
+#ifndef NWC_COMMON_IO_STATS_H_
+#define NWC_COMMON_IO_STATS_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace nwc {
+
+/// Which query phase triggered a simulated page read. The paper's cost
+/// metric is the number of R*-tree nodes visited; the breakdown lets the
+/// benchmarks attribute cost to the distance-browsing traversal vs. the
+/// window queries issued per object (Sec. 3.2) and lets tests assert that a
+/// specific optimization saved I/O in the phase it targets.
+enum class IoPhase {
+  /// Node expanded by the best-first traversal of the NWC/kNWC algorithm
+  /// (or by a standalone kNN / browse query).
+  kTraversal = 0,
+  /// Node visited while answering a window (range) query.
+  kWindowQuery = 1,
+  /// Node visited by maintenance operations (insert/delete/build).
+  kMaintenance = 2,
+};
+
+/// Accumulates simulated I/O cost. One R*-tree node access == one page read,
+/// matching the paper's "number of R*-tree nodes visited" metric (Sec. 5).
+/// The counter deliberately has no notion of a buffer pool: the paper counts
+/// every visit, including re-visits by successive window queries. (The
+/// optional LRU BufferPool in storage/ is an ablation extension layered on
+/// top, not part of the reproduction metric.)
+class IoCounter {
+ public:
+  IoCounter() = default;
+
+  /// Records one node access in the given phase. `page` is the accessed
+  /// page/node id; it is stored only when tracing is enabled. When a
+  /// cache probe is installed and reports a hit, the access is counted as
+  /// a buffered hit instead of a read (extension beyond the paper's
+  /// bufferless metric; see SetCacheProbe).
+  void OnNodeAccess(IoPhase phase, uint32_t page = kUnknownPage) {
+    if (cache_probe_ && page != kUnknownPage && cache_probe_(page)) {
+      ++cache_hits_;
+      if (trace_enabled_) trace_.push_back(page);
+      return;
+    }
+    switch (phase) {
+      case IoPhase::kTraversal:
+        ++traversal_reads_;
+        break;
+      case IoPhase::kWindowQuery:
+        ++window_query_reads_;
+        break;
+      case IoPhase::kMaintenance:
+        ++maintenance_reads_;
+        break;
+    }
+    if (trace_enabled_) trace_.push_back(page);
+  }
+
+  /// Installs a cache probe, typically `BufferPool::Access` bound to a
+  /// pool: it is called with each accessed page id and returns true when
+  /// the page was already buffered (the access then counts as a
+  /// `cache_hits()` rather than a read). The paper's metric corresponds
+  /// to no probe installed — every visit is a read.
+  void SetCacheProbe(std::function<bool(uint32_t)> probe) { cache_probe_ = std::move(probe); }
+
+  /// Accesses absorbed by the cache probe.
+  uint64_t cache_hits() const { return cache_hits_; }
+
+  /// Placeholder page id recorded when the caller did not supply one.
+  static constexpr uint32_t kUnknownPage = 0xFFFFFFFFu;
+
+  /// Starts recording the sequence of accessed page ids; used by the
+  /// buffer-pool ablation to replay a query's exact access pattern.
+  void EnableTrace() { trace_enabled_ = true; }
+
+  /// The recorded access sequence (empty unless EnableTrace was called
+  /// before the accesses).
+  const std::vector<uint32_t>& trace() const { return trace_; }
+
+  /// Total node accesses across all phases.
+  uint64_t total() const { return traversal_reads_ + window_query_reads_ + maintenance_reads_; }
+  /// Node accesses attributed to query processing only (the paper's metric).
+  uint64_t query_total() const { return traversal_reads_ + window_query_reads_; }
+  uint64_t traversal_reads() const { return traversal_reads_; }
+  uint64_t window_query_reads() const { return window_query_reads_; }
+  uint64_t maintenance_reads() const { return maintenance_reads_; }
+
+  /// Resets all counters and any recorded trace (tracing and the cache
+  /// probe stay installed).
+  void Reset() {
+    traversal_reads_ = 0;
+    window_query_reads_ = 0;
+    maintenance_reads_ = 0;
+    cache_hits_ = 0;
+    trace_.clear();
+  }
+
+ private:
+  uint64_t traversal_reads_ = 0;
+  uint64_t window_query_reads_ = 0;
+  uint64_t maintenance_reads_ = 0;
+  uint64_t cache_hits_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<uint32_t> trace_;
+  std::function<bool(uint32_t)> cache_probe_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_COMMON_IO_STATS_H_

@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+
+namespace nwc {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+void CheckOk(const Status& status, const char* context) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "FATAL%s%s: %s\n", context != nullptr ? " in " : "",
+               context != nullptr ? context : "", status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace nwc

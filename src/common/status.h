@@ -1,0 +1,142 @@
+#ifndef NWC_COMMON_STATUS_H_
+#define NWC_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace nwc {
+
+/// Error category for a failed operation. The library does not use C++
+/// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value, modeled after absl::Status.
+///
+/// A Status is either OK (the default) or carries a code plus a message
+/// describing the failure. Statuses are cheap to copy in the error-free
+/// path (OK carries no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error code and message. A kOk code
+  /// discards the message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for an OK status.
+  static Status Ok() { return Status(); }
+  /// Factory helpers for each error category.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+
+  /// True when the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Aborts the process with a diagnostic if `status` is not OK. Use only for
+/// programmer errors / unrecoverable setup failures (e.g., in examples and
+/// benchmark drivers).
+void CheckOk(const Status& status, const char* context = nullptr);
+
+/// A value-or-error holder, modeled after absl::StatusOr<T>.
+///
+/// Either contains a value (status().ok() is true) or an error Status.
+/// Dereferencing a non-OK Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design, mirroring
+  /// absl::StatusOr, so functions can `return value;`).
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. Aborts if `status` is OK, since
+  /// an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      CheckOk(Status::Internal("Result constructed from OK status without a value"));
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts when not OK.
+  const T& value() const& {
+    CheckOk(status_, "Result::value");
+    return *value_;
+  }
+  T& value() & {
+    CheckOk(status_, "Result::value");
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk(status_, "Result::value");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return *value_;
+    return fallback;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_COMMON_STATUS_H_

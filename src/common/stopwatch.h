@@ -1,0 +1,35 @@
+#ifndef NWC_COMMON_STOPWATCH_H_
+#define NWC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nwc {
+
+/// Wall-clock stopwatch for coarse timing in benchmark drivers and examples.
+/// (The reproduction metric is simulated I/O, not time; this exists for the
+/// wall-time columns the micro-benchmarks print alongside.)
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Stopwatch();
+
+  /// Restarts timing from zero.
+  void Restart();
+
+  /// Elapsed time since construction / last Restart, in microseconds.
+  uint64_t ElapsedMicros() const;
+
+  /// Elapsed time in milliseconds (integer division of microseconds).
+  uint64_t ElapsedMillis() const;
+
+  /// Elapsed time in seconds as a double.
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_COMMON_STOPWATCH_H_

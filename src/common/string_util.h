@@ -1,0 +1,27 @@
+#ifndef NWC_COMMON_STRING_UTIL_H_
+#define NWC_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nwc {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a byte count with a binary-unit suffix ("312.5 KiB", "4.0 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats a count with thousands separators ("1,234,567").
+std::string WithThousandsSeparators(uint64_t value);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(const std::string& text);
+
+}  // namespace nwc
+
+#endif  // NWC_COMMON_STRING_UTIL_H_

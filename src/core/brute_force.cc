@@ -1,0 +1,241 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "core/distance_measures.h"
+#include "geometry/quadrant.h"
+#include "geometry/rect.h"
+
+namespace nwc {
+
+NwcResult BruteForceNwc(const std::vector<DataObject>& objects, const NwcQuery& query,
+                        DistanceMeasure measure) {
+  NwcResult best;
+  double best_distance = std::numeric_limits<double>::infinity();
+
+  NwcQuery q = query;
+  const double l = q.length;
+  const double w = q.width;
+  const size_t n = q.n;
+  if (objects.size() < n) return best;
+
+  std::vector<const DataObject*> in_x;
+  std::vector<const DataObject*> in_window;
+  std::vector<std::pair<double, const DataObject*>> by_dist;
+
+  for (const DataObject& a : objects) {
+    for (const double min_x : {a.pos.x - l, a.pos.x}) {
+      in_x.clear();
+      for (const DataObject& obj : objects) {
+        if (obj.pos.x >= min_x && obj.pos.x <= min_x + l) in_x.push_back(&obj);
+      }
+      if (in_x.size() < n) continue;
+      for (const DataObject* b : in_x) {
+        for (const double min_y : {b->pos.y - w, b->pos.y}) {
+          in_window.clear();
+          for (const DataObject* obj : in_x) {
+            if (obj->pos.y >= min_y && obj->pos.y <= min_y + w) in_window.push_back(obj);
+          }
+          if (in_window.size() < n) continue;
+
+          by_dist.clear();
+          for (const DataObject* obj : in_window) {
+            by_dist.emplace_back(Distance(q.q, obj->pos), obj);
+          }
+          std::nth_element(by_dist.begin(), by_dist.begin() + static_cast<ptrdiff_t>(n - 1),
+                           by_dist.end());
+          std::vector<DataObject> group;
+          group.reserve(n);
+          for (size_t i = 0; i < n; ++i) group.push_back(*by_dist[i].second);
+          const double d = GroupDistance(q.q, group, l, w, measure);
+          if (d < best_distance) {
+            best_distance = d;
+            best.objects = std::move(group);
+          }
+        }
+      }
+    }
+  }
+  best.found = !best.objects.empty();
+  best.distance = best.found ? best_distance : 0.0;
+  return best;
+}
+
+KnwcResult BruteForceKnwc(const std::vector<DataObject>& objects, const KnwcQuery& query,
+                          DistanceMeasure measure) {
+  const NwcQuery& base = query.base;
+  const double l = base.length;
+  const double w = base.width;
+  const size_t n = base.n;
+  KnwcResult result;
+  if (objects.size() < n) return result;
+
+  // Collect all distinct candidate groups with their distances. The
+  // candidate universe must match the engine's (Sec. 3.2): for each object
+  // p, map everything into p's first-quadrant frame and form windows with
+  // p on the right edge and each at-or-above object on the top edge. The
+  // paper's algorithm only ever forms groups as "the n nearest objects of
+  // such a window", so a brute force over a larger window family would
+  // disagree beyond the first group.
+  std::map<std::vector<ObjectId>, std::pair<double, std::vector<DataObject>>> candidates;
+  std::vector<std::pair<Point, const DataObject*>> in_sr;  // frame pos, object
+  std::vector<std::pair<double, const DataObject*>> by_dist;
+
+  for (const DataObject& p : objects) {
+    const QuadrantTransform transform = QuadrantTransform::MapToFirstQuadrant(base.q, p.pos);
+    const Point p_frame = transform.Apply(p.pos);
+    in_sr.clear();
+    for (const DataObject& obj : objects) {
+      const Point frame = transform.Apply(obj.pos);
+      if (frame.x >= p_frame.x - l && frame.x <= p_frame.x &&
+          frame.y >= p_frame.y - w && frame.y <= p_frame.y + w) {
+        in_sr.emplace_back(frame, &obj);
+      }
+    }
+    if (in_sr.size() < n) continue;
+    for (const auto& [top_frame, top_obj] : in_sr) {
+      if (top_frame.y < p_frame.y) continue;  // top edge must be at/above p
+      const double top = top_frame.y;
+      by_dist.clear();
+      for (const auto& [frame, obj] : in_sr) {
+        if (frame.y >= top - w && frame.y <= top) {
+          by_dist.emplace_back(Distance(base.q, obj->pos), obj);
+        }
+      }
+      if (by_dist.size() < n) continue;
+      std::nth_element(by_dist.begin(), by_dist.begin() + static_cast<ptrdiff_t>(n - 1),
+                       by_dist.end());
+      std::vector<DataObject> group;
+      group.reserve(n);
+      for (size_t i = 0; i < n; ++i) group.push_back(*by_dist[i].second);
+      std::vector<ObjectId> ids;
+      ids.reserve(n);
+      for (const DataObject& obj : group) ids.push_back(obj.id);
+      std::sort(ids.begin(), ids.end());
+      const double d = GroupDistance(base.q, group, l, w, measure);
+      candidates.emplace(std::move(ids), std::make_pair(d, std::move(group)));
+    }
+  }
+
+  // Greedy by ascending distance (ties broken by the id-set order of the
+  // map, which is deterministic).
+  std::vector<std::pair<double, const std::vector<ObjectId>*>> order;
+  order.reserve(candidates.size());
+  for (const auto& [ids, entry] : candidates) {
+    order.emplace_back(entry.first, &ids);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  std::vector<const std::vector<ObjectId>*> selected_ids;
+  for (const auto& [d, ids] : order) {
+    if (result.groups.size() == query.k) break;
+    bool compatible = true;
+    for (const std::vector<ObjectId>* held : selected_ids) {
+      size_t overlap = 0;
+      size_t i = 0;
+      size_t j = 0;
+      while (i < held->size() && j < ids->size()) {
+        if ((*held)[i] < (*ids)[j]) {
+          ++i;
+        } else if ((*ids)[j] < (*held)[i]) {
+          ++j;
+        } else {
+          ++overlap;
+          ++i;
+          ++j;
+        }
+      }
+      if (overlap > query.m) {
+        compatible = false;
+        break;
+      }
+    }
+    if (!compatible) continue;
+    selected_ids.push_back(ids);
+    result.groups.push_back(NwcGroup{d, candidates.at(*ids).second});
+  }
+  return result;
+}
+
+Status CheckNwcResultConsistency(const NwcResult& result,
+                                 const std::vector<DataObject>& objects, const NwcQuery& query,
+                                 DistanceMeasure measure) {
+  if (!result.found) {
+    if (!result.objects.empty()) {
+      return Status::Internal("result not found but objects returned");
+    }
+    return Status::Ok();
+  }
+  if (result.objects.size() != query.n) {
+    return Status::Internal(StrFormat("expected %zu objects, got %zu", query.n,
+                                      result.objects.size()));
+  }
+  std::set<ObjectId> ids;
+  for (const DataObject& obj : result.objects) {
+    if (!ids.insert(obj.id).second) {
+      return Status::Internal(StrFormat("duplicate object id %u in group", obj.id));
+    }
+    const bool stored = std::any_of(objects.begin(), objects.end(),
+                                    [&obj](const DataObject& o) { return o == obj; });
+    if (!stored) {
+      return Status::Internal(StrFormat("object id %u is not in the dataset", obj.id));
+    }
+  }
+  if (!GroupFitsWindow(result.objects, query.length, query.width)) {
+    return Status::Internal("group does not fit an l x w window");
+  }
+  const double recomputed =
+      GroupDistance(query.q, result.objects, query.length, query.width, measure);
+  if (std::abs(recomputed - result.distance) > 1e-9 * std::max(1.0, recomputed)) {
+    return Status::Internal(StrFormat("distance %.17g does not match recomputed %.17g",
+                                      result.distance, recomputed));
+  }
+  return Status::Ok();
+}
+
+Status CheckKnwcResultConsistency(const KnwcResult& result,
+                                  const std::vector<DataObject>& objects,
+                                  const KnwcQuery& query, DistanceMeasure measure) {
+  double previous = -std::numeric_limits<double>::infinity();
+  std::vector<std::set<ObjectId>> id_sets;
+  for (const NwcGroup& group : result.groups) {
+    NwcResult as_result;
+    as_result.found = true;
+    as_result.distance = group.distance;
+    as_result.objects = group.objects;
+    const Status group_ok = CheckNwcResultConsistency(as_result, objects, query.base, measure);
+    if (!group_ok.ok()) return group_ok;
+    if (group.distance < previous) {
+      return Status::Internal("group distances are not non-decreasing");
+    }
+    previous = group.distance;
+    std::set<ObjectId> ids;
+    for (const DataObject& obj : group.objects) ids.insert(obj.id);
+    id_sets.push_back(std::move(ids));
+  }
+  for (size_t i = 0; i < id_sets.size(); ++i) {
+    for (size_t j = i + 1; j < id_sets.size(); ++j) {
+      size_t overlap = 0;
+      for (const ObjectId id : id_sets[i]) {
+        if (id_sets[j].count(id) > 0) ++overlap;
+      }
+      if (overlap > query.m) {
+        return Status::Internal(
+            StrFormat("groups %zu and %zu share %zu objects (m=%zu)", i, j, overlap, query.m));
+      }
+    }
+  }
+  if (result.groups.size() > query.k) {
+    return Status::Internal(StrFormat("returned %zu groups for k=%zu", result.groups.size(),
+                                      query.k));
+  }
+  return Status::Ok();
+}
+
+}  // namespace nwc

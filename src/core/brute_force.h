@@ -1,0 +1,52 @@
+#ifndef NWC_CORE_BRUTE_FORCE_H_
+#define NWC_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/nwc_types.h"
+#include "geometry/point.h"
+
+namespace nwc {
+
+/// Reference NWC implementation for testing: exhaustively enumerates every
+/// candidate window with an object on a vertical edge and an object on a
+/// horizontal edge — all four edge-role combinations, so the enumeration is
+/// complete for any query position without relying on the engine's
+/// quadrant machinery — takes the n objects nearest q from each qualified
+/// window, and returns the best group under `measure`. O(|P|^3); intended
+/// for small inputs.
+NwcResult BruteForceNwc(const std::vector<DataObject>& objects, const NwcQuery& query,
+                        DistanceMeasure measure);
+
+/// Reference kNWC implementation: enumerates the same canonical window
+/// universe as the paper's algorithm (per-object first-quadrant windows,
+/// Sec. 3.2) with plain scans, forms each window's n-nearest group,
+/// deduplicates, sorts by ascending distance, and greedily selects groups
+/// respecting the pairwise overlap budget m — the greedy-by-distance
+/// reading of Definition 3 over the algorithm's candidate groups.
+///
+/// Note: the engine's Steps 1-5 maintenance processes groups in discovery
+/// order, which matches this greedy selection except under adversarial
+/// overlap/tie structures (see KnwcEngine); exact-equality tests use
+/// configurations where the two provably coincide (e.g. m = n-1).
+KnwcResult BruteForceKnwc(const std::vector<DataObject>& objects, const KnwcQuery& query,
+                          DistanceMeasure measure);
+
+/// Checks that an NWC result is internally consistent with the dataset:
+/// found iff a qualified window exists; exactly n distinct stored objects;
+/// the group fits an l x w window; the reported distance equals the
+/// measure recomputed over the group.
+Status CheckNwcResultConsistency(const NwcResult& result,
+                                 const std::vector<DataObject>& objects, const NwcQuery& query,
+                                 DistanceMeasure measure);
+
+/// Checks Definition 3's structural properties of a kNWC result: every
+/// group valid as above, distances non-decreasing, pairwise overlap <= m.
+Status CheckKnwcResultConsistency(const KnwcResult& result,
+                                  const std::vector<DataObject>& objects,
+                                  const KnwcQuery& query, DistanceMeasure measure);
+
+}  // namespace nwc
+
+#endif  // NWC_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,210 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace nwc {
+
+namespace {
+
+// log of the Poisson CDF P{X <= n-1} for X ~ Poisson(mu), computed by
+// summing terms in log space for numerical stability at large mu.
+double LogPoissonCdf(double mu, size_t n_minus_one) {
+  if (mu <= 0.0) return 0.0;  // P = 1
+  // log of term_i = -mu + i*log(mu) - lgamma(i+1); log-sum-exp over i.
+  double max_log_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> log_terms;
+  log_terms.reserve(n_minus_one + 1);
+  for (size_t i = 0; i <= n_minus_one; ++i) {
+    const double log_term =
+        -mu + static_cast<double>(i) * std::log(mu) - std::lgamma(static_cast<double>(i) + 1.0);
+    log_terms.push_back(log_term);
+    max_log_term = std::max(max_log_term, log_term);
+  }
+  double sum = 0.0;
+  for (const double log_term : log_terms) sum += std::exp(log_term - max_log_term);
+  return max_log_term + std::log(sum);
+}
+
+// log(C(t, a)) with a continuous (lgamma) extension for non-integer trial
+// counts t, as required by the paper's R(i, a) where the trial count
+// O(i) * lambda * l * w is a real number.
+double LogChoose(double trials, double successes) {
+  if (successes < 0.0 || successes > trials) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(trials + 1.0) - std::lgamma(successes + 1.0) -
+         std::lgamma(trials - successes + 1.0);
+}
+
+// log(1 - exp(x)) for x <= 0, stable near both ends.
+double Log1MinusExp(double x) {
+  if (x >= 0.0) return -std::numeric_limits<double>::infinity();
+  if (x > -0.6931471805599453) return std::log(-std::expm1(x));  // x > -ln 2
+  return std::log1p(-std::exp(x));
+}
+
+}  // namespace
+
+NwcCostModel::NwcCostModel(const CostModelParams& params) : params_(params) {
+  assert(params_.lambda > 0.0 && params_.l > 0.0 && params_.w > 0.0 && params_.n > 0);
+  const double mu = params_.lambda * params_.l * params_.w;
+  log_p_ = LogPoissonCdf(mu, params_.n - 1);
+  if (params_.max_level == 0) {
+    // Enough levels for the rectangle tiling to cover the space from a
+    // central query point.
+    const double span = params_.space_extent * 0.5;
+    params_.max_level = static_cast<size_t>(
+        std::ceil(std::max(span / params_.l, span / params_.w))) + 1;
+  }
+}
+
+double NwcCostModel::WindowNotQualifiedProb() const { return std::exp(log_p_); }
+
+double NwcCostModel::LevelRectangleCount(size_t i) {
+  if (i == 0) return 0.0;
+  return 8.0 * static_cast<double>(i) - 4.0;
+}
+
+double NwcCostModel::NoQualifiedWindowAtLevel(size_t i) const {
+  if (i == 0) return 1.0;
+  const double mu = params_.lambda * params_.l * params_.w;
+  const double exponent = LevelRectangleCount(i) * mu * mu;
+  return std::exp(exponent * log_p_);
+}
+
+double NwcCostModel::ObjectsRetrieved(size_t i) const {
+  const double mu = params_.lambda * params_.l * params_.w;
+  const double level = static_cast<double>(i);
+  return 2.0 * level * level * mu;
+}
+
+double NwcCostModel::BestWindowAtLevelProb(size_t i) const {
+  if (i == 0) return 0.0;
+  double product = 1.0;
+  for (size_t j = 1; j < i; ++j) product *= NoQualifiedWindowAtLevel(j);
+  return (1.0 - NoQualifiedWindowAtLevel(i)) * product;
+}
+
+double NwcCostModel::WindowQueryCost() const {
+  // Standard uniform-data R-tree selectivity estimate [18]: at level j
+  // (leaves = 0) there are N / f^(j+1) nodes with square MBRs of side
+  // sigma_j = extent * sqrt(f^(j+1) / N); a window of size l x w touches
+  // N_j * (sigma_j + l) * (sigma_j + w) / extent^2 of them, plus the root.
+  const double n_objects = static_cast<double>(std::max<size_t>(params_.num_objects, 1));
+  const double f = params_.effective_fanout;
+  const double area = params_.space_extent * params_.space_extent;
+  double cost = 1.0;  // root
+  double nodes_at_level = n_objects / f;
+  while (nodes_at_level > 1.0) {
+    const double sigma = params_.space_extent / std::sqrt(nodes_at_level);
+    const double touched =
+        nodes_at_level * (sigma + params_.l) * (sigma + params_.w) / area;
+    cost += std::min(nodes_at_level, std::max(1.0, touched));
+    nodes_at_level /= f;
+  }
+  return cost;
+}
+
+double NwcCostModel::KnnQueryCost(double k) const {
+  // Best-first kNN visits roughly the nodes intersecting the disc that
+  // holds the k nearest objects [10]; estimate it as a window query with
+  // the disc's bounding square.
+  if (k <= 0.0) return 1.0;
+  const double radius = std::sqrt(k / (params_.lambda * 3.14159265358979323846));
+  const double n_objects = static_cast<double>(std::max<size_t>(params_.num_objects, 1));
+  const double f = params_.effective_fanout;
+  const double area = params_.space_extent * params_.space_extent;
+  double cost = 1.0;
+  double nodes_at_level = n_objects / f;
+  while (nodes_at_level > 1.0) {
+    const double sigma = params_.space_extent / std::sqrt(nodes_at_level);
+    const double side = 2.0 * radius;
+    const double touched = nodes_at_level * (sigma + side) * (sigma + side) / area;
+    cost += std::min(nodes_at_level, std::max(1.0, touched));
+    nodes_at_level /= f;
+  }
+  return cost;
+}
+
+double NwcCostModel::ExpectedIoCost() const {
+  const double win = WindowQueryCost();
+  double expected = 0.0;
+  double survival = 1.0;  // prod_{j<i} Q(j)
+  for (size_t i = 1; i <= params_.max_level; ++i) {
+    const double q_i = NoQualifiedWindowAtLevel(i);
+    const double p_level = (1.0 - q_i) * survival;
+    if (p_level > 0.0) {
+      const double objects = ObjectsRetrieved(i);
+      expected += p_level * (objects * win + KnnQueryCost(objects));
+    }
+    survival *= q_i;
+    if (survival < 1e-300) break;
+  }
+  return expected;
+}
+
+KnwcCostModel::KnwcCostModel(const CostModelParams& params, size_t k, double pr_mk)
+    : base_(params), k_(k) {
+  assert(k_ > 0 && pr_mk > 0.0 && pr_mk <= 1.0);
+  // P' = 1 - (1 - P) * Pr(m, k), in log space.
+  const double p = base_.WindowNotQualifiedProb();
+  const double p_prime = 1.0 - (1.0 - p) * pr_mk;
+  log_p_prime_ = std::log(std::max(p_prime, 1e-300));
+}
+
+double KnwcCostModel::NotInsertableProb() const { return std::exp(log_p_prime_); }
+
+double KnwcCostModel::GroupsInsertedProb(size_t i, size_t a) const {
+  // Binomial(trials = O(i) * lambda*l*w, success = 1 - P') at exactly a.
+  if (i == 0) return a == 0 ? 1.0 : 0.0;
+  const CostModelParams& p = base_.params();
+  const double mu = p.lambda * p.l * p.w;
+  const double trials = base_.ObjectsRetrieved(i) * mu;
+  const double a_real = static_cast<double>(a);
+  if (a_real > trials) return 0.0;
+  const double log_success = Log1MinusExp(log_p_prime_);
+  const double log_prob = LogChoose(trials, a_real) + a_real * log_success +
+                          (trials - a_real) * log_p_prime_;
+  return std::exp(log_prob);
+}
+
+double KnwcCostModel::AtLeastGroupsAtLevelProb(size_t i, size_t b) const {
+  // S(i, b) = 1 - sum_{d < b} Binomial(N(i) * mu^2, 1 - P') at exactly d.
+  const CostModelParams& p = base_.params();
+  const double mu = p.lambda * p.l * p.w;
+  const double trials = NwcCostModel::LevelRectangleCount(i) * mu * mu;
+  const double log_success = Log1MinusExp(log_p_prime_);
+  double below = 0.0;
+  for (size_t d = 0; d < b; ++d) {
+    const double d_real = static_cast<double>(d);
+    if (d_real > trials) break;
+    below += std::exp(LogChoose(trials, d_real) + d_real * log_success +
+                      (trials - d_real) * log_p_prime_);
+  }
+  return std::max(0.0, 1.0 - below);
+}
+
+double KnwcCostModel::KthGroupAtLevelProb(size_t i) const {
+  if (i == 0) return 0.0;
+  double prob = 0.0;
+  for (size_t j = 0; j < k_; ++j) {
+    prob += GroupsInsertedProb(i - 1, j) * AtLeastGroupsAtLevelProb(i, k_ - j);
+  }
+  return prob;
+}
+
+double KnwcCostModel::ExpectedIoCost() const {
+  const double win = base_.WindowQueryCost();
+  double expected = 0.0;
+  for (size_t i = 1; i <= base_.params().max_level; ++i) {
+    const double p_level = KthGroupAtLevelProb(i);
+    if (p_level <= 0.0) continue;
+    const double objects = base_.ObjectsRetrieved(i);
+    expected += p_level * (objects * win + base_.KnnQueryCost(objects));
+  }
+  return expected;
+}
+
+}  // namespace nwc

@@ -1,0 +1,111 @@
+#ifndef NWC_CORE_COST_MODEL_H_
+#define NWC_CORE_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace nwc {
+
+/// Inputs of the paper's Section 4 analytical I/O model. The model assumes
+/// objects are Poisson distributed with intensity `lambda` (objects per
+/// unit area), window dimensions l x w, and a search for n objects.
+struct CostModelParams {
+  double lambda = 0.0;  ///< object intensity (objects / unit^2)
+  double l = 0.0;       ///< window length
+  double w = 0.0;       ///< window width
+  size_t n = 0;         ///< objects requested
+
+  // R*-tree shape parameters used to estimate WIN(l, w) and KNN(K)
+  // (the paper takes these sub-models from Proietti & Faloutsos [18] and
+  // Hjaltason & Samet [10]; we use the standard uniform-data estimates).
+  double space_extent = 10000.0;  ///< side of the square data space
+  size_t num_objects = 0;         ///< dataset cardinality
+  double effective_fanout = 35.0; ///< average entries per node
+
+  /// Maximum rectangle level analyzed (the paper's MaxLV). The space is
+  /// tiled by l x w rectangles, so this defaults to enough levels to cover
+  /// the space from a central query point.
+  size_t max_level = 0;
+};
+
+/// The Section 4.1 model, exposed term by term so tests can check each
+/// formula and the validation benchmark can print the breakdown.
+class NwcCostModel {
+ public:
+  explicit NwcCostModel(const CostModelParams& params);
+
+  /// Eq. 8: probability that an l x w window is NOT qualified
+  /// (P{X <= n-1} for X ~ Poisson(lambda*l*w)).
+  double WindowNotQualifiedProb() const;
+
+  /// Eq. 9: number of level-i rectangles, N(i) = 8i - 4.
+  static double LevelRectangleCount(size_t i);
+
+  /// Q(i): probability that no level-i qualified window exists,
+  /// P^(N(i) * (lambda*l*w)^2); computed in log space. Q(0) = 1.
+  double NoQualifiedWindowAtLevel(size_t i) const;
+
+  /// Eq. 10: O(i) = 2 i^2 lambda l w, the expected objects retrieved when
+  /// the best group sits at level i.
+  double ObjectsRetrieved(size_t i) const;
+
+  /// Probability the best qualified window is at level i:
+  /// (1 - Q(i)) * prod_{j<i} Q(j).
+  double BestWindowAtLevelProb(size_t i) const;
+
+  /// WIN(l, w): estimated node accesses of one window query (standard
+  /// uniform R-tree estimate, after [18]).
+  double WindowQueryCost() const;
+
+  /// KNN(K): estimated node accesses to retrieve K nearest neighbors
+  /// (best-first search over the same tree shape, after [10]).
+  double KnnQueryCost(double k) const;
+
+  /// The paper's bottom line: expected node accesses of one NWC query,
+  /// sum_i P(best at level i) * [O(i) * WIN(l,w) + KNN(O(i))].
+  double ExpectedIoCost() const;
+
+  const CostModelParams& params() const { return params_; }
+
+ private:
+  CostModelParams params_;
+  double log_p_;  // log of WindowNotQualifiedProb()
+};
+
+/// The Section 4.2 extension for kNWC queries.
+class KnwcCostModel {
+ public:
+  /// `pr_mk` is the paper's Pr(m, k): the probability that a qualified
+  /// window shares at most m objects with every maintained group. The
+  /// paper leaves it symbolic; pass an empirical or assumed value in
+  /// (0, 1].
+  KnwcCostModel(const CostModelParams& params, size_t k, double pr_mk);
+
+  /// P': probability the objects of a window cannot be inserted into the
+  /// maintained groups, 1 - (1 - P) * Pr(m, k).
+  double NotInsertableProb() const;
+
+  /// R(i, a): probability exactly `a` groups from windows up to level i
+  /// entered the maintained list (binomial over O(i)*lambda*l*w windows,
+  /// continuous extension via lgamma).
+  double GroupsInsertedProb(size_t i, size_t a) const;
+
+  /// S(i, b): probability at least `b` groups from level-i windows entered
+  /// the list.
+  double AtLeastGroupsAtLevelProb(size_t i, size_t b) const;
+
+  /// Probability the k-th nearest group lies at level i:
+  /// sum_j R(i-1, j) * S(i, k - j).
+  double KthGroupAtLevelProb(size_t i) const;
+
+  /// Expected node accesses of one kNWC query.
+  double ExpectedIoCost() const;
+
+ private:
+  NwcCostModel base_;
+  size_t k_;
+  double log_p_prime_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_CORE_COST_MODEL_H_

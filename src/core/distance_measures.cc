@@ -1,0 +1,63 @@
+#include "core/distance_measures.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nwc {
+
+Rect GroupWindowUnion(const std::vector<DataObject>& group, double l, double w) {
+  Rect bbox = Rect::Empty();
+  for (const DataObject& obj : group) bbox.Expand(obj.pos);
+  if (bbox.IsEmpty()) return bbox;
+  // No window contains a group whose bounding box exceeds l x w. (This
+  // must be checked on the bbox: the coverage rect below stays non-empty
+  // for spreads up to 2l x 2w.)
+  if (bbox.length() > l || bbox.width() > w) return Rect::Empty();
+  // Valid window origins (bottom-left corners) form the rectangle
+  // [max_x - l, min_x] x [max_y - w, min_y]; sweeping an l x w window over
+  // it covers [max_x - l, min_x + l] x [max_y - w, min_y + w].
+  return Rect{bbox.max_x - l, bbox.max_y - w, bbox.min_x + l, bbox.min_y + w};
+}
+
+bool GroupFitsWindow(const std::vector<DataObject>& group, double l, double w) {
+  Rect bbox = Rect::Empty();
+  for (const DataObject& obj : group) bbox.Expand(obj.pos);
+  if (bbox.IsEmpty()) return false;
+  return bbox.length() <= l && bbox.width() <= w;
+}
+
+double GroupDistance(const Point& q, const std::vector<DataObject>& group, double l, double w,
+                     DistanceMeasure measure) {
+  assert(!group.empty());
+  switch (measure) {
+    case DistanceMeasure::kMin: {
+      double best = Distance(q, group[0].pos);
+      for (size_t i = 1; i < group.size(); ++i) {
+        best = std::min(best, Distance(q, group[i].pos));
+      }
+      return best;
+    }
+    case DistanceMeasure::kMax: {
+      double worst = Distance(q, group[0].pos);
+      for (size_t i = 1; i < group.size(); ++i) {
+        worst = std::max(worst, Distance(q, group[i].pos));
+      }
+      return worst;
+    }
+    case DistanceMeasure::kAvg: {
+      double sum = 0.0;
+      for (const DataObject& obj : group) sum += Distance(q, obj.pos);
+      return sum / static_cast<double>(group.size());
+    }
+    case DistanceMeasure::kNearestWindow: {
+      const Rect coverage = GroupWindowUnion(group, l, w);
+      assert(!coverage.IsEmpty() && "group does not fit an l x w window");
+      return MinDist(q, coverage);
+    }
+  }
+  assert(false && "unreachable");
+  return 0.0;
+}
+
+}  // namespace nwc

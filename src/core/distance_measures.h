@@ -1,0 +1,33 @@
+#ifndef NWC_CORE_DISTANCE_MEASURES_H_
+#define NWC_CORE_DISTANCE_MEASURES_H_
+
+#include <vector>
+
+#include "core/nwc_types.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace nwc {
+
+/// Computes dist(q, {p_1..p_n}) under `measure` (paper Eq. 1-4) for a
+/// group that fits an l x w window. `group` must be non-empty.
+///
+/// The nearest-window measure (Eq. 4) is evaluated in closed form: the
+/// union of all l x w windows containing the group is the rectangle
+/// [max_x - l, min_x + l] x [max_y - w, min_y + w] (where min/max range
+/// over the group), so the measure equals MINDIST(q, that rectangle).
+double GroupDistance(const Point& q, const std::vector<DataObject>& group, double l, double w,
+                     DistanceMeasure measure);
+
+/// The union of all l x w windows containing `group` (see GroupDistance).
+/// Empty when the group's bounding box exceeds l x w (no window contains
+/// it).
+Rect GroupWindowUnion(const std::vector<DataObject>& group, double l, double w);
+
+/// True when the group's bounding box fits inside an l x w window
+/// (boundary-inclusive), i.e. the group is a legal NWC answer.
+bool GroupFitsWindow(const std::vector<DataObject>& group, double l, double w);
+
+}  // namespace nwc
+
+#endif  // NWC_CORE_DISTANCE_MEASURES_H_

@@ -1,0 +1,120 @@
+#include "core/search_region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nwc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The closed quadrant rectangle about q selected by the two flip flags
+// (flip_x: negative x side, flip_y: negative y side).
+Rect QuadrantRect(const Point& q, bool flip_x, bool flip_y) {
+  Rect r;
+  r.min_x = flip_x ? -kInf : q.x;
+  r.max_x = flip_x ? q.x : kInf;
+  r.min_y = flip_y ? -kInf : q.y;
+  r.max_y = flip_y ? q.y : kInf;
+  return r;
+}
+
+// First-quadrant SR extension of a rect already mapped into the frame.
+Rect ExtendFirstQuadrant(const Rect& part_frame, double l, double w) {
+  return Rect{part_frame.min_x - l, part_frame.min_y - w, part_frame.max_x,
+              part_frame.max_y + w};
+}
+
+// Applies `fn(extended_frame_part, transform)` for each non-empty quadrant
+// clip of `region`.
+template <typename Fn>
+void ForEachQuadrantExtension(const Point& q, const Rect& region, double l, double w,
+                              const Fn& fn) {
+  for (const bool flip_x : {false, true}) {
+    for (const bool flip_y : {false, true}) {
+      const Rect clip = Rect::Intersection(region, QuadrantRect(q, flip_x, flip_y));
+      if (clip.IsEmpty()) continue;
+      // Build the reflection explicitly from the flags (the factory needs
+      // a representative point; any point of the clip works).
+      const QuadrantTransform transform = QuadrantTransform::MapToFirstQuadrant(
+          q, Point{flip_x ? q.x - 1.0 : q.x + 1.0, flip_y ? q.y - 1.0 : q.y + 1.0});
+      const Rect part_frame = transform.Apply(clip);
+      fn(ExtendFirstQuadrant(part_frame, l, w), transform);
+    }
+  }
+}
+
+}  // namespace
+
+Rect SearchRegionFirstQuadrant(const Point& p_frame, double l, double w) {
+  return Rect{p_frame.x - l, p_frame.y - w, p_frame.x, p_frame.y + w};
+}
+
+std::optional<double> SrrTopExtent(const Point& q, const Point& p_frame, double l, double w,
+                                   double dist_best) {
+  if (dist_best <= 0.0) return std::nullopt;
+  if (dist_best == kInf) return w;
+
+  // x-distance from q to the region (q never lies right of it: the frame
+  // guarantees q.x <= p_frame.x).
+  const double dx = std::max(0.0, (p_frame.x - l) - q.x);
+  if (dx * dx >= dist_best * dist_best) return std::nullopt;
+
+  // Largest w' such that the topmost window [y_p + w' - w, y_p + w'] still
+  // has MINDIST <= dist_best.
+  const double dy_max = std::sqrt(dist_best * dist_best - dx * dx);
+  const double w_prime = std::min(w, dy_max - (p_frame.y - w - q.y));
+  if (w_prime < 0.0) return std::nullopt;
+  return w_prime;
+}
+
+Rect ShrinkSearchRegion(const Point& q, const Point& p_frame, double l, double w,
+                        double dist_best) {
+  const std::optional<double> top_extent = SrrTopExtent(q, p_frame, l, w, dist_best);
+  if (!top_extent.has_value()) return Rect::Empty();
+  const Rect full = SearchRegionFirstQuadrant(p_frame, l, w);
+  return Rect{full.min_x, full.min_y, full.max_x, p_frame.y + *top_extent};
+}
+
+Rect SearchRegionWorld(const Point& p, double l, double w, double top_extent,
+                       const QuadrantTransform& transform) {
+  Rect sr;
+  if (transform.flips_x()) {
+    sr.min_x = p.x;
+    sr.max_x = p.x + l;
+  } else {
+    sr.min_x = p.x - l;
+    sr.max_x = p.x;
+  }
+  if (transform.flips_y()) {
+    sr.min_y = p.y - top_extent;
+    sr.max_y = p.y + w;
+  } else {
+    sr.min_y = p.y - w;
+    sr.max_y = p.y + top_extent;
+  }
+  return sr;
+}
+
+double GeneratedWindowLowerBound(const Point& q, const Rect& region, double l, double w) {
+  if (region.IsEmpty()) return kInf;
+  double bound = kInf;
+  ForEachQuadrantExtension(q, region, l, w,
+                           [&](const Rect& extended_frame, const QuadrantTransform&) {
+                             bound = std::min(bound, MinDist(q, extended_frame));
+                           });
+  return bound;
+}
+
+Rect DepExtendedMbr(const Point& q, const Rect& region, double l, double w) {
+  Rect out = Rect::Empty();
+  ForEachQuadrantExtension(
+      q, region, l, w, [&](const Rect& extended_frame, const QuadrantTransform& transform) {
+        out.Expand(transform.Apply(extended_frame));
+      });
+  return out;
+}
+
+}  // namespace nwc

@@ -1,0 +1,68 @@
+#ifndef NWC_DATASETS_DATASET_H_
+#define NWC_DATASETS_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace nwc {
+
+/// A named collection of data objects in a common data space. The paper
+/// normalizes every dataset to a square of width 10,000 (Sec. 5); Space()
+/// returns that square for generated datasets.
+struct Dataset {
+  std::string name;
+  Rect space;  ///< the normalized data space (not the tight bounds)
+  std::vector<DataObject> objects;
+
+  size_t size() const { return objects.size(); }
+
+  /// Tight bounding rectangle of the stored objects.
+  Rect Bounds() const;
+};
+
+/// The paper's normalized data-space extent ("normalized to a square of
+/// width 10,000").
+inline constexpr double kSpaceExtent = 10000.0;
+
+/// The normalized data space [0, 10000]^2.
+Rect NormalizedSpace();
+
+/// Rescales `objects` in place so their bounds map onto `target` (aspect
+/// ratio is not preserved — each axis is scaled independently, matching
+/// the usual normalization of the CA/NY datasets to a square). Degenerate
+/// axes map to the target midpoint.
+void NormalizeToSpace(std::vector<DataObject>& objects, const Rect& target);
+
+/// Writes a dataset as CSV lines "id,x,y" with a one-line header.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by SaveDatasetCsv. `space` is set to the
+/// normalized space; callers working with un-normalized data should use
+/// Bounds() instead.
+Result<Dataset> LoadDatasetCsv(const std::string& path, const std::string& name);
+
+/// Summary statistics used by the Table 2 reproduction and the generator
+/// tests: cardinality plus a clustering measure.
+struct DatasetStats {
+  size_t cardinality = 0;
+  Rect bounds;
+  /// Mean objects per occupied cell of a 100x100 histogram.
+  double mean_occupied_cell_count = 0.0;
+  /// Fraction of the 100x100 histogram cells that are occupied; lower
+  /// means more clustered mass.
+  double occupied_cell_fraction = 0.0;
+  /// Fraction of all objects in the densest 1% of occupied cells; higher
+  /// means more extreme hotspots (the NY signature).
+  double top1pct_mass = 0.0;
+};
+
+/// Computes DatasetStats over the dataset's space.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+}  // namespace nwc
+
+#endif  // NWC_DATASETS_DATASET_H_

@@ -1,0 +1,162 @@
+#include "datasets/generators.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nwc {
+
+namespace {
+
+// Draws a point from N(center, stddev) re-drawn until inside `space`.
+Point SampleClipped(Rng& rng, const Point& center, double stddev_x, double stddev_y,
+                    const Rect& space) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const Point p{rng.NextGaussian(center.x, stddev_x), rng.NextGaussian(center.y, stddev_y)};
+    if (space.Contains(p)) return p;
+  }
+  // Pathological spec (center far outside the space): clamp instead.
+  Point p{rng.NextGaussian(center.x, stddev_x), rng.NextGaussian(center.y, stddev_y)};
+  p.x = std::min(std::max(p.x, space.min_x), space.max_x);
+  p.y = std::min(std::max(p.y, space.min_y), space.max_y);
+  return p;
+}
+
+}  // namespace
+
+Dataset MakeUniform(size_t cardinality, uint64_t seed) {
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.name = "Uniform";
+  dataset.space = NormalizedSpace();
+  dataset.objects.reserve(cardinality);
+  for (size_t i = 0; i < cardinality; ++i) {
+    dataset.objects.push_back(DataObject{
+        static_cast<ObjectId>(i),
+        Point{rng.NextDouble(dataset.space.min_x, dataset.space.max_x),
+              rng.NextDouble(dataset.space.min_y, dataset.space.max_y)}});
+  }
+  return dataset;
+}
+
+Dataset MakeGaussian(size_t cardinality, uint64_t seed, double mean, double stddev) {
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.name = "Gaussian";
+  dataset.space = NormalizedSpace();
+  dataset.objects.reserve(cardinality);
+  const Point center{mean, mean};
+  for (size_t i = 0; i < cardinality; ++i) {
+    dataset.objects.push_back(DataObject{
+        static_cast<ObjectId>(i), SampleClipped(rng, center, stddev, stddev, dataset.space)});
+  }
+  return dataset;
+}
+
+Dataset MakeClustered(const ClusteredSpec& spec, uint64_t seed, const std::string& name) {
+  assert(!spec.clusters.empty() || spec.background_fraction >= 1.0);
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.name = name;
+  dataset.space = NormalizedSpace();
+  dataset.objects.reserve(spec.cardinality);
+
+  // Cumulative weights for cluster selection.
+  std::vector<double> cumulative;
+  cumulative.reserve(spec.clusters.size());
+  double total_weight = 0.0;
+  for (const ClusterSpec& cluster : spec.clusters) {
+    total_weight += cluster.weight;
+    cumulative.push_back(total_weight);
+  }
+
+  for (size_t i = 0; i < spec.cardinality; ++i) {
+    Point p;
+    if (rng.NextBernoulli(spec.background_fraction) || spec.clusters.empty()) {
+      p = Point{rng.NextDouble(dataset.space.min_x, dataset.space.max_x),
+                rng.NextDouble(dataset.space.min_y, dataset.space.max_y)};
+    } else {
+      const double pick = rng.NextDouble(0.0, total_weight);
+      size_t index = 0;
+      while (index + 1 < cumulative.size() && cumulative[index] < pick) ++index;
+      const ClusterSpec& cluster = spec.clusters[index];
+      p = SampleClipped(rng, cluster.center, cluster.stddev_x, cluster.stddev_y, dataset.space);
+    }
+    dataset.objects.push_back(DataObject{static_cast<ObjectId>(i), p});
+  }
+  return dataset;
+}
+
+Dataset MakeCaLike(uint64_t seed, size_t cardinality) {
+  Rng rng(seed ^ 0xCA11F07Ull);
+  ClusteredSpec spec;
+  spec.cardinality = cardinality;
+  spec.background_fraction = 0.2;
+
+  // Two diagonal bands of hotspots (coastal and inland corridors), with
+  // hotspot spreads from town-sized to metro-sized.
+  constexpr int kHotspotsPerBand = 30;
+  for (int band = 0; band < 2; ++band) {
+    for (int i = 0; i < kHotspotsPerBand; ++i) {
+      const double t = (i + 0.5) / kHotspotsPerBand;
+      ClusterSpec cluster;
+      // Band 0 runs lower-left to upper-right near the edge; band 1 is
+      // offset inland and shorter.
+      const double along = 500.0 + 9000.0 * t;
+      const double offset = band == 0 ? 1200.0 : 3200.0;
+      cluster.center =
+          Point{along + rng.NextGaussian(0.0, 300.0),
+                along * 0.75 + offset + rng.NextGaussian(0.0, 400.0)};
+      const double spread = 40.0 + 360.0 * rng.NextDouble();
+      cluster.stddev_x = spread;
+      cluster.stddev_y = spread * (0.6 + 0.8 * rng.NextDouble());
+      // A few dominant metros: weight spans two orders of magnitude.
+      cluster.weight = std::pow(10.0, 2.0 * rng.NextDouble());
+      spec.clusters.push_back(cluster);
+    }
+  }
+  Dataset dataset = MakeClustered(spec, seed, "CA-like");
+  return dataset;
+}
+
+Dataset MakeNyLike(uint64_t seed, size_t cardinality) {
+  Rng rng(seed ^ 0x0077E57Ull);
+  ClusteredSpec spec;
+  spec.cardinality = cardinality;
+  spec.background_fraction = 0.02;
+
+  // A few dominant metro concentrations...
+  constexpr int kMetros = 5;
+  Point metro_centers[kMetros];
+  for (int m = 0; m < kMetros; ++m) {
+    metro_centers[m] = Point{rng.NextDouble(1500.0, 8500.0), rng.NextDouble(1500.0, 8500.0)};
+    ClusterSpec metro;
+    metro.center = metro_centers[m];
+    metro.stddev_x = 250.0;
+    metro.stddev_y = 250.0;
+    metro.weight = 60.0;
+    spec.clusters.push_back(metro);
+  }
+  // ...surrounded by hundreds of very tight urban hotspots (street-grid
+  // scale), most of them near a metro.
+  constexpr int kHotspots = 400;
+  for (int i = 0; i < kHotspots; ++i) {
+    ClusterSpec hotspot;
+    if (rng.NextBernoulli(0.7)) {
+      const Point& metro = metro_centers[rng.NextUint64(kMetros)];
+      hotspot.center = Point{metro.x + rng.NextGaussian(0.0, 700.0),
+                             metro.y + rng.NextGaussian(0.0, 700.0)};
+    } else {
+      hotspot.center = Point{rng.NextDouble(200.0, 9800.0), rng.NextDouble(200.0, 9800.0)};
+    }
+    const double spread = 5.0 + 25.0 * rng.NextDouble();
+    hotspot.stddev_x = spread;
+    hotspot.stddev_y = spread;
+    hotspot.weight = 0.5 + 2.0 * rng.NextDouble();
+    spec.clusters.push_back(hotspot);
+  }
+  return MakeClustered(spec, seed, "NY-like");
+}
+
+}  // namespace nwc

@@ -1,0 +1,59 @@
+#ifndef NWC_DATASETS_GENERATORS_H_
+#define NWC_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/dataset.h"
+
+namespace nwc {
+
+/// Uniform dataset over the normalized 10,000-unit square.
+Dataset MakeUniform(size_t cardinality, uint64_t seed);
+
+/// The paper's synthetic dataset (Sec. 5): `cardinality` points (default
+/// 250,000) with both coordinates drawn i.i.d. from N(mean, stddev)
+/// (defaults 5,000 / 2,000), re-drawn until they fall inside the
+/// normalized square (so clipping does not pile mass on the boundary).
+Dataset MakeGaussian(size_t cardinality, uint64_t seed, double mean = 5000.0,
+                     double stddev = 2000.0);
+
+/// One hotspot of a clustered dataset.
+struct ClusterSpec {
+  Point center;
+  double stddev_x = 0.0;
+  double stddev_y = 0.0;
+  double weight = 1.0;  ///< relative share of the clustered mass
+};
+
+/// Parameters for the generic multi-cluster generator.
+struct ClusteredSpec {
+  size_t cardinality = 0;
+  /// Fraction of objects drawn uniformly over the space (background
+  /// noise); the rest are distributed over the clusters by weight.
+  double background_fraction = 0.0;
+  std::vector<ClusterSpec> clusters;
+};
+
+/// Mixture-of-Gaussians dataset over the normalized square: each non-
+/// background point picks a cluster by weight and samples around its
+/// center (re-drawn until inside the space).
+Dataset MakeClustered(const ClusteredSpec& spec, uint64_t seed, const std::string& name);
+
+/// Stand-in for the paper's CA dataset (62,556 real places in California;
+/// unavailable offline — see DESIGN.md). Moderately clustered: ~60
+/// hotspots of varied spread placed along two diagonal bands (the coastal
+/// and inland corridors) over a 20% uniform background. Matches the
+/// evaluation-relevant properties: cardinality and a medium degree of
+/// clustering.
+Dataset MakeCaLike(uint64_t seed, size_t cardinality = 62556);
+
+/// Stand-in for the paper's NY dataset (255,259 real places in New York).
+/// Extremely clustered, the property the paper repeatedly attributes to
+/// NY: ~400 very tight urban hotspots hold 97% of the mass, with a few
+/// dominant metro concentrations.
+Dataset MakeNyLike(uint64_t seed, size_t cardinality = 255259);
+
+}  // namespace nwc
+
+#endif  // NWC_DATASETS_GENERATORS_H_

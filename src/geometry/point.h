@@ -1,0 +1,55 @@
+#ifndef NWC_GEOMETRY_POINT_H_
+#define NWC_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace nwc {
+
+/// A point in the 2-D Euclidean data space. The paper (and therefore this
+/// library) works in two dimensions; Sec. 2.1 notes the algorithms extend to
+/// 3-D, which would only change this type and the Rect algebra.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) { return a.x == b.x && a.y == b.y; }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+/// Squared Euclidean distance between two points. Prefer this over
+/// Distance() in hot comparisons; sqrt is monotone so orderings agree.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// Identifier of a data object in a dataset. Object ids are dense indices
+/// into the owning dataset's point vector.
+using ObjectId = uint32_t;
+
+/// A data object: an id plus its location. This is the unit stored in
+/// R*-tree leaves and returned by NWC queries.
+struct DataObject {
+  ObjectId id = 0;
+  Point pos;
+
+  friend bool operator==(const DataObject& a, const DataObject& b) {
+    return a.id == b.id && a.pos == b.pos;
+  }
+};
+
+}  // namespace nwc
+
+#endif  // NWC_GEOMETRY_POINT_H_

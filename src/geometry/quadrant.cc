@@ -1,0 +1,32 @@
+#include "geometry/quadrant.h"
+
+namespace nwc {
+
+Quadrant QuadrantOf(const Point& q, const Point& p) {
+  const bool right = p.x >= q.x;
+  const bool up = p.y >= q.y;
+  if (right && up) return Quadrant::kFirst;
+  if (!right && up) return Quadrant::kSecond;
+  if (!right && !up) return Quadrant::kThird;
+  return Quadrant::kFourth;
+}
+
+QuadrantTransform QuadrantTransform::MapToFirstQuadrant(const Point& q, const Point& p) {
+  return QuadrantTransform(q, p.x < q.x, p.y < q.y);
+}
+
+Point QuadrantTransform::Apply(const Point& p) const {
+  Point out = p;
+  if (flip_x_) out.x = 2.0 * q_.x - p.x;
+  if (flip_y_) out.y = 2.0 * q_.y - p.y;
+  return out;
+}
+
+Rect QuadrantTransform::Apply(const Rect& r) const {
+  if (r.IsEmpty()) return r;
+  const Point a = Apply(Point{r.min_x, r.min_y});
+  const Point b = Apply(Point{r.max_x, r.max_y});
+  return Rect::FromCorners(a, b);
+}
+
+}  // namespace nwc

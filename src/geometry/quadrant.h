@@ -1,0 +1,69 @@
+#ifndef NWC_GEOMETRY_QUADRANT_H_
+#define NWC_GEOMETRY_QUADRANT_H_
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace nwc {
+
+/// Quadrant of a point relative to the query location q (q is the origin).
+/// Points on an axis are assigned to the quadrant with the non-negative
+/// offset, i.e. the boundary belongs to quadrant I / IV (x) and I / II (y).
+/// What matters for correctness is that the assignment is *consistent*: each
+/// object gets exactly one vertical-edge role, and the canonical-window
+/// argument (see core/search_region.h) holds for either convention.
+enum class Quadrant {
+  kFirst = 1,   ///< x >= q.x, y >= q.y -> p on the right edge, scan upward.
+  kSecond = 2,  ///< x <  q.x, y >= q.y -> p on the left edge, scan upward.
+  kThird = 3,   ///< x <  q.x, y <  q.y -> p on the left edge, scan downward.
+  kFourth = 4,  ///< x >= q.x, y <  q.y -> p on the right edge, scan downward.
+};
+
+/// Returns the quadrant of `p` with `q` as origin, under the boundary
+/// convention documented on Quadrant.
+Quadrant QuadrantOf(const Point& q, const Point& p);
+
+/// Reflection of the plane about the axes through the query point q.
+///
+/// Sections 3.1-3.3 of the paper describe the search-region construction,
+/// the SRR shrink, and the DIP pruning region only for an object in the
+/// first quadrant, handling "the other cases similarly". Rather than
+/// writing four mirrored copies of every formula, the engine maps the
+/// object (or node MBR) into the first quadrant with this transform,
+/// applies the first-quadrant formula once, and maps results back. The
+/// transform is an involution (Apply(Apply(x)) == x, up to floating-point
+/// rounding) and preserves all Euclidean distances to q, so every
+/// MINDIST-based bound is unchanged.
+class QuadrantTransform {
+ public:
+  /// Identity transform about `q`.
+  explicit QuadrantTransform(const Point& q) : q_(q), flip_x_(false), flip_y_(false) {}
+
+  /// Builds the transform about `q` that maps `p` into the closed first
+  /// quadrant (Apply(p).x >= q.x and Apply(p).y >= q.y).
+  static QuadrantTransform MapToFirstQuadrant(const Point& q, const Point& p);
+
+  /// Maps a point; an involution.
+  Point Apply(const Point& p) const;
+
+  /// Maps a rectangle (reflections swap min/max on flipped axes).
+  Rect Apply(const Rect& r) const;
+
+  /// The query point the transform reflects about.
+  const Point& origin() const { return q_; }
+
+  bool flips_x() const { return flip_x_; }
+  bool flips_y() const { return flip_y_; }
+
+ private:
+  QuadrantTransform(const Point& q, bool flip_x, bool flip_y)
+      : q_(q), flip_x_(flip_x), flip_y_(flip_y) {}
+
+  Point q_;
+  bool flip_x_;
+  bool flip_y_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_GEOMETRY_QUADRANT_H_

@@ -1,0 +1,108 @@
+#include "maxrs/max_rs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "maxrs/segment_tree.h"
+
+namespace nwc {
+
+namespace {
+
+// A sweep event: at x, the object starts or stops being coverable by a
+// window whose bottom-left x-origin is the sweep position.
+struct SweepEvent {
+  double x = 0.0;
+  bool is_start = false;
+  size_t object_index = 0;
+};
+
+}  // namespace
+
+Result<MaxRsResult> SolveMaxRs(const std::vector<WeightedObject>& objects, double l, double w) {
+  if (l <= 0.0 || w <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("window extents must be positive, got l=%f w=%f", l, w));
+  }
+  for (const WeightedObject& item : objects) {
+    if (item.weight <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("object %u has non-positive weight %f", item.object.id, item.weight));
+    }
+  }
+
+  MaxRsResult best;
+  best.window = Rect::Window(Point{0.0, 0.0}, l, w);
+  if (objects.empty()) return best;
+
+  // A window with origin (ox, oy) covers object p iff ox in [x_p - l, x_p]
+  // and oy in [y_p - w, y_p]. Compress the candidate oy values; an optimal
+  // origin exists at oy = y_p - w or y_p of some object (interval
+  // endpoints).
+  std::vector<double> y_coords;
+  y_coords.reserve(objects.size() * 2);
+  for (const WeightedObject& item : objects) {
+    y_coords.push_back(item.object.pos.y - w);
+    y_coords.push_back(item.object.pos.y);
+  }
+  std::sort(y_coords.begin(), y_coords.end());
+  y_coords.erase(std::unique(y_coords.begin(), y_coords.end()), y_coords.end());
+  const auto y_index = [&y_coords](double y) {
+    return static_cast<size_t>(
+        std::lower_bound(y_coords.begin(), y_coords.end(), y) - y_coords.begin());
+  };
+
+  // Sweep events: object i becomes active at x_p - l and inactive after
+  // x_p. With closed window boundaries, at equal x all starts are
+  // processed before any end (an origin exactly at x_p still covers p).
+  std::vector<SweepEvent> events;
+  events.reserve(objects.size() * 2);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    events.push_back(SweepEvent{objects[i].object.pos.x - l, true, i});
+    events.push_back(SweepEvent{objects[i].object.pos.x, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const SweepEvent& a, const SweepEvent& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.is_start && !b.is_start;
+  });
+
+  MaxSegmentTree tree(y_coords.size());
+  double best_weight = -1.0;
+  Point best_origin{0.0, 0.0};
+  for (const SweepEvent& event : events) {
+    const WeightedObject& item = objects[event.object_index];
+    const size_t lo = y_index(item.object.pos.y - w);
+    const size_t hi = y_index(item.object.pos.y);
+    tree.AddRange(lo, hi, event.is_start ? item.weight : -item.weight);
+    if (event.is_start && tree.Max() > best_weight) {
+      best_weight = tree.Max();
+      best_origin = Point{event.x, y_coords[tree.ArgMax()]};
+    }
+  }
+
+  best.window = Rect::Window(best_origin, l, w);
+  best.total_weight = 0.0;
+  for (const WeightedObject& item : objects) {
+    // Membership via the origin-interval arithmetic of the sweep itself
+    // (origin in [x_p - l, x_p] x [y_p - w, y_p]), not via window.Contains:
+    // (x_p - l) + l can differ from x_p by one ulp, which would drop an
+    // object sitting exactly on the optimal window's edge.
+    const Point& p = item.object.pos;
+    if (best_origin.x >= p.x - l && best_origin.x <= p.x && best_origin.y >= p.y - w &&
+        best_origin.y <= p.y) {
+      best.total_weight += item.weight;
+      best.objects.push_back(item.object);
+    }
+  }
+  return best;
+}
+
+Result<MaxRsResult> SolveMaxRs(const std::vector<DataObject>& objects, double l, double w) {
+  std::vector<WeightedObject> weighted;
+  weighted.reserve(objects.size());
+  for (const DataObject& obj : objects) weighted.push_back(WeightedObject{obj, 1.0});
+  return SolveMaxRs(weighted, l, w);
+}
+
+}  // namespace nwc

@@ -1,0 +1,53 @@
+#ifndef NWC_MAXRS_MAX_RS_H_
+#define NWC_MAXRS_MAX_RS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace nwc {
+
+/// Result of a MaxRS computation: the best window position, the weight it
+/// covers, and the covered objects.
+struct MaxRsResult {
+  /// An optimal l x w window (boundary-inclusive coverage).
+  Rect window;
+  /// Sum of weights of the objects inside `window`.
+  double total_weight = 0.0;
+  /// The covered objects, in input order.
+  std::vector<DataObject> objects;
+};
+
+/// A weighted input object for MaxRS. Weights must be positive (the
+/// sweep's canonical-corner argument requires it; see SolveMaxRs).
+struct WeightedObject {
+  DataObject object;
+  double weight = 1.0;
+};
+
+/// Solves the Maximizing Range Sum problem (Choi, Chung, Tao; PVLDB 2012):
+/// place an l x w window anywhere in the plane to maximize the total
+/// weight of the covered objects. The paper positions MaxRS as the closest
+/// relative of the NWC query that *ignores the query location* (Sec. 2.2);
+/// examples/maxrs_vs_nwc contrasts the two.
+///
+/// Implementation: a plane sweep over x with a lazy max segment tree over
+/// compressed y-coordinates — each object contributes +weight over the
+/// rectangle of window origins covering it — O(N log N) in memory (the
+/// referenced paper solves the external-memory version; our data fits).
+/// With positive weights an optimal window exists whose right and top
+/// edges pass through object coordinates, so scanning maxima at insertion
+/// events is exhaustive.
+///
+/// Returns InvalidArgument for non-positive window extents or weights.
+/// An empty input yields total_weight 0 and an arbitrary window.
+Result<MaxRsResult> SolveMaxRs(const std::vector<WeightedObject>& objects, double l, double w);
+
+/// Unit-weight convenience wrapper: the window covering the most objects.
+Result<MaxRsResult> SolveMaxRs(const std::vector<DataObject>& objects, double l, double w);
+
+}  // namespace nwc
+
+#endif  // NWC_MAXRS_MAX_RS_H_

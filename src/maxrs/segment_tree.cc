@@ -1,0 +1,64 @@
+#include "maxrs/segment_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nwc {
+
+MaxSegmentTree::MaxSegmentTree(size_t size) : size_(size) {
+  if (size_ == 0) return;
+  nodes_.resize(4 * size_);
+  // Initialize argmax to the leftmost leaf of each subtree.
+  struct Frame {
+    size_t node, lo, hi;
+  };
+  std::vector<Frame> stack = {{1, 0, size_ - 1}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    nodes_[f.node].argmax = f.lo;
+    if (f.lo == f.hi) continue;
+    const size_t mid = f.lo + (f.hi - f.lo) / 2;
+    stack.push_back({2 * f.node, f.lo, mid});
+    stack.push_back({2 * f.node + 1, mid + 1, f.hi});
+  }
+}
+
+void MaxSegmentTree::Pull(size_t node) {
+  const Node& left = nodes_[2 * node];
+  const Node& right = nodes_[2 * node + 1];
+  // Prefer the leftmost argmax on ties.
+  if (right.max > left.max) {
+    nodes_[node].max = right.max;
+    nodes_[node].argmax = right.argmax;
+  } else {
+    nodes_[node].max = left.max;
+    nodes_[node].argmax = left.argmax;
+  }
+  nodes_[node].max += nodes_[node].pending;
+}
+
+void MaxSegmentTree::Add(size_t node, size_t node_lo, size_t node_hi, size_t lo, size_t hi,
+                         double delta) {
+  if (hi < node_lo || node_hi < lo) return;
+  if (lo <= node_lo && node_hi <= hi) {
+    nodes_[node].pending += delta;
+    nodes_[node].max += delta;
+    return;
+  }
+  const size_t mid = node_lo + (node_hi - node_lo) / 2;
+  Add(2 * node, node_lo, mid, lo, hi, delta);
+  Add(2 * node + 1, mid + 1, node_hi, lo, hi, delta);
+  Pull(node);
+}
+
+void MaxSegmentTree::AddRange(size_t first, size_t last, double delta) {
+  if (size_ == 0 || first > last || first >= size_) return;
+  Add(1, 0, size_ - 1, first, std::min(last, size_ - 1), delta);
+}
+
+double MaxSegmentTree::Max() const { return size_ == 0 ? 0.0 : nodes_[1].max; }
+
+size_t MaxSegmentTree::ArgMax() const { return size_ == 0 ? 0 : nodes_[1].argmax; }
+
+}  // namespace nwc

@@ -1,0 +1,50 @@
+#ifndef NWC_MAXRS_SEGMENT_TREE_H_
+#define NWC_MAXRS_SEGMENT_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace nwc {
+
+/// Lazy segment tree over a fixed number of positions supporting
+/// range-add of a (possibly negative) delta and a global
+/// maximum-with-position query. This is the 1-D structure behind the
+/// MaxRS sweepline (maxrs/max_rs.h): positions are compressed
+/// y-coordinates, each active point adds +weight over the y-interval of
+/// window origins that would cover it, and the global max tracks the best
+/// origin for the current x.
+class MaxSegmentTree {
+ public:
+  /// Creates a tree over positions 0 .. size-1, all values 0. A size of 0
+  /// is allowed; queries on it return {0.0, 0}.
+  explicit MaxSegmentTree(size_t size);
+
+  /// Adds `delta` to every position in [first, last] (inclusive bounds,
+  /// clamped to the valid range; an empty range is a no-op).
+  void AddRange(size_t first, size_t last, double delta);
+
+  /// Current maximum value over all positions.
+  double Max() const;
+
+  /// Smallest position attaining Max().
+  size_t ArgMax() const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Node {
+    double max = 0.0;
+    size_t argmax = 0;  // leftmost position attaining max in the subtree
+    double pending = 0.0;
+  };
+
+  void Add(size_t node, size_t node_lo, size_t node_hi, size_t lo, size_t hi, double delta);
+  void Pull(size_t node);
+
+  size_t size_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_MAXRS_SEGMENT_TREE_H_

@@ -1,0 +1,110 @@
+#include "related/related_queries.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace nwc {
+
+namespace {
+
+// Best-first queue entry shared by both query types.
+struct Entry {
+  double key = 0.0;
+  bool is_object = false;
+  NodeId node = kInvalidNodeId;
+  DataObject object;
+
+  friend bool operator<(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key > b.key;  // max-heap -> nearest first
+    return a.is_object && !b.is_object;
+  }
+};
+
+double AggregateMinDist(const std::vector<Point>& queries, const Rect& mbr,
+                        Aggregate aggregate) {
+  double agg = 0.0;
+  for (const Point& q : queries) {
+    const double d = MinDist(q, mbr);
+    agg = aggregate == Aggregate::kSum ? agg + d : std::max(agg, d);
+  }
+  return agg;
+}
+
+}  // namespace
+
+double AggregateDistance(const std::vector<Point>& queries, const Point& p,
+                         Aggregate aggregate) {
+  double agg = 0.0;
+  for (const Point& q : queries) {
+    const double d = Distance(q, p);
+    agg = aggregate == Aggregate::kSum ? agg + d : std::max(agg, d);
+  }
+  return agg;
+}
+
+std::vector<DataObject> ConstrainedKnn(const RStarTree& tree, const Point& q,
+                                       const Rect& region, size_t k, IoCounter* io) {
+  std::vector<DataObject> result;
+  if (k == 0 || region.IsEmpty()) return result;
+
+  std::priority_queue<Entry> queue;
+  queue.push(Entry{MinDist(q, tree.bounds()), false, tree.root(), {}});
+  while (!queue.empty() && result.size() < k) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (top.is_object) {
+      result.push_back(top.object);
+      continue;
+    }
+    const RTreeNode& node = tree.AccessNode(top.node, io, IoPhase::kTraversal);
+    if (node.is_leaf()) {
+      for (const DataObject& obj : node.objects) {
+        if (!region.Contains(obj.pos)) continue;
+        queue.push(Entry{Distance(q, obj.pos), true, top.node, obj});
+      }
+    } else {
+      for (const ChildEntry& child : node.children) {
+        if (!child.mbr.Intersects(region)) continue;
+        queue.push(Entry{MinDist(q, child.mbr), false, child.child, {}});
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<DataObject>> GroupKnn(const RStarTree& tree,
+                                         const std::vector<Point>& queries, size_t k,
+                                         Aggregate aggregate, IoCounter* io) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("GroupKnn requires at least one query point");
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("GroupKnn requires k >= 1");
+  }
+
+  std::vector<DataObject> result;
+  std::priority_queue<Entry> queue;
+  queue.push(Entry{AggregateMinDist(queries, tree.bounds(), aggregate), false, tree.root(), {}});
+  while (!queue.empty() && result.size() < k) {
+    const Entry top = queue.top();
+    queue.pop();
+    if (top.is_object) {
+      result.push_back(top.object);
+      continue;
+    }
+    const RTreeNode& node = tree.AccessNode(top.node, io, IoPhase::kTraversal);
+    if (node.is_leaf()) {
+      for (const DataObject& obj : node.objects) {
+        queue.push(Entry{AggregateDistance(queries, obj.pos, aggregate), true, top.node, obj});
+      }
+    } else {
+      for (const ChildEntry& child : node.children) {
+        queue.push(
+            Entry{AggregateMinDist(queries, child.mbr, aggregate), false, child.child, {}});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace nwc

@@ -1,0 +1,49 @@
+#ifndef NWC_RELATED_RELATED_QUERIES_H_
+#define NWC_RELATED_RELATED_QUERIES_H_
+
+#include <vector>
+
+#include "common/io_stats.h"
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/rstar_tree.h"
+
+namespace nwc {
+
+/// Related query types from the paper's Sec. 2.2 survey, implemented over
+/// the same R*-tree substrate. They are not needed by the NWC algorithms;
+/// they exist (a) to make the library a usable spatial-query toolkit and
+/// (b) to let examples contrast NWC against its nearest relatives
+/// (constrained NN [8] and group/aggregate NN [16, 17]).
+
+/// Constrained k-nearest-neighbor query (Ferhatosmanoglu et al., SSTD'01):
+/// the k objects nearest to `q` among those inside `region`. Best-first
+/// search that expands only subtrees intersecting the region; every
+/// expanded node charges one page read to `io`.
+std::vector<DataObject> ConstrainedKnn(const RStarTree& tree, const Point& q,
+                                       const Rect& region, size_t k, IoCounter* io);
+
+/// How a group NN query aggregates the distances to its query points.
+enum class Aggregate {
+  kSum,  ///< classic GNN: minimize the total travel of all users
+  kMax,  ///< minimize the worst single user's travel
+};
+
+/// Group (aggregate) k-nearest-neighbor query (Papadias et al., ICDE'04 /
+/// TODS'05): the k objects minimizing agg_{q in queries} dist(q, p).
+/// Best-first search with the aggregate MINDIST lower bound
+/// agg_i MINDIST(q_i, node MBR), which is admissible for both aggregates.
+/// Returns InvalidArgument when `queries` is empty or k is 0.
+Result<std::vector<DataObject>> GroupKnn(const RStarTree& tree,
+                                         const std::vector<Point>& queries, size_t k,
+                                         Aggregate aggregate, IoCounter* io);
+
+/// The aggregate distance GroupKnn minimizes, exposed for callers ranking
+/// or verifying results.
+double AggregateDistance(const std::vector<Point>& queries, const Point& p,
+                         Aggregate aggregate);
+
+}  // namespace nwc
+
+#endif  // NWC_RELATED_RELATED_QUERIES_H_

@@ -1,0 +1,93 @@
+#ifndef NWC_RTREE_IWP_INDEX_H_
+#define NWC_RTREE_IWP_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/rstar_tree.h"
+
+namespace nwc {
+
+/// A stored pointer to another node together with a copy of that node's
+/// MBR, as the IWP technique embeds into the R-tree (paper Sec. 3.3.4).
+/// The MBR copy is what lets coverage/overlap be tested without an I/O.
+struct NodePointer {
+  NodeId node = kInvalidNodeId;
+  Rect mbr;
+};
+
+/// The Incremental Window query Processing (IWP) augmentation of an
+/// R*-tree (paper Sec. 3.3.4).
+///
+/// Every leaf carries r backward pointers following the Exponential Index
+/// pattern: bp_1 is the leaf itself, bp_i (1 < i < r) is the ancestor at
+/// depth h - 2^(i-2) (paper depth convention: root 0, leaves h), and bp_r
+/// is the root, with r = ceil(log2 h) + 2 (r = 1 for a root-only tree).
+/// Every node targeted by a backward pointer except the root carries
+/// overlapping pointers to all same-depth nodes whose MBR overlaps its own.
+///
+/// A window query for the search region of an object p then starts from
+/// the lowest backward-pointed ancestor of p's leaf whose MBR covers the
+/// region (Algorithm 3), plus the overlapping same-depth nodes intersecting
+/// the region, instead of from the root.
+///
+/// The structure is built over a static tree (the paper's setting); it
+/// must be rebuilt after tree modifications.
+class IwpIndex {
+ public:
+  /// Builds the pointer structure for `tree`. The tree must outlive the
+  /// index and remain unmodified.
+  static IwpIndex Build(const RStarTree& tree);
+
+  /// Backward pointers of `leaf` (lowest first, root last).
+  const std::vector<NodePointer>& BackwardPointers(NodeId leaf) const;
+
+  /// Overlapping pointers of `node` (empty for nodes that are not backward
+  /// targets and for the root).
+  const std::vector<NodePointer>& OverlapPointers(NodeId node) const;
+
+  /// Algorithm 3: answers the window query for `window`, issued while
+  /// processing an object stored in `leaf`, and returns the objects inside.
+  ///
+  /// I/O accounting: consulting the pointer tables is free — the backward
+  /// pointers ride along with the object when its leaf is expanded into the
+  /// priority queue, and the overlap table of the chosen start node is
+  /// embedded in that node's page. Every node traversed by the window
+  /// query itself charges one read, exactly as a root-based query would.
+  std::vector<DataObject> WindowQuery(const RStarTree& tree, NodeId leaf, const Rect& window,
+                                      IoCounter* io,
+                                      IoPhase phase = IoPhase::kWindowQuery) const;
+
+  /// Resolves the start nodes Algorithm 3 would search from (exposed for
+  /// tests and for the storage/ablation analysis).
+  std::vector<NodeId> ResolveStartNodes(NodeId leaf, const Rect& window) const;
+
+  /// Total number of stored backward pointers (Sec. 5.2 accounting).
+  size_t backward_pointer_count() const { return backward_pointer_count_; }
+
+  /// Total number of stored overlapping pointers (Sec. 5.2 accounting).
+  size_t overlap_pointer_count() const { return overlap_pointer_count_; }
+
+  /// Storage overhead in bytes under the paper's 4-bytes-per-pointer
+  /// assumption (MBR copies excluded, matching Sec. 5.2's accounting).
+  size_t StorageBytes() const {
+    return (backward_pointer_count_ + overlap_pointer_count_) * kPointerBytes;
+  }
+
+ private:
+  IwpIndex() = default;
+
+  std::unordered_map<NodeId, std::vector<NodePointer>> backward_;
+  std::unordered_map<NodeId, std::vector<NodePointer>> overlaps_;
+  NodeId root_ = kInvalidNodeId;
+  size_t backward_pointer_count_ = 0;
+  size_t overlap_pointer_count_ = 0;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_RTREE_IWP_INDEX_H_

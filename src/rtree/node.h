@@ -1,0 +1,59 @@
+#ifndef NWC_RTREE_NODE_H_
+#define NWC_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "storage/page.h"
+
+namespace nwc {
+
+/// Identifier of an R*-tree node. A node occupies one simulated page, so
+/// node ids double as page ids for the buffer-pool ablation.
+using NodeId = PageId;
+
+/// Sentinel for "no node" (e.g., the root's parent).
+inline constexpr NodeId kInvalidNodeId = kInvalidPageId;
+
+/// An entry of an internal node: the MBR of a child subtree plus its id.
+struct ChildEntry {
+  Rect mbr;
+  NodeId child = kInvalidNodeId;
+};
+
+/// One R*-tree node. Leaf nodes (level 0) store data objects; internal
+/// nodes store child entries. Exactly one of the two vectors is non-empty.
+///
+/// Levels count upward from the leaves: leaves are level 0 and the root has
+/// the highest level. The paper's "depth" convention (root depth 0, leaves
+/// depth h) converts as depth = tree_height - level.
+struct RTreeNode {
+  NodeId id = kInvalidNodeId;
+  NodeId parent = kInvalidNodeId;
+  int level = 0;
+
+  std::vector<DataObject> objects;    ///< populated when level == 0
+  std::vector<ChildEntry> children;   ///< populated when level > 0
+
+  bool is_leaf() const { return level == 0; }
+
+  /// Number of entries (objects for leaves, children for internal nodes).
+  size_t entry_count() const { return is_leaf() ? objects.size() : children.size(); }
+
+  /// Recomputes the MBR from the current entries.
+  Rect ComputeMbr() const {
+    Rect mbr = Rect::Empty();
+    if (is_leaf()) {
+      for (const DataObject& obj : objects) mbr.Expand(obj.pos);
+    } else {
+      for (const ChildEntry& entry : children) mbr.Expand(entry.mbr);
+    }
+    return mbr;
+  }
+};
+
+}  // namespace nwc
+
+#endif  // NWC_RTREE_NODE_H_

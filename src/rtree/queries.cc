@@ -1,0 +1,118 @@
+#include "rtree/queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nwc {
+
+namespace {
+
+// Shared DFS for window queries. `emit` is called for each matching object.
+template <typename Emit>
+void WindowWalk(const RStarTree& tree, NodeId start, const Rect& window, IoCounter* io,
+                IoPhase phase, const Emit& emit) {
+  const RTreeNode& n = tree.AccessNode(start, io, phase);
+  if (n.is_leaf()) {
+    for (const DataObject& obj : n.objects) {
+      if (window.Contains(obj.pos)) emit(obj);
+    }
+    return;
+  }
+  for (const ChildEntry& entry : n.children) {
+    if (entry.mbr.Intersects(window)) {
+      WindowWalk(tree, entry.child, window, io, phase, emit);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DataObject> WindowQuery(const RStarTree& tree, const Rect& window, IoCounter* io,
+                                    IoPhase phase) {
+  std::vector<DataObject> result;
+  WindowWalk(tree, tree.root(), window, io, phase,
+             [&result](const DataObject& obj) { result.push_back(obj); });
+  return result;
+}
+
+std::vector<DataObject> WindowQueryFrom(const RStarTree& tree,
+                                        const std::vector<NodeId>& start_nodes,
+                                        const Rect& window, IoCounter* io, IoPhase phase) {
+  std::vector<DataObject> result;
+  for (const NodeId start : start_nodes) {
+    WindowWalk(tree, start, window, io, phase,
+               [&result](const DataObject& obj) { result.push_back(obj); });
+  }
+  return result;
+}
+
+size_t WindowCount(const RStarTree& tree, const Rect& window, IoCounter* io, IoPhase phase) {
+  size_t count = 0;
+  WindowWalk(tree, tree.root(), window, io, phase, [&count](const DataObject&) { ++count; });
+  return count;
+}
+
+std::vector<DataObject> KnnQuery(const RStarTree& tree, const Point& q, size_t k, IoCounter* io,
+                                 IoPhase phase) {
+  std::vector<DataObject> result;
+  if (k == 0) return result;
+  DistanceBrowser browser(tree, q, io, phase);
+  while (result.size() < k && browser.HasNext()) {
+    result.push_back(browser.Next().object);
+  }
+  return result;
+}
+
+DistanceBrowser::DistanceBrowser(const RStarTree& tree, const Point& q, IoCounter* io,
+                                 IoPhase phase)
+    : tree_(tree), q_(q), io_(io), phase_(phase) {
+  QueueEntry root_entry;
+  root_entry.distance = 0.0;
+  root_entry.is_object = false;
+  root_entry.node = tree.root();
+  queue_.push(root_entry);
+}
+
+void DistanceBrowser::Advance() {
+  while (!queue_.empty() && !queue_.top().is_object) {
+    const QueueEntry top = queue_.top();
+    queue_.pop();
+    const RTreeNode& n = tree_.AccessNode(top.node, io_, phase_);
+    if (n.is_leaf()) {
+      for (const DataObject& obj : n.objects) {
+        QueueEntry entry;
+        entry.distance = Distance(q_, obj.pos);
+        entry.is_object = true;
+        entry.node = top.node;  // remember the holding leaf
+        entry.object = obj;
+        queue_.push(entry);
+      }
+    } else {
+      for (const ChildEntry& child : n.children) {
+        QueueEntry entry;
+        entry.distance = MinDist(q_, child.mbr);
+        entry.is_object = false;
+        entry.node = child.child;
+        queue_.push(entry);
+      }
+    }
+  }
+}
+
+bool DistanceBrowser::HasNext() {
+  Advance();
+  return !queue_.empty();
+}
+
+DistanceBrowser::BrowseItem DistanceBrowser::Next() {
+  Advance();
+  const QueueEntry top = queue_.top();
+  queue_.pop();
+  BrowseItem item;
+  item.object = top.object;
+  item.distance = top.distance;
+  item.leaf = top.node;
+  return item;
+}
+
+}  // namespace nwc

@@ -1,0 +1,67 @@
+#include "rtree/tree_stats.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace nwc {
+
+TreeStats ComputeTreeStats(const RStarTree& tree) {
+  TreeStats stats;
+  stats.object_count = tree.size();
+  stats.node_count = tree.node_count();
+  stats.height = tree.height();
+  stats.levels.resize(static_cast<size_t>(tree.height()) + 1);
+
+  std::vector<std::vector<Rect>> mbrs_by_level(stats.levels.size());
+  std::vector<NodeId> stack = {tree.root()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const RTreeNode& node = tree.node(id);
+    LevelStats& level = stats.levels[static_cast<size_t>(node.level)];
+    level.level = node.level;
+    ++level.node_count;
+    level.entry_count += node.entry_count();
+    const Rect mbr = node.ComputeMbr();
+    level.total_area += mbr.Area();
+    level.total_margin += mbr.Margin();
+    mbrs_by_level[static_cast<size_t>(node.level)].push_back(mbr);
+    for (const ChildEntry& entry : node.children) stack.push_back(entry.child);
+  }
+
+  for (size_t l = 0; l < stats.levels.size(); ++l) {
+    LevelStats& level = stats.levels[l];
+    if (level.node_count > 0) {
+      level.avg_fill = static_cast<double>(level.entry_count) /
+                       (static_cast<double>(level.node_count) *
+                        static_cast<double>(tree.options().max_entries));
+    }
+    // Pairwise overlap via sweep over min_x.
+    std::vector<Rect>& mbrs = mbrs_by_level[l];
+    std::sort(mbrs.begin(), mbrs.end(),
+              [](const Rect& a, const Rect& b) { return a.min_x < b.min_x; });
+    for (size_t i = 0; i < mbrs.size(); ++i) {
+      for (size_t j = i + 1; j < mbrs.size(); ++j) {
+        if (mbrs[j].min_x > mbrs[i].max_x) break;
+        level.total_overlap += mbrs[i].OverlapArea(mbrs[j]);
+      }
+    }
+  }
+  return stats;
+}
+
+std::string TreeStats::ToString() const {
+  std::string out = StrFormat("objects=%zu nodes=%zu height=%d\n", object_count, node_count,
+                              height);
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    out += StrFormat(
+        "  level %d: %zu node(s), %zu entries, fill %.0f%%, area %.3g, overlap %.3g\n",
+        it->level, it->node_count, it->entry_count, 100.0 * it->avg_fill, it->total_area,
+        it->total_overlap);
+  }
+  return out;
+}
+
+}  // namespace nwc

@@ -1,0 +1,45 @@
+#ifndef NWC_RTREE_TREE_STATS_H_
+#define NWC_RTREE_TREE_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtree/rstar_tree.h"
+
+namespace nwc {
+
+/// Aggregates describing one level of an R*-tree. Level 0 is the leaf
+/// level; the last entry describes the root's level.
+struct LevelStats {
+  int level = 0;
+  size_t node_count = 0;
+  size_t entry_count = 0;       ///< objects (leaves) or children (internal)
+  double avg_fill = 0.0;        ///< entry_count / (node_count * max_entries)
+  double total_area = 0.0;      ///< sum of node MBR areas
+  double total_margin = 0.0;    ///< sum of node MBR half-perimeters
+  double total_overlap = 0.0;   ///< pairwise MBR overlap area within the level
+};
+
+/// Structural statistics of a whole tree. The overlap totals are the
+/// quantity the R* split minimizes and the quantity that makes IWP's
+/// overlapping pointers necessary; the ablation benchmark reports them to
+/// explain the I/O differences between construction strategies.
+struct TreeStats {
+  size_t object_count = 0;
+  size_t node_count = 0;
+  int height = 0;
+  std::vector<LevelStats> levels;  ///< leaf level first
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes statistics by walking the tree (no I/O accounting). Pairwise
+/// overlap uses a sort-and-sweep, so it is near-linear for low-overlap
+/// trees.
+TreeStats ComputeTreeStats(const RStarTree& tree);
+
+}  // namespace nwc
+
+#endif  // NWC_RTREE_TREE_STATS_H_

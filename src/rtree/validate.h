@@ -1,0 +1,26 @@
+#ifndef NWC_RTREE_VALIDATE_H_
+#define NWC_RTREE_VALIDATE_H_
+
+#include "common/status.h"
+#include "rtree/rstar_tree.h"
+
+namespace nwc {
+
+/// Checks the structural invariants of an R*-tree and returns the first
+/// violation found (or OK). Used by tests after randomized insert/delete
+/// workloads and by the deserializer.
+///
+/// Invariants checked:
+///  * the root is live and parentless;
+///  * every child entry's stored MBR equals the child's recomputed MBR;
+///  * every child's parent pointer names the node holding its entry;
+///  * every child of a level-L node has level L-1 (all leaves equal depth);
+///  * every non-root node has between min_entries and max_entries entries,
+///    and the root has at most max_entries (an internal root has >= 2);
+///  * the number of objects reachable from the root equals tree.size();
+///  * the number of nodes reachable from the root equals tree.node_count().
+Status ValidateTree(const RStarTree& tree);
+
+}  // namespace nwc
+
+#endif  // NWC_RTREE_VALIDATE_H_

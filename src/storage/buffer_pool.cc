@@ -1,0 +1,44 @@
+#include "storage/buffer_pool.h"
+
+namespace nwc {
+
+BufferPool::BufferPool(size_t capacity_pages) : capacity_(capacity_pages) {}
+
+bool BufferPool::Access(PageId page) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (lru_.size() >= capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim);
+  }
+  lru_.push_front(page);
+  index_[page] = lru_.begin();
+  return false;
+}
+
+bool BufferPool::Contains(PageId page) const { return index_.find(page) != index_.end(); }
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+double BufferPool::HitRatio() const {
+  const uint64_t total = hits_ + misses_;
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace nwc

@@ -1,0 +1,35 @@
+#ifndef NWC_STORAGE_PAGE_H_
+#define NWC_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nwc {
+
+/// Identifier of a simulated disk page. Every R*-tree node occupies exactly
+/// one page (the paper's setup: 4096-byte pages, at most 50 entries/node).
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// Simulated page size in bytes (paper Sec. 5: "page size set to 4096").
+inline constexpr size_t kPageSizeBytes = 4096;
+
+/// Size of one on-page entry. A leaf entry is (x, y, object id) and an
+/// internal entry is (mbr, child page id); both fit in 24 bytes with
+/// 8-byte coordinates packed as in the serialized format. Used only by the
+/// storage-overhead accounting, not by the in-memory layout.
+inline constexpr size_t kEntryBytes = 24;
+
+/// Size of one stored pointer, as assumed by the paper's Sec. 5.2 storage
+/// accounting for IWP ("Suppose that the size of one pointer is 4 bytes").
+inline constexpr size_t kPointerBytes = 4;
+
+/// Maximum entries that fit a page under the accounting above. The paper
+/// fixes the fanout at 50 regardless; kMaxEntriesDefault mirrors that.
+inline constexpr int kMaxEntriesDefault = 50;
+
+}  // namespace nwc
+
+#endif  // NWC_STORAGE_PAGE_H_

@@ -1,0 +1,172 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/distance_measures.h"
+
+namespace nwc {
+namespace {
+
+TEST(BruteForceNwcTest, EmptyAndUndersizedDatasets) {
+  const NwcQuery query{Point{0, 0}, 10, 10, 3};
+  EXPECT_FALSE(BruteForceNwc({}, query, DistanceMeasure::kMax).found);
+  const std::vector<DataObject> two = {DataObject{0, Point{1, 1}}, DataObject{1, Point{2, 2}}};
+  EXPECT_FALSE(BruteForceNwc(two, query, DistanceMeasure::kMax).found);
+}
+
+TEST(BruteForceNwcTest, HandComputedExample) {
+  // Two clusters; the near one has only 2 objects, the far one has 3.
+  // With n = 3 the far cluster must win despite being farther.
+  const std::vector<DataObject> objects = {
+      DataObject{0, Point{10, 10}}, DataObject{1, Point{11, 10}},   // near pair
+      DataObject{2, Point{50, 50}}, DataObject{3, Point{51, 50}},
+      DataObject{4, Point{50, 51}},                                 // far triple
+  };
+  const NwcQuery query{Point{0, 0}, 4, 4, 3};
+  const NwcResult result = BruteForceNwc(objects, query, DistanceMeasure::kMin);
+  ASSERT_TRUE(result.found);
+  EXPECT_NEAR(result.distance, Distance(Point{0, 0}, Point{50, 50}), 1e-12);
+  std::vector<ObjectId> ids;
+  for (const DataObject& obj : result.objects) ids.push_back(obj.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ObjectId>{2, 3, 4}));
+}
+
+TEST(BruteForceNwcTest, PicksNearPairWhenNIsTwo) {
+  const std::vector<DataObject> objects = {
+      DataObject{0, Point{10, 10}}, DataObject{1, Point{11, 10}},
+      DataObject{2, Point{50, 50}}, DataObject{3, Point{51, 50}},
+      DataObject{4, Point{50, 51}},
+  };
+  const NwcQuery query{Point{0, 0}, 4, 4, 2};
+  const NwcResult result = BruteForceNwc(objects, query, DistanceMeasure::kMin);
+  ASSERT_TRUE(result.found);
+  std::vector<ObjectId> ids;
+  for (const DataObject& obj : result.objects) ids.push_back(obj.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ObjectId>{0, 1}));
+}
+
+TEST(BruteForceNwcTest, WindowBoundaryIsInclusive) {
+  // Objects exactly l apart fit a window of length l.
+  const std::vector<DataObject> objects = {DataObject{0, Point{10, 10}},
+                                           DataObject{1, Point{14, 10}}};
+  NwcQuery query{Point{0, 0}, 4, 4, 2};
+  EXPECT_TRUE(BruteForceNwc(objects, query, DistanceMeasure::kMax).found);
+  query.length = 3.999;
+  EXPECT_FALSE(BruteForceNwc(objects, query, DistanceMeasure::kMax).found);
+}
+
+TEST(BruteForceNwcTest, ResultConsistencyCheckerAcceptsOwnResults) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<DataObject> objects;
+    for (ObjectId i = 0; i < 60; ++i) {
+      objects.push_back(DataObject{i, Point{rng.NextDouble(0, 50), rng.NextDouble(0, 50)}});
+    }
+    const NwcQuery query{Point{rng.NextDouble(0, 50), rng.NextDouble(0, 50)},
+                         rng.NextDouble(3, 10), rng.NextDouble(3, 10),
+                         1 + static_cast<size_t>(rng.NextUint64(4))};
+    const NwcResult result = BruteForceNwc(objects, query, DistanceMeasure::kAvg);
+    EXPECT_TRUE(
+        CheckNwcResultConsistency(result, objects, query, DistanceMeasure::kAvg).ok());
+  }
+}
+
+TEST(BruteForceNwcTest, ConsistencyCheckerCatchesBadDistance) {
+  const std::vector<DataObject> objects = {DataObject{0, Point{1, 1}},
+                                           DataObject{1, Point{2, 2}}};
+  const NwcQuery query{Point{0, 0}, 5, 5, 2};
+  NwcResult result = BruteForceNwc(objects, query, DistanceMeasure::kMax);
+  ASSERT_TRUE(result.found);
+  result.distance += 1.0;
+  EXPECT_FALSE(
+      CheckNwcResultConsistency(result, objects, query, DistanceMeasure::kMax).ok());
+}
+
+TEST(BruteForceNwcTest, ConsistencyCheckerCatchesForeignObject) {
+  const std::vector<DataObject> objects = {DataObject{0, Point{1, 1}},
+                                           DataObject{1, Point{2, 2}}};
+  const NwcQuery query{Point{0, 0}, 5, 5, 2};
+  NwcResult result = BruteForceNwc(objects, query, DistanceMeasure::kMax);
+  ASSERT_TRUE(result.found);
+  result.objects[0] = DataObject{99, Point{3, 3}};
+  EXPECT_FALSE(
+      CheckNwcResultConsistency(result, objects, query, DistanceMeasure::kMax).ok());
+}
+
+TEST(BruteForceKnwcTest, DisjointClustersWithZeroOverlap) {
+  // Three clusters of 2 at increasing distance; k=3, m=0, n=2 must return
+  // the three clusters in order.
+  const std::vector<DataObject> objects = {
+      DataObject{0, Point{10, 0}}, DataObject{1, Point{11, 0}},
+      DataObject{2, Point{20, 0}}, DataObject{3, Point{21, 0}},
+      DataObject{4, Point{30, 0}}, DataObject{5, Point{31, 0}},
+  };
+  const KnwcQuery query{NwcQuery{Point{0, 0}, 2, 2, 2}, 3, 0};
+  const KnwcResult result = BruteForceKnwc(objects, query, DistanceMeasure::kMin);
+  ASSERT_EQ(result.groups.size(), 3u);
+  EXPECT_NEAR(result.groups[0].distance, 10, 1e-12);
+  EXPECT_NEAR(result.groups[1].distance, 20, 1e-12);
+  EXPECT_NEAR(result.groups[2].distance, 30, 1e-12);
+}
+
+TEST(BruteForceKnwcTest, OverlapBudgetLimitsGroups) {
+  // Three collinear objects spaced so that the windows {a,b} and {b,c}
+  // exist but {a,c} does not. With m=0 only the nearest group fits; with
+  // m=1 the second group sharing b becomes admissible.
+  const std::vector<DataObject> objects = {
+      DataObject{0, Point{10.0, 0}}, DataObject{1, Point{10.4, 0}},
+      DataObject{2, Point{10.8, 0}},
+  };
+  KnwcQuery query{NwcQuery{Point{0, 0}, 0.5, 0.5, 2}, 3, 0};
+  EXPECT_EQ(BruteForceKnwc(objects, query, DistanceMeasure::kMin).groups.size(), 1u);
+  query.m = 1;
+  EXPECT_EQ(BruteForceKnwc(objects, query, DistanceMeasure::kMin).groups.size(), 2u);
+}
+
+TEST(BruteForceKnwcTest, ResultsPassConsistencyChecker) {
+  Rng rng(72);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<DataObject> objects;
+    for (ObjectId i = 0; i < 50; ++i) {
+      objects.push_back(DataObject{i, Point{rng.NextDouble(0, 40), rng.NextDouble(0, 40)}});
+    }
+    const KnwcQuery query{NwcQuery{Point{rng.NextDouble(0, 40), rng.NextDouble(0, 40)},
+                                   rng.NextDouble(3, 10), rng.NextDouble(3, 10),
+                                   2 + static_cast<size_t>(rng.NextUint64(3))},
+                          1 + static_cast<size_t>(rng.NextUint64(4)),
+                          static_cast<size_t>(rng.NextUint64(2))};
+    const KnwcResult result = BruteForceKnwc(objects, query, DistanceMeasure::kNearestWindow);
+    EXPECT_TRUE(CheckKnwcResultConsistency(result, objects, query,
+                                           DistanceMeasure::kNearestWindow)
+                    .ok());
+  }
+}
+
+TEST(BruteForceKnwcTest, FirstGroupMatchesNwcOptimum) {
+  Rng rng(73);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<DataObject> objects;
+    for (ObjectId i = 0; i < 60; ++i) {
+      objects.push_back(DataObject{i, Point{rng.NextDouble(0, 40), rng.NextDouble(0, 40)}});
+    }
+    const NwcQuery base{Point{rng.NextDouble(0, 40), rng.NextDouble(0, 40)},
+                        rng.NextDouble(4, 12), rng.NextDouble(4, 12),
+                        2 + static_cast<size_t>(rng.NextUint64(3))};
+    const NwcResult single = BruteForceNwc(objects, base, DistanceMeasure::kNearestWindow);
+    const KnwcResult multi =
+        BruteForceKnwc(objects, KnwcQuery{base, 3, 1}, DistanceMeasure::kNearestWindow);
+    ASSERT_EQ(single.found, !multi.groups.empty());
+    if (single.found) {
+      EXPECT_NEAR(multi.groups[0].distance, single.distance, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nwc

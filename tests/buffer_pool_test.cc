@@ -1,0 +1,80 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace nwc {
+namespace {
+
+TEST(BufferPoolTest, FirstAccessMisses) {
+  BufferPool pool(4);
+  EXPECT_FALSE(pool.Access(1));
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(BufferPoolTest, RepeatAccessHits) {
+  BufferPool pool(4);
+  pool.Access(1);
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(2);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Access(1);  // 1 is now more recent than 2
+  pool.Access(3);  // evicts 2
+  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_FALSE(pool.Contains(2));
+  EXPECT_TRUE(pool.Contains(3));
+}
+
+TEST(BufferPoolTest, ZeroCapacityAlwaysMisses) {
+  BufferPool pool(0);
+  EXPECT_FALSE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(1));
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(BufferPoolTest, SizeNeverExceedsCapacity) {
+  BufferPool pool(3);
+  for (PageId p = 0; p < 100; ++p) pool.Access(p);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(BufferPoolTest, HitRatio) {
+  BufferPool pool(2);
+  EXPECT_EQ(pool.HitRatio(), 0.0);
+  pool.Access(1);
+  pool.Access(1);
+  pool.Access(1);
+  pool.Access(1);
+  EXPECT_DOUBLE_EQ(pool.HitRatio(), 0.75);
+}
+
+TEST(BufferPoolTest, ClearResets) {
+  BufferPool pool(2);
+  pool.Access(1);
+  pool.Access(1);
+  pool.Clear();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_FALSE(pool.Contains(1));
+}
+
+TEST(BufferPoolTest, ContainsDoesNotTouchLru) {
+  BufferPool pool(2);
+  pool.Access(1);
+  pool.Access(2);
+  // Contains(1) must not refresh 1; the next insert should still evict 1.
+  EXPECT_TRUE(pool.Contains(1));
+  pool.Access(3);
+  EXPECT_FALSE(pool.Contains(1));
+  EXPECT_TRUE(pool.Contains(2));
+}
+
+}  // namespace
+}  // namespace nwc

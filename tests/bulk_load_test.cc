@@ -1,0 +1,119 @@
+#include "rtree/bulk_load.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/queries.h"
+#include "rtree/validate.h"
+
+namespace nwc {
+namespace {
+
+std::vector<DataObject> RandomObjects(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DataObject> objects;
+  objects.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(DataObject{static_cast<ObjectId>(i),
+                                 Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)}});
+  }
+  return objects;
+}
+
+TEST(BulkLoadTest, EmptyInput) {
+  const RStarTree tree = BulkLoadStr({}, RTreeOptions{});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(ValidateTree(tree).ok()) << ValidateTree(tree).ToString();
+}
+
+TEST(BulkLoadTest, SingleObject) {
+  const RStarTree tree = BulkLoadStr({DataObject{7, Point{1, 2}}}, RTreeOptions{});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(ValidateTree(tree).ok()) << ValidateTree(tree).ToString();
+}
+
+class BulkLoadSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BulkLoadSizeTest, ProducesValidTreeWithAllObjects) {
+  const size_t count = GetParam();
+  const std::vector<DataObject> objects = RandomObjects(count, count);
+  RTreeOptions options;
+  options.max_entries = 20;
+  options.min_entries = 8;
+  const RStarTree tree = BulkLoadStr(objects, options);
+  EXPECT_EQ(tree.size(), count);
+  ASSERT_TRUE(ValidateTree(tree).ok()) << ValidateTree(tree).ToString();
+
+  std::vector<DataObject> all = WindowQuery(tree, tree.bounds(), nullptr);
+  ASSERT_EQ(all.size(), count);
+  std::sort(all.begin(), all.end(),
+            [](const DataObject& a, const DataObject& b) { return a.id < b.id; });
+  for (size_t i = 0; i < count; ++i) EXPECT_EQ(all[i], objects[i]);
+}
+
+// Sizes chosen around packing boundaries: below one node, exact multiples,
+// one-over (the underfull-tail case), and multi-level trees.
+INSTANTIATE_TEST_SUITE_P(PackingBoundaries, BulkLoadSizeTest,
+                         ::testing::Values(2, 13, 14, 15, 28, 29, 196, 197, 1000, 2744, 2745,
+                                           10000));
+
+TEST(BulkLoadTest, FillFactorControlsNodeCount) {
+  const std::vector<DataObject> objects = RandomObjects(5000, 77);
+  RTreeOptions options;
+  BulkLoadOptions tight;
+  tight.fill_factor = 1.0;
+  BulkLoadOptions loose;
+  loose.fill_factor = 0.5;
+  const RStarTree packed = BulkLoadStr(objects, options, tight);
+  const RStarTree slack = BulkLoadStr(objects, options, loose);
+  EXPECT_LT(packed.node_count(), slack.node_count());
+  EXPECT_TRUE(ValidateTree(packed).ok());
+  EXPECT_TRUE(ValidateTree(slack).ok());
+}
+
+TEST(BulkLoadTest, LoadedTreeSupportsFurtherInserts) {
+  const std::vector<DataObject> objects = RandomObjects(2000, 78);
+  RTreeOptions options;
+  options.max_entries = 16;
+  options.min_entries = 6;
+  RStarTree tree = BulkLoadStr(objects, options);
+  Rng rng(79);
+  for (ObjectId i = 0; i < 500; ++i) {
+    tree.Insert(DataObject{static_cast<ObjectId>(10000 + i),
+                           Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)}});
+  }
+  EXPECT_EQ(tree.size(), 2500u);
+  EXPECT_TRUE(ValidateTree(tree).ok()) << ValidateTree(tree).ToString();
+}
+
+TEST(BulkLoadTest, SameResultsAsIncrementalTree) {
+  const std::vector<DataObject> objects = RandomObjects(1500, 80);
+  RTreeOptions options;
+  options.max_entries = 12;
+  options.min_entries = 4;
+  const RStarTree bulk = BulkLoadStr(objects, options);
+  RStarTree incremental(options);
+  for (const DataObject& obj : objects) incremental.Insert(obj);
+
+  Rng rng(81);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Rect window = Rect::FromCorners(
+        Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)},
+        Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)});
+    auto ids = [](std::vector<DataObject> v) {
+      std::vector<ObjectId> out;
+      for (const DataObject& o : v) out.push_back(o.id);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(ids(WindowQuery(bulk, window, nullptr)),
+              ids(WindowQuery(incremental, window, nullptr)));
+  }
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,117 @@
+// End-to-end test of the nwc_tool CLI binary: generate -> build -> stats
+// -> query -> knwc, plus the error paths. The binary path is injected by
+// CMake as NWC_TOOL_PATH.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef NWC_TOOL_PATH
+#error "NWC_TOOL_PATH must be defined by the build"
+#endif
+
+namespace nwc {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunTool(const std::string& args) {
+  const std::string command = std::string(NWC_TOOL_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) return result;
+  char buffer[512];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class CliPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    csv_path_ = new std::string(TempPath("cli_test.csv"));
+    tree_path_ = new std::string(TempPath("cli_test.nwctree"));
+    const CommandResult gen =
+        RunTool("generate --kind=ca --count=5000 --seed=3 --out=" + *csv_path_);
+    ASSERT_EQ(gen.exit_code, 0) << gen.output;
+    const CommandResult build =
+        RunTool("build --data=" + *csv_path_ + " --out=" + *tree_path_ + " --str");
+    ASSERT_EQ(build.exit_code, 0) << build.output;
+  }
+  static void TearDownTestSuite() {
+    delete csv_path_;
+    delete tree_path_;
+    csv_path_ = nullptr;
+    tree_path_ = nullptr;
+  }
+  static std::string* csv_path_;
+  static std::string* tree_path_;
+};
+
+std::string* CliPipelineTest::csv_path_ = nullptr;
+std::string* CliPipelineTest::tree_path_ = nullptr;
+
+TEST_F(CliPipelineTest, StatsReportsValidTree) {
+  const CommandResult result = RunTool("stats --index=" + *tree_path_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("objects:  5000"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("valid:    yes"), std::string::npos) << result.output;
+}
+
+TEST_F(CliPipelineTest, QueryFindsGroup) {
+  const CommandResult result =
+      RunTool("query --index=" + *tree_path_ + " --data=" + *csv_path_ +
+          " --q=5000,5000 --l=400 --w=400 --n=5 --scheme=star");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("distance"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("node reads"), std::string::npos) << result.output;
+}
+
+TEST_F(CliPipelineTest, SchemesAgreeOnDistance) {
+  const std::string base = " --index=" + *tree_path_ + " --data=" + *csv_path_ +
+                           " --q=3000,7000 --l=300 --w=300 --n=4 --scheme=";
+  const CommandResult plain = RunTool("query" + base + "plain");
+  const CommandResult star = RunTool("query" + base + "star");
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+  ASSERT_EQ(star.exit_code, 0) << star.output;
+  // First line carries "distance <value> ..."; they must match exactly.
+  EXPECT_EQ(plain.output.substr(0, plain.output.find(',')),
+            star.output.substr(0, star.output.find(',')));
+}
+
+TEST_F(CliPipelineTest, KnwcReturnsOrderedGroups) {
+  const CommandResult result =
+      RunTool("knwc --index=" + *tree_path_ + " --q=5000,5000 --l=400 --w=400 --n=4 --k=3 "
+          "--m=1 --scheme=plus");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("group 1:"), std::string::npos) << result.output;
+}
+
+TEST_F(CliPipelineTest, ErrorPaths) {
+  EXPECT_NE(RunTool("").exit_code, 0);
+  EXPECT_NE(RunTool("frobnicate").exit_code, 0);
+  EXPECT_NE(RunTool("generate --kind=nope --out=/tmp/x.csv").exit_code, 0);
+  EXPECT_NE(RunTool("build --data=/does/not/exist.csv --out=/tmp/x.nwctree").exit_code, 0);
+  EXPECT_NE(RunTool("stats --index=/does/not/exist.nwctree").exit_code, 0);
+  EXPECT_NE(RunTool("query --index=" + *tree_path_ + " --q=bad --l=4 --w=4 --n=2").exit_code, 0);
+  // DEP scheme without --data must fail with a clear message.
+  const CommandResult dep =
+      RunTool("query --index=" + *tree_path_ + " --q=1,1 --l=4 --w=4 --n=2 --scheme=dep");
+  EXPECT_NE(dep.exit_code, 0);
+  EXPECT_NE(dep.output.find("--data"), std::string::npos) << dep.output;
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,154 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace nwc {
+namespace {
+
+CostModelParams DefaultParams() {
+  CostModelParams params;
+  params.lambda = 250000.0 / (10000.0 * 10000.0);  // the Gaussian dataset's mean density
+  params.l = 32.0;
+  params.w = 32.0;
+  params.n = 4;
+  params.num_objects = 250000;
+  return params;
+}
+
+TEST(NwcCostModelTest, WindowNotQualifiedProbIsPoissonCdf) {
+  CostModelParams params = DefaultParams();
+  params.lambda = 0.01;
+  params.l = 10.0;
+  params.w = 10.0;
+  params.n = 2;
+  const NwcCostModel model(params);
+  // mu = 1; P{X <= 1} = e^-1 * (1 + 1) = 2/e.
+  EXPECT_NEAR(model.WindowNotQualifiedProb(), 2.0 / std::exp(1.0), 1e-12);
+}
+
+TEST(NwcCostModelTest, ProbabilityBounds) {
+  const NwcCostModel model(DefaultParams());
+  EXPECT_GE(model.WindowNotQualifiedProb(), 0.0);
+  EXPECT_LE(model.WindowNotQualifiedProb(), 1.0);
+  for (size_t i = 0; i <= 10; ++i) {
+    EXPECT_GE(model.NoQualifiedWindowAtLevel(i), 0.0);
+    EXPECT_LE(model.NoQualifiedWindowAtLevel(i), 1.0);
+    EXPECT_GE(model.BestWindowAtLevelProb(i), 0.0);
+    EXPECT_LE(model.BestWindowAtLevelProb(i), 1.0);
+  }
+}
+
+TEST(NwcCostModelTest, LevelRectangleCountFormula) {
+  // Eq. 9: N(i) = (2i)^2 - (2(i-1))^2 = 8i - 4.
+  EXPECT_EQ(NwcCostModel::LevelRectangleCount(1), 4.0);
+  EXPECT_EQ(NwcCostModel::LevelRectangleCount(2), 12.0);
+  EXPECT_EQ(NwcCostModel::LevelRectangleCount(5), 36.0);
+  EXPECT_EQ(NwcCostModel::LevelRectangleCount(0), 0.0);
+}
+
+TEST(NwcCostModelTest, ObjectsRetrievedFormula) {
+  const NwcCostModel model(DefaultParams());
+  const double mu =
+      DefaultParams().lambda * DefaultParams().l * DefaultParams().w;
+  EXPECT_NEAR(model.ObjectsRetrieved(3), 2.0 * 9.0 * mu, 1e-9);
+}
+
+TEST(NwcCostModelTest, LevelProbabilitiesSumToAtMostOne) {
+  const NwcCostModel model(DefaultParams());
+  double total = 0.0;
+  for (size_t i = 1; i <= 500; ++i) total += model.BestWindowAtLevelProb(i);
+  EXPECT_LE(total, 1.0 + 1e-9);
+  EXPECT_GT(total, 0.5);  // the search almost surely terminates
+}
+
+TEST(NwcCostModelTest, QZeroIsOne) {
+  const NwcCostModel model(DefaultParams());
+  EXPECT_EQ(model.NoQualifiedWindowAtLevel(0), 1.0);
+}
+
+TEST(NwcCostModelTest, DenserDataTerminatesAtNearerLevels) {
+  CostModelParams sparse = DefaultParams();
+  CostModelParams dense = DefaultParams();
+  sparse.lambda /= 8.0;  // mu well below n: windows rarely qualify
+  // Denser data -> qualified windows near q -> the best window is found at
+  // level 1 with higher probability. (Total expected I/O is not monotone
+  // in lambda: retrieving O(i) objects also costs more in dense data.)
+  EXPECT_GT(NwcCostModel(dense).BestWindowAtLevelProb(1),
+            NwcCostModel(sparse).BestWindowAtLevelProb(1));
+}
+
+TEST(NwcCostModelTest, LargerNRaisesExpectedCost) {
+  CostModelParams small = DefaultParams();
+  CostModelParams large = DefaultParams();
+  small.n = 2;
+  large.n = 16;
+  EXPECT_LT(NwcCostModel(small).ExpectedIoCost(), NwcCostModel(large).ExpectedIoCost());
+}
+
+TEST(NwcCostModelTest, WindowQueryCostGrowsWithWindow) {
+  CostModelParams small = DefaultParams();
+  CostModelParams large = DefaultParams();
+  large.l = 256;
+  large.w = 256;
+  EXPECT_LT(NwcCostModel(small).WindowQueryCost(), NwcCostModel(large).WindowQueryCost());
+}
+
+TEST(NwcCostModelTest, KnnCostMonotoneInK) {
+  const NwcCostModel model(DefaultParams());
+  EXPECT_LE(model.KnnQueryCost(10), model.KnnQueryCost(100));
+  EXPECT_LE(model.KnnQueryCost(100), model.KnnQueryCost(10000));
+  EXPECT_GE(model.KnnQueryCost(0), 1.0);
+}
+
+TEST(NwcCostModelTest, ExpectedCostFiniteAndPositive) {
+  const double cost = NwcCostModel(DefaultParams()).ExpectedIoCost();
+  EXPECT_TRUE(std::isfinite(cost));
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST(KnwcCostModelTest, ProbabilitiesWellFormed) {
+  const KnwcCostModel model(DefaultParams(), /*k=*/4, /*pr_mk=*/0.8);
+  EXPECT_GE(model.NotInsertableProb(), 0.0);
+  EXPECT_LE(model.NotInsertableProb(), 1.0);
+  for (size_t i = 0; i <= 6; ++i) {
+    double sum = 0.0;
+    for (size_t a = 0; a <= 50; ++a) sum += model.GroupsInsertedProb(i, a);
+    EXPECT_LE(sum, 1.0 + 1e-6);
+    for (size_t b = 1; b <= 4; ++b) {
+      const double s = model.AtLeastGroupsAtLevelProb(i, b);
+      EXPECT_GE(s, -1e-12);
+      EXPECT_LE(s, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(KnwcCostModelTest, AtLeastProbMonotoneInB) {
+  const KnwcCostModel model(DefaultParams(), 4, 0.8);
+  for (size_t i = 1; i <= 5; ++i) {
+    for (size_t b = 1; b < 4; ++b) {
+      EXPECT_GE(model.AtLeastGroupsAtLevelProb(i, b),
+                model.AtLeastGroupsAtLevelProb(i, b + 1) - 1e-12);
+    }
+  }
+}
+
+TEST(KnwcCostModelTest, LargerKCostsMore) {
+  const KnwcCostModel k2(DefaultParams(), 2, 0.8);
+  const KnwcCostModel k8(DefaultParams(), 8, 0.8);
+  EXPECT_LE(k2.ExpectedIoCost(), k8.ExpectedIoCost());
+}
+
+TEST(KnwcCostModelTest, KEqualOneBracketsNwcModel) {
+  // With k = 1 and Pr(m,k) = 1, the kNWC model should be in the same
+  // ballpark as the NWC model (the formulas differ slightly in how the
+  // terminating level is weighted).
+  const double nwc = NwcCostModel(DefaultParams()).ExpectedIoCost();
+  const double knwc = KnwcCostModel(DefaultParams(), 1, 1.0).ExpectedIoCost();
+  EXPECT_GT(knwc, nwc * 0.2);
+  EXPECT_LT(knwc, nwc * 5.0);
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,131 @@
+// Differential fuzzing (bounded for CI): thousands of randomized
+// dataset/query instances comparing every engine scheme against the
+// brute-force references, across measures, for both NWC and kNWC. These
+// are the loops that originally caught the reflected-rectangle rounding
+// bug and the kNWC duplicate-eviction bug; they stay in the suite as a
+// regression net.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/knwc_engine.h"
+#include "core/nwc_engine.h"
+#include "grid/density_grid.h"
+#include "rtree/bulk_load.h"
+#include "rtree/iwp_index.h"
+
+namespace nwc {
+namespace {
+
+struct Instance {
+  std::vector<DataObject> objects;
+  NwcQuery query;
+};
+
+Instance RandomInstance(Rng& rng) {
+  Instance instance;
+  const size_t count = 6 + rng.NextUint64(18);
+  for (size_t i = 0; i < count; ++i) {
+    instance.objects.push_back(DataObject{
+        static_cast<ObjectId>(i), Point{rng.NextDouble(0, 40), rng.NextDouble(0, 40)}});
+  }
+  instance.query.q = Point{rng.NextDouble(-10, 50), rng.NextDouble(-10, 50)};
+  instance.query.length = rng.NextDouble(3, 15);
+  instance.query.width = rng.NextDouble(3, 15);
+  instance.query.n = 2 + rng.NextUint64(3);
+  return instance;
+}
+
+RStarTree SmallTree(const std::vector<DataObject>& objects) {
+  RTreeOptions options;
+  options.max_entries = 4;
+  options.min_entries = 1;
+  return BulkLoadStr(objects, options);
+}
+
+class DifferentialNwcTest : public ::testing::TestWithParam<DistanceMeasure> {};
+
+TEST_P(DifferentialNwcTest, EverySchemeMatchesBruteForce) {
+  const DistanceMeasure measure = GetParam();
+  Rng rng(0xD1FF + static_cast<uint64_t>(measure));
+  for (int trial = 0; trial < 400; ++trial) {
+    const Instance instance = RandomInstance(rng);
+    const NwcResult expected = BruteForceNwc(instance.objects, instance.query, measure);
+
+    const RStarTree tree = SmallTree(instance.objects);
+    const IwpIndex iwp = IwpIndex::Build(tree);
+    const DensityGrid grid(Rect{0, 0, 40, 40}, 5.0, instance.objects);
+    NwcEngine engine(tree, &iwp, &grid);
+    for (const NwcOptions& preset :
+         {NwcOptions::Plain(), NwcOptions::Dep(), NwcOptions::Iwp(), NwcOptions::Star()}) {
+      NwcOptions options = preset;
+      options.measure = measure;
+      const Result<NwcResult> result = engine.Execute(instance.query, options, nullptr);
+      ASSERT_TRUE(result.ok());
+      ASSERT_EQ(result->found, expected.found) << "trial " << trial;
+      if (expected.found) {
+        ASSERT_NEAR(result->distance, expected.distance, 1e-9)
+            << "trial " << trial << " srr=" << options.use_srr << " dip=" << options.use_dip
+            << " dep=" << options.use_dep << " iwp=" << options.use_iwp;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, DifferentialNwcTest,
+                         ::testing::Values(DistanceMeasure::kMin, DistanceMeasure::kMax,
+                                           DistanceMeasure::kAvg,
+                                           DistanceMeasure::kNearestWindow),
+                         [](const ::testing::TestParamInfo<DistanceMeasure>& info) {
+                           return DistanceMeasureName(info.param);
+                         });
+
+TEST(DifferentialKnwcTest, StarMatchesGreedyBruteForceUnderMaxMeasure) {
+  Rng rng(0xD1FF2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Instance instance = RandomInstance(rng);
+    KnwcQuery query{instance.query, 2 + rng.NextUint64(3), instance.query.n - 1};
+
+    const KnwcResult expected =
+        BruteForceKnwc(instance.objects, query, DistanceMeasure::kMax);
+    const RStarTree tree = SmallTree(instance.objects);
+    const IwpIndex iwp = IwpIndex::Build(tree);
+    const DensityGrid grid(Rect{0, 0, 40, 40}, 5.0, instance.objects);
+    KnwcEngine engine(tree, &iwp, &grid);
+    NwcOptions options = NwcOptions::Star();
+    options.measure = DistanceMeasure::kMax;
+    const Result<KnwcResult> result = engine.Execute(query, options, nullptr);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->groups.size(), expected.groups.size()) << "trial " << trial;
+    for (size_t g = 0; g < expected.groups.size(); ++g) {
+      ASSERT_NEAR(result->groups[g].distance, expected.groups[g].distance, 1e-9)
+          << "trial " << trial << " group " << g;
+    }
+  }
+}
+
+TEST(DifferentialKnwcTest, ResultsAlwaysStructurallyValid) {
+  Rng rng(0xD1FF3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Instance instance = RandomInstance(rng);
+    KnwcQuery query{instance.query, 1 + rng.NextUint64(4),
+                    rng.NextUint64(instance.query.n)};
+
+    const RStarTree tree = SmallTree(instance.objects);
+    const IwpIndex iwp = IwpIndex::Build(tree);
+    const DensityGrid grid(Rect{0, 0, 40, 40}, 5.0, instance.objects);
+    KnwcEngine engine(tree, &iwp, &grid);
+    const Result<KnwcResult> result = engine.Execute(query, NwcOptions::Star(), nullptr);
+    ASSERT_TRUE(result.ok());
+    const Status valid = CheckKnwcResultConsistency(*result, instance.objects, query,
+                                                    DistanceMeasure::kNearestWindow);
+    ASSERT_TRUE(valid.ok()) << "trial " << trial << ": " << valid.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace nwc

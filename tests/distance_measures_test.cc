@@ -1,0 +1,127 @@
+#include "core/distance_measures.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nwc {
+namespace {
+
+std::vector<DataObject> Group(std::initializer_list<Point> points) {
+  std::vector<DataObject> group;
+  ObjectId id = 0;
+  for (const Point& p : points) group.push_back(DataObject{id++, p});
+  return group;
+}
+
+TEST(DistanceMeasuresTest, MinMaxAvgOnKnownGroup) {
+  const Point q{0, 0};
+  const auto group = Group({Point{3, 4}, Point{6, 8}, Point{0, 10}});
+  // Distances: 5, 10, 10.
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 100, 100, DistanceMeasure::kMin), 5.0);
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 100, 100, DistanceMeasure::kMax), 10.0);
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 100, 100, DistanceMeasure::kAvg), 25.0 / 3.0);
+}
+
+TEST(DistanceMeasuresTest, SingletonGroupAllMeasuresEqual) {
+  const Point q{1, 1};
+  const auto group = Group({Point{4, 5}});
+  const double d = Distance(q, Point{4, 5});
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 10, 10, DistanceMeasure::kMin), d);
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 10, 10, DistanceMeasure::kMax), d);
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 10, 10, DistanceMeasure::kAvg), d);
+  // A window can slide to touch the point, so the nearest-window distance
+  // is d minus the window diagonal reach, floored at... actually the
+  // window covering region is the point inflated by (l, w), so:
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 10, 10, DistanceMeasure::kNearestWindow), 0.0);
+}
+
+TEST(DistanceMeasuresTest, NearestWindowClosedForm) {
+  const Point q{0, 0};
+  // Two points spanning [10, 12] x [10, 11]; l = 4, w = 2.
+  const auto group = Group({Point{10, 10}, Point{12, 11}});
+  // Coverage rect: [12-4, 10+4] x [11-2, 10+2] = [8, 14] x [9, 12].
+  const Rect coverage = GroupWindowUnion(group, 4, 2);
+  EXPECT_EQ(coverage, (Rect{8, 9, 14, 12}));
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 4, 2, DistanceMeasure::kNearestWindow),
+                   std::hypot(8.0, 9.0));
+}
+
+TEST(DistanceMeasuresTest, NearestWindowZeroWhenWindowCanCoverQ) {
+  const Point q{9, 10};
+  const auto group = Group({Point{10, 10}, Point{12, 11}});
+  EXPECT_DOUBLE_EQ(GroupDistance(q, group, 4, 2, DistanceMeasure::kNearestWindow), 0.0);
+}
+
+TEST(DistanceMeasuresTest, GroupWindowUnionEmptyWhenGroupTooSpread) {
+  const auto group = Group({Point{0, 0}, Point{10, 0}});
+  EXPECT_TRUE(GroupWindowUnion(group, 5, 5).IsEmpty());
+  EXPECT_FALSE(GroupFitsWindow(group, 5, 5));
+  EXPECT_TRUE(GroupFitsWindow(group, 10, 5));  // boundary-inclusive
+}
+
+TEST(DistanceMeasuresTest, MeasureOrdering) {
+  // min <= avg <= max always; nearest-window <= min (a window containing
+  // the group gets at least as close as its closest member).
+  Rng rng(91);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Point q{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const double l = rng.NextDouble(5, 20);
+    const double w = rng.NextDouble(5, 20);
+    const Point anchor{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    std::vector<DataObject> group;
+    for (ObjectId i = 0; i < 5; ++i) {
+      group.push_back(DataObject{
+          i, Point{anchor.x + rng.NextDouble(0, l), anchor.y + rng.NextDouble(0, w)}});
+    }
+    if (!GroupFitsWindow(group, l, w)) continue;
+    const double mn = GroupDistance(q, group, l, w, DistanceMeasure::kMin);
+    const double mx = GroupDistance(q, group, l, w, DistanceMeasure::kMax);
+    const double avg = GroupDistance(q, group, l, w, DistanceMeasure::kAvg);
+    const double nw = GroupDistance(q, group, l, w, DistanceMeasure::kNearestWindow);
+    EXPECT_LE(mn, avg + 1e-12);
+    EXPECT_LE(avg, mx + 1e-12);
+    EXPECT_LE(nw, mn + 1e-12);
+    EXPECT_GE(nw, 0.0);
+  }
+}
+
+TEST(DistanceMeasuresTest, NearestWindowMatchesSampledWindowSweep) {
+  // Cross-check the closed form against a dense sweep of window origins.
+  Rng rng(92);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.NextDouble(0, 50), rng.NextDouble(0, 50)};
+    const double l = rng.NextDouble(4, 10);
+    const double w = rng.NextDouble(4, 10);
+    const Point anchor{rng.NextDouble(0, 80), rng.NextDouble(0, 80)};
+    std::vector<DataObject> group;
+    for (ObjectId i = 0; i < 4; ++i) {
+      group.push_back(DataObject{
+          i, Point{anchor.x + rng.NextDouble(0, l * 0.9), anchor.y + rng.NextDouble(0, w * 0.9)}});
+    }
+    if (!GroupFitsWindow(group, l, w)) continue;
+
+    Rect bbox = Rect::Empty();
+    for (const DataObject& obj : group) bbox.Expand(obj.pos);
+    double sampled_best = std::numeric_limits<double>::infinity();
+    constexpr int kSteps = 60;
+    for (int ix = 0; ix <= kSteps; ++ix) {
+      for (int iy = 0; iy <= kSteps; ++iy) {
+        const double ox = (bbox.max_x - l) +
+                          (bbox.min_x - (bbox.max_x - l)) * ix / kSteps;
+        const double oy = (bbox.max_y - w) +
+                          (bbox.min_y - (bbox.max_y - w)) * iy / kSteps;
+        sampled_best = std::min(sampled_best, MinDist(q, Rect{ox, oy, ox + l, oy + w}));
+      }
+    }
+    const double closed = GroupDistance(q, group, l, w, DistanceMeasure::kNearestWindow);
+    EXPECT_LE(closed, sampled_best + 1e-9);
+    EXPECT_NEAR(closed, sampled_best, 0.5);  // sweep granularity
+  }
+}
+
+}  // namespace
+}  // namespace nwc

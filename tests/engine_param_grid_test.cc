@@ -1,0 +1,168 @@
+// Parameterized sweeps over the experiment grid (dataset regime x n x
+// window), asserting the invariants every figure of the paper relies on:
+// all schemes agree on the result, and the optimized schemes never read
+// more nodes than plain NWC by more than the bookkeeping epsilon. Also
+// covers engine correctness after delete-churn (the engines must answer
+// over whatever the tree currently holds).
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/nwc_engine.h"
+#include "datasets/generators.h"
+#include "grid/density_grid.h"
+#include "rtree/bulk_load.h"
+#include "rtree/iwp_index.h"
+
+namespace nwc {
+namespace {
+
+enum class Regime { kUniform, kClustered, kExtreme };
+
+const char* RegimeName(Regime regime) {
+  switch (regime) {
+    case Regime::kUniform:
+      return "uniform";
+    case Regime::kClustered:
+      return "clustered";
+    case Regime::kExtreme:
+      return "extreme";
+  }
+  return "unknown";
+}
+
+Dataset MakeRegime(Regime regime, size_t count) {
+  switch (regime) {
+    case Regime::kUniform:
+      return MakeUniform(count, 9001);
+    case Regime::kClustered: {
+      ClusteredSpec spec;
+      spec.cardinality = count;
+      spec.background_fraction = 0.3;
+      Rng rng(9002);
+      for (int i = 0; i < 8; ++i) {
+        spec.clusters.push_back(ClusterSpec{
+            Point{rng.NextDouble(1000, 9000), rng.NextDouble(1000, 9000)}, 200, 200, 1.0});
+      }
+      return MakeClustered(spec, 9002, "clustered");
+    }
+    case Regime::kExtreme: {
+      ClusteredSpec spec;
+      spec.cardinality = count;
+      spec.background_fraction = 0.05;
+      Rng rng(9003);
+      for (int i = 0; i < 40; ++i) {
+        spec.clusters.push_back(ClusterSpec{
+            Point{rng.NextDouble(500, 9500), rng.NextDouble(500, 9500)}, 25, 25, 1.0});
+      }
+      return MakeClustered(spec, 9003, "extreme");
+    }
+  }
+  return Dataset{};
+}
+
+using GridParam = std::tuple<Regime, size_t /*n*/, double /*window*/>;
+
+class EngineParamGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(EngineParamGridTest, SchemesAgreeAndOptimizationsSaveIo) {
+  const auto [regime, n, window] = GetParam();
+  const Dataset dataset = MakeRegime(regime, 4000);
+  RTreeOptions options;
+  options.max_entries = 16;
+  options.min_entries = 6;
+  const RStarTree tree = BulkLoadStr(dataset.objects, options);
+  const IwpIndex iwp = IwpIndex::Build(tree);
+  const DensityGrid grid(dataset.space, 100.0, dataset.objects);
+  NwcEngine engine(tree, &iwp, &grid);
+
+  Rng rng(static_cast<uint64_t>(n) * 7919 + static_cast<uint64_t>(window));
+  for (int trial = 0; trial < 3; ++trial) {
+    const NwcQuery query{Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)}, window,
+                         window, n};
+    double reference = -1.0;
+    bool found = false;
+    uint64_t plain_io = 0;
+    for (const NwcOptions& preset :
+         {NwcOptions::Plain(), NwcOptions::Srr(), NwcOptions::Dip(), NwcOptions::Dep(),
+          NwcOptions::Iwp(), NwcOptions::Plus(), NwcOptions::Star()}) {
+      IoCounter io;
+      const Result<NwcResult> result = engine.Execute(query, preset, &io);
+      ASSERT_TRUE(result.ok());
+      if (reference < 0.0) {
+        found = result->found;
+        reference = found ? result->distance : 0.0;
+        plain_io = io.query_total();
+      } else {
+        ASSERT_EQ(result->found, found) << RegimeName(regime);
+        if (found) {
+          ASSERT_NEAR(result->distance, reference, 1e-9) << RegimeName(regime);
+        }
+        // Optimizations may add grid checks but never more node reads than
+        // plain NWC (the metric the whole paper optimizes).
+        EXPECT_LE(io.query_total(), plain_io + 2) << RegimeName(regime);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineParamGridTest,
+    ::testing::Combine(::testing::Values(Regime::kUniform, Regime::kClustered,
+                                         Regime::kExtreme),
+                       ::testing::Values(size_t{2}, size_t{8}, size_t{32}),
+                       ::testing::Values(100.0, 400.0)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return std::string(RegimeName(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+TEST(EngineAfterChurnTest, CorrectAfterDeletes) {
+  // Insert, delete a third, rebuild the side structures, and the engines
+  // must agree with brute force over the survivors.
+  Rng rng(9100);
+  std::vector<DataObject> objects;
+  for (ObjectId i = 0; i < 240; ++i) {
+    objects.push_back(DataObject{i, Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}});
+  }
+  RTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  RStarTree tree(options);
+  for (const DataObject& obj : objects) tree.Insert(obj);
+
+  std::vector<DataObject> survivors;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(tree.Delete(objects[i]).ok());
+    } else {
+      survivors.push_back(objects[i]);
+    }
+  }
+  const IwpIndex iwp = IwpIndex::Build(tree);
+  const DensityGrid grid(Rect{0, 0, 100, 100}, 10.0, survivors);
+  NwcEngine engine(tree, &iwp, &grid);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const NwcQuery query{Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)},
+                         rng.NextDouble(5, 20), rng.NextDouble(5, 20),
+                         2 + static_cast<size_t>(rng.NextUint64(4))};
+    const NwcResult expected =
+        BruteForceNwc(survivors, query, DistanceMeasure::kNearestWindow);
+    const Result<NwcResult> result = engine.Execute(query, NwcOptions::Star(), nullptr);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->found, expected.found);
+    if (expected.found) {
+      EXPECT_NEAR(result->distance, expected.distance, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,104 @@
+#include "datasets/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace nwc {
+namespace {
+
+TEST(GeneratorsTest, UniformCardinalityAndBounds) {
+  const Dataset d = MakeUniform(10000, 1);
+  EXPECT_EQ(d.size(), 10000u);
+  EXPECT_EQ(d.space, NormalizedSpace());
+  EXPECT_TRUE(d.space.Contains(d.Bounds()));
+  // Object ids are dense 0..N-1.
+  EXPECT_EQ(d.objects.front().id, 0u);
+  EXPECT_EQ(d.objects.back().id, 9999u);
+}
+
+TEST(GeneratorsTest, UniformIsDeterministicPerSeed) {
+  const Dataset a = MakeUniform(100, 7);
+  const Dataset b = MakeUniform(100, 7);
+  const Dataset c = MakeUniform(100, 8);
+  EXPECT_EQ(a.objects, b.objects);
+  EXPECT_NE(a.objects, c.objects);
+}
+
+TEST(GeneratorsTest, GaussianMatchesPaperParameters) {
+  const Dataset d = MakeGaussian(250000, 2);
+  EXPECT_EQ(d.size(), 250000u);
+  double sx = 0.0;
+  double sy = 0.0;
+  for (const DataObject& obj : d.objects) {
+    sx += obj.pos.x;
+    sy += obj.pos.y;
+    ASSERT_TRUE(d.space.Contains(obj.pos));
+  }
+  // Mean 5000 (the in-space re-draw keeps it close), stddev 2000.
+  EXPECT_NEAR(sx / d.size(), 5000.0, 50.0);
+  EXPECT_NEAR(sy / d.size(), 5000.0, 50.0);
+  double var = 0.0;
+  for (const DataObject& obj : d.objects) {
+    var += (obj.pos.x - 5000.0) * (obj.pos.x - 5000.0);
+  }
+  EXPECT_NEAR(std::sqrt(var / d.size()), 2000.0, 100.0);
+}
+
+TEST(GeneratorsTest, GaussianStddevControlsSpread) {
+  const DatasetStats wide = ComputeStats(MakeGaussian(50000, 3, 5000, 2000));
+  const DatasetStats tight = ComputeStats(MakeGaussian(50000, 3, 5000, 1000));
+  EXPECT_LT(tight.occupied_cell_fraction, wide.occupied_cell_fraction);
+}
+
+TEST(GeneratorsTest, CaLikeMatchesPaperCardinality) {
+  const Dataset d = MakeCaLike(4);
+  EXPECT_EQ(d.size(), 62556u);
+  EXPECT_EQ(d.name, "CA-like");
+  for (const DataObject& obj : d.objects) ASSERT_TRUE(d.space.Contains(obj.pos));
+}
+
+TEST(GeneratorsTest, NyLikeMatchesPaperCardinality) {
+  const Dataset d = MakeNyLike(5);
+  EXPECT_EQ(d.size(), 255259u);
+  EXPECT_EQ(d.name, "NY-like");
+}
+
+TEST(GeneratorsTest, ClusteringOrdering) {
+  // The evaluation depends on NY being far more clustered than CA, and CA
+  // more clustered than uniform: NY's mass sits in a small fraction of
+  // space at much higher local density.
+  const DatasetStats uniform = ComputeStats(MakeUniform(60000, 6));
+  const DatasetStats ca = ComputeStats(MakeCaLike(6));
+  const DatasetStats ny = ComputeStats(MakeNyLike(6));
+  EXPECT_GT(ca.top1pct_mass, uniform.top1pct_mass * 2);
+  EXPECT_LT(ca.occupied_cell_fraction, uniform.occupied_cell_fraction * 0.95);
+  EXPECT_LT(ny.occupied_cell_fraction, ca.occupied_cell_fraction * 0.8);
+  EXPECT_GT(ny.mean_occupied_cell_count, ca.mean_occupied_cell_count * 2);
+}
+
+TEST(GeneratorsTest, ClusteredGeneratorRespectsBackgroundFraction) {
+  ClusteredSpec spec;
+  spec.cardinality = 20000;
+  spec.background_fraction = 1.0;  // pure background == uniform
+  spec.clusters.push_back(ClusterSpec{Point{5000, 5000}, 10.0, 10.0, 1.0});
+  const Dataset d = MakeClustered(spec, 7, "test");
+  const DatasetStats stats = ComputeStats(d);
+  // Nearly all 100x100 cells occupied for 20k uniform points.
+  EXPECT_GT(stats.occupied_cell_fraction, 0.8);
+}
+
+TEST(GeneratorsTest, ClusterWeightsRespected) {
+  ClusteredSpec spec;
+  spec.cardinality = 30000;
+  spec.background_fraction = 0.0;
+  spec.clusters.push_back(ClusterSpec{Point{2000, 2000}, 50.0, 50.0, 9.0});
+  spec.clusters.push_back(ClusterSpec{Point{8000, 8000}, 50.0, 50.0, 1.0});
+  const Dataset d = MakeClustered(spec, 8, "weighted");
+  size_t near_heavy = 0;
+  for (const DataObject& obj : d.objects) {
+    if (Distance(obj.pos, Point{2000, 2000}) < 1000) ++near_heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(near_heavy) / d.size(), 0.9, 0.02);
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,104 @@
+#include "common/io_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace nwc {
+namespace {
+
+TEST(IoCounterTest, StartsAtZero) {
+  const IoCounter io;
+  EXPECT_EQ(io.total(), 0u);
+  EXPECT_EQ(io.query_total(), 0u);
+  EXPECT_TRUE(io.trace().empty());
+}
+
+TEST(IoCounterTest, PhasesAccumulateSeparately) {
+  IoCounter io;
+  io.OnNodeAccess(IoPhase::kTraversal);
+  io.OnNodeAccess(IoPhase::kTraversal);
+  io.OnNodeAccess(IoPhase::kWindowQuery);
+  io.OnNodeAccess(IoPhase::kMaintenance);
+  EXPECT_EQ(io.traversal_reads(), 2u);
+  EXPECT_EQ(io.window_query_reads(), 1u);
+  EXPECT_EQ(io.maintenance_reads(), 1u);
+  EXPECT_EQ(io.total(), 4u);
+  // The paper's metric excludes maintenance.
+  EXPECT_EQ(io.query_total(), 3u);
+}
+
+TEST(IoCounterTest, ResetClearsEverything) {
+  IoCounter io;
+  io.EnableTrace();
+  io.OnNodeAccess(IoPhase::kTraversal, 7);
+  io.Reset();
+  EXPECT_EQ(io.total(), 0u);
+  EXPECT_TRUE(io.trace().empty());
+  // Tracing stays enabled across Reset.
+  io.OnNodeAccess(IoPhase::kWindowQuery, 9);
+  ASSERT_EQ(io.trace().size(), 1u);
+  EXPECT_EQ(io.trace()[0], 9u);
+}
+
+TEST(IoCounterTest, TraceDisabledByDefault) {
+  IoCounter io;
+  io.OnNodeAccess(IoPhase::kTraversal, 1);
+  io.OnNodeAccess(IoPhase::kWindowQuery, 2);
+  EXPECT_TRUE(io.trace().empty());
+  EXPECT_EQ(io.total(), 2u);
+}
+
+TEST(IoCounterTest, TraceRecordsAccessOrder) {
+  IoCounter io;
+  io.EnableTrace();
+  io.OnNodeAccess(IoPhase::kTraversal, 3);
+  io.OnNodeAccess(IoPhase::kWindowQuery, 1);
+  io.OnNodeAccess(IoPhase::kWindowQuery, 3);
+  ASSERT_EQ(io.trace().size(), 3u);
+  EXPECT_EQ(io.trace()[0], 3u);
+  EXPECT_EQ(io.trace()[1], 1u);
+  EXPECT_EQ(io.trace()[2], 3u);
+}
+
+TEST(IoCounterTest, UnknownPagePlaceholder) {
+  IoCounter io;
+  io.EnableTrace();
+  io.OnNodeAccess(IoPhase::kTraversal);
+  ASSERT_EQ(io.trace().size(), 1u);
+  EXPECT_EQ(io.trace()[0], IoCounter::kUnknownPage);
+}
+
+
+TEST(IoCounterTest, CacheProbeAbsorbsHits) {
+  IoCounter io;
+  bool cached = false;
+  io.SetCacheProbe([&cached](uint32_t) { return cached; });
+  io.OnNodeAccess(IoPhase::kTraversal, 1);  // miss
+  cached = true;
+  io.OnNodeAccess(IoPhase::kTraversal, 1);  // hit
+  io.OnNodeAccess(IoPhase::kWindowQuery, 2);  // hit
+  EXPECT_EQ(io.traversal_reads(), 1u);
+  EXPECT_EQ(io.window_query_reads(), 0u);
+  EXPECT_EQ(io.cache_hits(), 2u);
+  EXPECT_EQ(io.query_total(), 1u);
+}
+
+TEST(IoCounterTest, CacheProbeSkipsUnknownPages) {
+  IoCounter io;
+  io.SetCacheProbe([](uint32_t) { return true; });
+  io.OnNodeAccess(IoPhase::kTraversal);  // unknown page: always a read
+  EXPECT_EQ(io.traversal_reads(), 1u);
+  EXPECT_EQ(io.cache_hits(), 0u);
+}
+
+TEST(IoCounterTest, TraceRecordsHitsToo) {
+  IoCounter io;
+  io.EnableTrace();
+  io.SetCacheProbe([](uint32_t page) { return page == 7; });
+  io.OnNodeAccess(IoPhase::kTraversal, 7);
+  io.OnNodeAccess(IoPhase::kTraversal, 8);
+  ASSERT_EQ(io.trace().size(), 2u);
+  EXPECT_EQ(io.cache_hits(), 1u);
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,211 @@
+#include "maxrs/max_rs.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "maxrs/segment_tree.h"
+
+namespace nwc {
+namespace {
+
+// Exhaustive reference: with positive weights an optimal window has its
+// right edge at some object's x and top edge at some object's y.
+double BruteForceMaxRs(const std::vector<WeightedObject>& objects, double l, double w) {
+  double best = 0.0;
+  for (const WeightedObject& a : objects) {
+    for (const WeightedObject& b : objects) {
+      const Rect window{a.object.pos.x - l, b.object.pos.y - w, a.object.pos.x,
+                        b.object.pos.y};
+      double weight = 0.0;
+      for (const WeightedObject& item : objects) {
+        if (window.Contains(item.object.pos)) weight += item.weight;
+      }
+      best = std::max(best, weight);
+    }
+  }
+  return best;
+}
+
+std::vector<WeightedObject> UnitObjects(std::initializer_list<Point> points) {
+  std::vector<WeightedObject> objects;
+  ObjectId id = 0;
+  for (const Point& p : points) objects.push_back(WeightedObject{DataObject{id++, p}, 1.0});
+  return objects;
+}
+
+TEST(MaxSegmentTreeTest, EmptyTree) {
+  MaxSegmentTree tree(0);
+  EXPECT_EQ(tree.Max(), 0.0);
+  tree.AddRange(0, 5, 1.0);  // no-op, must not crash
+  EXPECT_EQ(tree.Max(), 0.0);
+}
+
+TEST(MaxSegmentTreeTest, SinglePosition) {
+  MaxSegmentTree tree(1);
+  tree.AddRange(0, 0, 2.5);
+  EXPECT_DOUBLE_EQ(tree.Max(), 2.5);
+  EXPECT_EQ(tree.ArgMax(), 0u);
+  tree.AddRange(0, 0, -2.5);
+  EXPECT_DOUBLE_EQ(tree.Max(), 0.0);
+}
+
+TEST(MaxSegmentTreeTest, OverlappingRangesStack) {
+  MaxSegmentTree tree(10);
+  tree.AddRange(0, 5, 1.0);
+  tree.AddRange(3, 9, 1.0);
+  tree.AddRange(4, 4, 1.0);
+  EXPECT_DOUBLE_EQ(tree.Max(), 3.0);
+  EXPECT_EQ(tree.ArgMax(), 4u);
+}
+
+TEST(MaxSegmentTreeTest, TiesResolveToLeftmost) {
+  MaxSegmentTree tree(8);
+  tree.AddRange(2, 3, 1.0);
+  tree.AddRange(6, 7, 1.0);
+  EXPECT_EQ(tree.ArgMax(), 2u);
+}
+
+TEST(MaxSegmentTreeTest, MatchesNaiveArrayUnderRandomOps) {
+  Rng rng(301);
+  for (int round = 0; round < 20; ++round) {
+    const size_t size = 1 + rng.NextUint64(50);
+    MaxSegmentTree tree(size);
+    std::vector<double> naive(size, 0.0);
+    for (int op = 0; op < 200; ++op) {
+      size_t a = rng.NextUint64(size);
+      size_t b = rng.NextUint64(size);
+      if (a > b) std::swap(a, b);
+      const double delta = rng.NextDouble(-3.0, 3.0);
+      tree.AddRange(a, b, delta);
+      for (size_t i = a; i <= b; ++i) naive[i] += delta;
+      const double expected = *std::max_element(naive.begin(), naive.end());
+      ASSERT_NEAR(tree.Max(), expected, 1e-9);
+      ASSERT_NEAR(naive[tree.ArgMax()], expected, 1e-9);
+    }
+  }
+}
+
+TEST(MaxRsTest, RejectsBadArguments) {
+  const std::vector<WeightedObject> one = UnitObjects({Point{1, 1}});
+  EXPECT_FALSE(SolveMaxRs(one, 0.0, 1.0).ok());
+  EXPECT_FALSE(SolveMaxRs(one, 1.0, -1.0).ok());
+  std::vector<WeightedObject> bad = one;
+  bad[0].weight = 0.0;
+  EXPECT_FALSE(SolveMaxRs(bad, 1.0, 1.0).ok());
+}
+
+TEST(MaxRsTest, EmptyInput) {
+  const Result<MaxRsResult> result = SolveMaxRs(std::vector<WeightedObject>{}, 5, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_weight, 0.0);
+  EXPECT_TRUE(result->objects.empty());
+}
+
+TEST(MaxRsTest, SinglePoint) {
+  const Result<MaxRsResult> result = SolveMaxRs(UnitObjects({Point{10, 20}}), 4, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_weight, 1.0);
+  ASSERT_EQ(result->objects.size(), 1u);
+}
+
+TEST(MaxRsTest, TwoClustersPicksDenser) {
+  const Result<MaxRsResult> result = SolveMaxRs(
+      UnitObjects({Point{10, 10}, Point{11, 10}, Point{50, 50}, Point{51, 50},
+                   Point{50, 51}}),
+      4, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_weight, 3.0);
+  for (const DataObject& obj : result->objects) {
+    EXPECT_GE(obj.pos.x, 49.0);
+  }
+}
+
+TEST(MaxRsTest, WeightsOverrideCounts) {
+  std::vector<WeightedObject> objects = UnitObjects(
+      {Point{10, 10}, Point{11, 10}, Point{12, 10}, Point{50, 50}});
+  objects[3].weight = 10.0;  // one heavy point beats three light ones
+  const Result<MaxRsResult> result = SolveMaxRs(objects, 4, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_weight, 10.0);
+  ASSERT_EQ(result->objects.size(), 1u);
+  EXPECT_EQ(result->objects[0].id, 3u);
+}
+
+TEST(MaxRsTest, BoundaryInclusive) {
+  // Two points exactly l apart fit one window.
+  const Result<MaxRsResult> result =
+      SolveMaxRs(UnitObjects({Point{10, 10}, Point{14, 10}}), 4, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_weight, 2.0);
+}
+
+TEST(MaxRsTest, ReportedWindowActuallyCoversReportedObjects) {
+  Rng rng(302);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<WeightedObject> objects;
+    for (ObjectId i = 0; i < 60; ++i) {
+      objects.push_back(WeightedObject{
+          DataObject{i, Point{rng.NextDouble(0, 50), rng.NextDouble(0, 50)}},
+          rng.NextDouble(0.5, 2.0)});
+    }
+    const double l = rng.NextDouble(2, 10);
+    const double w = rng.NextDouble(2, 10);
+    const Result<MaxRsResult> result = SolveMaxRs(objects, l, w);
+    ASSERT_TRUE(result.ok());
+    double weight = 0.0;
+    const Rect slack = result->window.Inflated(1e-9, 1e-9);
+    for (const DataObject& obj : result->objects) {
+      EXPECT_TRUE(slack.Contains(obj.pos));
+    }
+    for (const WeightedObject& item : objects) {
+      if (std::any_of(result->objects.begin(), result->objects.end(),
+                      [&](const DataObject& o) { return o.id == item.object.id; })) {
+        weight += item.weight;
+      }
+    }
+    EXPECT_NEAR(weight, result->total_weight, 1e-9);
+  }
+}
+
+class MaxRsRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxRsRandomTest, MatchesBruteForce) {
+  Rng rng(400 + GetParam());
+  for (int round = 0; round < 10; ++round) {
+    std::vector<WeightedObject> objects;
+    const size_t count = 5 + rng.NextUint64(60);
+    for (ObjectId i = 0; i < count; ++i) {
+      objects.push_back(WeightedObject{
+          DataObject{i, Point{rng.NextDouble(0, 60), rng.NextDouble(0, 60)}},
+          GetParam() % 2 == 0 ? 1.0 : rng.NextDouble(0.1, 3.0)});
+    }
+    const double l = rng.NextDouble(2, 15);
+    const double w = rng.NextDouble(2, 15);
+    const Result<MaxRsResult> result = SolveMaxRs(objects, l, w);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->total_weight, BruteForceMaxRs(objects, l, w), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxRsRandomTest, ::testing::Range(0, 8));
+
+TEST(MaxRsTest, UnitWrapperEqualsWeightOne) {
+  Rng rng(303);
+  std::vector<DataObject> objects;
+  for (ObjectId i = 0; i < 40; ++i) {
+    objects.push_back(DataObject{i, Point{rng.NextDouble(0, 30), rng.NextDouble(0, 30)}});
+  }
+  const Result<MaxRsResult> unit = SolveMaxRs(objects, 5, 5);
+  std::vector<WeightedObject> weighted;
+  for (const DataObject& obj : objects) weighted.push_back(WeightedObject{obj, 1.0});
+  const Result<MaxRsResult> explicit_weights = SolveMaxRs(weighted, 5, 5);
+  ASSERT_TRUE(unit.ok());
+  ASSERT_TRUE(explicit_weights.ok());
+  EXPECT_DOUBLE_EQ(unit->total_weight, explicit_weights->total_weight);
+}
+
+}  // namespace
+}  // namespace nwc

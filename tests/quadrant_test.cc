@@ -1,0 +1,111 @@
+#include "geometry/quadrant.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nwc {
+namespace {
+
+TEST(QuadrantTest, QuadrantAssignment) {
+  const Point q{10, 10};
+  EXPECT_EQ(QuadrantOf(q, Point{12, 15}), Quadrant::kFirst);
+  EXPECT_EQ(QuadrantOf(q, Point{5, 15}), Quadrant::kSecond);
+  EXPECT_EQ(QuadrantOf(q, Point{5, 5}), Quadrant::kThird);
+  EXPECT_EQ(QuadrantOf(q, Point{12, 5}), Quadrant::kFourth);
+}
+
+TEST(QuadrantTest, BoundaryBelongsToNonNegativeSide) {
+  const Point q{10, 10};
+  EXPECT_EQ(QuadrantOf(q, q), Quadrant::kFirst);
+  EXPECT_EQ(QuadrantOf(q, Point{10, 20}), Quadrant::kFirst);
+  EXPECT_EQ(QuadrantOf(q, Point{20, 10}), Quadrant::kFirst);
+  EXPECT_EQ(QuadrantOf(q, Point{9.999, 10}), Quadrant::kSecond);
+  EXPECT_EQ(QuadrantOf(q, Point{10, 9.999}), Quadrant::kFourth);
+}
+
+TEST(QuadrantTransformTest, MapsIntoFirstQuadrant) {
+  Rng rng(21);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Point q{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    const Point p{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, p);
+    const Point mapped = t.Apply(p);
+    EXPECT_GE(mapped.x, q.x);
+    EXPECT_GE(mapped.y, q.y);
+  }
+}
+
+TEST(QuadrantTransformTest, IsInvolution) {
+  Rng rng(22);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Point q{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    const Point p{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    const Point other{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, p);
+    // Involution up to floating-point rounding: 2q - (2q - x) need not be
+    // bit-identical to x.
+    const Point round_trip = t.Apply(t.Apply(other));
+    EXPECT_NEAR(round_trip.x, other.x, 1e-10);
+    EXPECT_NEAR(round_trip.y, other.y, 1e-10);
+  }
+}
+
+TEST(QuadrantTransformTest, FixesOrigin) {
+  const Point q{3, -4};
+  const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, Point{-10, -10});
+  const Point mapped_q = t.Apply(q);
+  EXPECT_DOUBLE_EQ(mapped_q.x, q.x);
+  EXPECT_DOUBLE_EQ(mapped_q.y, q.y);
+}
+
+TEST(QuadrantTransformTest, PreservesDistancesToOrigin) {
+  Rng rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Point q{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    const Point p{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    const Point other{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, p);
+    EXPECT_NEAR(Distance(q, other), Distance(q, t.Apply(other)), 1e-9);
+  }
+}
+
+TEST(QuadrantTransformTest, RectMappingPreservesMembership) {
+  Rng rng(24);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point q{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)};
+    const Point p{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)};
+    const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, p);
+    const Rect r = Rect::FromCorners(Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)},
+                                     Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)});
+    const Rect mapped = t.Apply(r);
+    for (int s = 0; s < 10; ++s) {
+      const Point inside{rng.NextDouble(r.min_x, r.max_x), rng.NextDouble(r.min_y, r.max_y)};
+      EXPECT_TRUE(mapped.Contains(t.Apply(inside)));
+    }
+    EXPECT_NEAR(mapped.Area(), r.Area(), 1e-9);
+  }
+}
+
+TEST(QuadrantTransformTest, MinDistInvariant) {
+  Rng rng(25);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point q{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)};
+    const Point p{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)};
+    const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, p);
+    const Rect r = Rect::FromCorners(Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)},
+                                     Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)});
+    EXPECT_NEAR(MinDist(q, r), MinDist(q, t.Apply(r)), 1e-9);
+  }
+}
+
+TEST(QuadrantTransformTest, IdentityTransform) {
+  const QuadrantTransform t(Point{5, 5});
+  EXPECT_FALSE(t.flips_x());
+  EXPECT_FALSE(t.flips_y());
+  const Point p{1, 2};
+  EXPECT_EQ(t.Apply(p), p);
+}
+
+}  // namespace
+}  // namespace nwc

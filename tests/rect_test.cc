@@ -1,0 +1,140 @@
+#include "geometry/rect.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/point.h"
+
+namespace nwc {
+namespace {
+
+TEST(RectTest, EmptyRectProperties) {
+  const Rect empty = Rect::Empty();
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_EQ(empty.Area(), 0.0);
+  EXPECT_EQ(empty.Margin(), 0.0);
+  EXPECT_FALSE(empty.Intersects(Rect{0, 0, 1, 1}));
+  EXPECT_FALSE(Rect(Rect{0, 0, 1, 1}).Intersects(empty));
+}
+
+TEST(RectTest, ExpandFromEmptyYieldsPoint) {
+  Rect r = Rect::Empty();
+  r.Expand(Point{3.0, 4.0});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r, Rect::FromPoint(Point{3.0, 4.0}));
+  EXPECT_EQ(r.Area(), 0.0);
+}
+
+TEST(RectTest, WindowConstruction) {
+  const Rect w = Rect::Window(Point{10.0, 20.0}, 5.0, 3.0);
+  EXPECT_EQ(w.min_x, 10.0);
+  EXPECT_EQ(w.max_x, 15.0);
+  EXPECT_EQ(w.min_y, 20.0);
+  EXPECT_EQ(w.max_y, 23.0);
+  EXPECT_EQ(w.length(), 5.0);
+  EXPECT_EQ(w.width(), 3.0);
+}
+
+TEST(RectTest, ContainsPointBoundaryInclusive) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{10, 10}));
+  EXPECT_TRUE(r.Contains(Point{5, 10}));
+  EXPECT_FALSE(r.Contains(Point{10.0001, 5}));
+  EXPECT_FALSE(r.Contains(Point{-0.0001, 5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.Contains(Rect{0, 0, 10, 10}));
+  EXPECT_TRUE(outer.Contains(Rect{2, 3, 4, 5}));
+  EXPECT_FALSE(outer.Contains(Rect{-1, 0, 5, 5}));
+  EXPECT_TRUE(outer.Contains(Rect::Empty()));
+}
+
+TEST(RectTest, IntersectsSharedEdgeAndCorner) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.Intersects(Rect{10, 0, 20, 10}));   // shared edge
+  EXPECT_TRUE(a.Intersects(Rect{10, 10, 20, 20}));  // shared corner
+  EXPECT_FALSE(a.Intersects(Rect{10.001, 0, 20, 10}));
+}
+
+TEST(RectTest, IntersectionAndOverlapArea) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 15, 15};
+  const Rect overlap = Rect::Intersection(a, b);
+  EXPECT_EQ(overlap, (Rect{5, 5, 10, 10}));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect{20, 20, 30, 30}), 0.0);
+}
+
+TEST(RectTest, UnionAndEnlargement) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{4, 4, 6, 6};
+  EXPECT_EQ(Rect::Union(a, b), (Rect{0, 0, 6, 6}));
+  EXPECT_DOUBLE_EQ(a.EnlargementArea(b), 36.0 - 4.0);
+  EXPECT_DOUBLE_EQ(a.EnlargementArea(Rect{0.5, 0.5, 1, 1}), 0.0);
+}
+
+TEST(RectTest, InflatedGrowsAndShrinks) {
+  const Rect r{2, 2, 8, 8};
+  EXPECT_EQ(r.Inflated(1.0, 2.0), (Rect{1, 0, 9, 10}));
+  EXPECT_EQ(r.Inflated(-1.0, -1.0), (Rect{3, 3, 7, 7}));
+  EXPECT_TRUE(r.Inflated(-4.0, 0.0).IsEmpty());
+}
+
+TEST(RectTest, MinDistInsideIsZero) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_EQ(MinDist(Point{5, 5}, r), 0.0);
+  EXPECT_EQ(MinDist(Point{0, 0}, r), 0.0);
+  EXPECT_EQ(MinDist(Point{10, 5}, r), 0.0);
+}
+
+TEST(RectTest, MinDistOutside) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(MinDist(Point{13, 5}, r), 3.0);
+  EXPECT_DOUBLE_EQ(MinDist(Point{5, -4}, r), 4.0);
+  EXPECT_DOUBLE_EQ(MinDist(Point{13, 14}, r), 5.0);  // 3-4-5 corner
+}
+
+TEST(RectTest, MaxDist) {
+  const Rect r{0, 0, 3, 4};
+  EXPECT_DOUBLE_EQ(MaxDist(Point{0, 0}, r), 5.0);
+  EXPECT_DOUBLE_EQ(MaxDist(Point{1.5, 2.0}, r), std::hypot(1.5, 2.0));
+}
+
+TEST(RectTest, MinDistOfEmptyIsInfinite) {
+  EXPECT_TRUE(std::isinf(MinDist(Point{0, 0}, Rect::Empty())));
+}
+
+// Property sweep: MINDIST is a true lower bound on the distance to any
+// contained point, and MAXDIST an upper bound.
+TEST(RectTest, MinMaxDistBracketContainedPoints) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Rect r = Rect::FromCorners(Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)},
+                                     Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)});
+    const Point q{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    for (int s = 0; s < 20; ++s) {
+      const Point p{rng.NextDouble(r.min_x, r.max_x), rng.NextDouble(r.min_y, r.max_y)};
+      const double d = Distance(q, p);
+      EXPECT_LE(MinDist(q, r), d + 1e-9);
+      EXPECT_GE(MaxDist(q, r), d - 1e-9);
+    }
+  }
+}
+
+TEST(RectTest, SquaredMinDistConsistentWithMinDist) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Rect r = Rect::FromCorners(Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)},
+                                     Point{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)});
+    const Point q{rng.NextDouble(-100, 100), rng.NextDouble(-100, 100)};
+    EXPECT_NEAR(SquaredMinDist(q, r), MinDist(q, r) * MinDist(q, r), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace nwc

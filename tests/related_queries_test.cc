@@ -1,0 +1,140 @@
+#include "related/related_queries.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/bulk_load.h"
+
+namespace nwc {
+namespace {
+
+std::vector<DataObject> RandomObjects(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DataObject> objects;
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(DataObject{static_cast<ObjectId>(i),
+                                 Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}});
+  }
+  return objects;
+}
+
+RStarTree BuildTree(const std::vector<DataObject>& objects) {
+  RTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  return BulkLoadStr(objects, options);
+}
+
+TEST(ConstrainedKnnTest, MatchesLinearScan) {
+  const std::vector<DataObject> objects = RandomObjects(500, 901);
+  const RStarTree tree = BuildTree(objects);
+  Rng rng(902);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point q{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const Rect region = Rect::FromCorners(
+        Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)},
+        Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    const size_t k = 1 + rng.NextUint64(10);
+
+    std::vector<std::pair<double, ObjectId>> expected;
+    for (const DataObject& obj : objects) {
+      if (region.Contains(obj.pos)) expected.emplace_back(Distance(q, obj.pos), obj.id);
+    }
+    std::sort(expected.begin(), expected.end());
+
+    const std::vector<DataObject> found = ConstrainedKnn(tree, q, region, k, nullptr);
+    ASSERT_EQ(found.size(), std::min(k, expected.size()));
+    for (size_t i = 0; i < found.size(); ++i) {
+      EXPECT_NEAR(Distance(q, found[i].pos), expected[i].first, 1e-12);
+      EXPECT_TRUE(region.Contains(found[i].pos));
+    }
+  }
+}
+
+TEST(ConstrainedKnnTest, EmptyRegionAndZeroK) {
+  const std::vector<DataObject> objects = RandomObjects(100, 903);
+  const RStarTree tree = BuildTree(objects);
+  EXPECT_TRUE(ConstrainedKnn(tree, Point{0, 0}, Rect::Empty(), 5, nullptr).empty());
+  EXPECT_TRUE(ConstrainedKnn(tree, Point{0, 0}, Rect{0, 0, 100, 100}, 0, nullptr).empty());
+}
+
+TEST(ConstrainedKnnTest, RegionPruningSavesIo) {
+  const std::vector<DataObject> objects = RandomObjects(5000, 904);
+  const RStarTree tree = BuildTree(objects);
+  IoCounter constrained_io;
+  ConstrainedKnn(tree, Point{5, 5}, Rect{0, 0, 10, 10}, 5, &constrained_io);
+  IoCounter full_io;
+  ConstrainedKnn(tree, Point{5, 5}, Rect{0, 0, 100, 100}, 5000, &full_io);
+  EXPECT_LT(constrained_io.traversal_reads(), full_io.traversal_reads());
+}
+
+class GroupKnnTest : public ::testing::TestWithParam<Aggregate> {};
+
+TEST_P(GroupKnnTest, MatchesLinearScan) {
+  const std::vector<DataObject> objects = RandomObjects(400, 905);
+  const RStarTree tree = BuildTree(objects);
+  Rng rng(906);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Point> queries;
+    const size_t group_size = 1 + rng.NextUint64(5);
+    for (size_t i = 0; i < group_size; ++i) {
+      queries.push_back(Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    }
+    const size_t k = 1 + rng.NextUint64(8);
+
+    std::vector<std::pair<double, ObjectId>> expected;
+    for (const DataObject& obj : objects) {
+      expected.emplace_back(AggregateDistance(queries, obj.pos, GetParam()), obj.id);
+    }
+    std::sort(expected.begin(), expected.end());
+
+    const Result<std::vector<DataObject>> found =
+        GroupKnn(tree, queries, k, GetParam(), nullptr);
+    ASSERT_TRUE(found.ok());
+    ASSERT_EQ(found->size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(AggregateDistance(queries, (*found)[i].pos, GetParam()),
+                  expected[i].first, 1e-9);
+    }
+  }
+}
+
+TEST_P(GroupKnnTest, SingleQueryPointEqualsKnn) {
+  const std::vector<DataObject> objects = RandomObjects(300, 907);
+  const RStarTree tree = BuildTree(objects);
+  const Point q{40, 60};
+  const Result<std::vector<DataObject>> found = GroupKnn(tree, {q}, 5, GetParam(), nullptr);
+  ASSERT_TRUE(found.ok());
+  std::vector<std::pair<double, ObjectId>> expected;
+  for (const DataObject& obj : objects) expected.emplace_back(Distance(q, obj.pos), obj.id);
+  std::sort(expected.begin(), expected.end());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(Distance(q, (*found)[i].pos), expected[i].first, 1e-12);
+  }
+}
+
+TEST_P(GroupKnnTest, RejectsDegenerateArguments) {
+  const std::vector<DataObject> objects = RandomObjects(50, 908);
+  const RStarTree tree = BuildTree(objects);
+  EXPECT_FALSE(GroupKnn(tree, {}, 3, GetParam(), nullptr).ok());
+  EXPECT_FALSE(GroupKnn(tree, {Point{1, 1}}, 0, GetParam(), nullptr).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Aggregates, GroupKnnTest,
+                         ::testing::Values(Aggregate::kSum, Aggregate::kMax),
+                         [](const ::testing::TestParamInfo<Aggregate>& info) {
+                           return info.param == Aggregate::kSum ? "sum" : "max";
+                         });
+
+TEST(AggregateDistanceTest, HandComputed) {
+  const std::vector<Point> queries = {Point{0, 0}, Point{10, 0}};
+  const Point p{5, 0};
+  EXPECT_DOUBLE_EQ(AggregateDistance(queries, p, Aggregate::kSum), 10.0);
+  EXPECT_DOUBLE_EQ(AggregateDistance(queries, p, Aggregate::kMax), 5.0);
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,191 @@
+#include "rtree/queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rstar_tree.h"
+
+namespace nwc {
+namespace {
+
+std::vector<DataObject> RandomObjects(size_t count, uint64_t seed, double extent = 1000.0) {
+  Rng rng(seed);
+  std::vector<DataObject> objects;
+  objects.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(DataObject{static_cast<ObjectId>(i),
+                                 Point{rng.NextDouble(0, extent), rng.NextDouble(0, extent)}});
+  }
+  return objects;
+}
+
+RStarTree BuildTree(const std::vector<DataObject>& objects) {
+  RTreeOptions options;
+  options.max_entries = 10;
+  options.min_entries = 4;
+  RStarTree tree(options);
+  for (const DataObject& obj : objects) tree.Insert(obj);
+  return tree;
+}
+
+std::vector<ObjectId> SortedIds(std::vector<DataObject> objects) {
+  std::vector<ObjectId> ids;
+  ids.reserve(objects.size());
+  for (const DataObject& obj : objects) ids.push_back(obj.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(WindowQueryTest, MatchesLinearScanOnRandomRects) {
+  const std::vector<DataObject> objects = RandomObjects(800, 31);
+  const RStarTree tree = BuildTree(objects);
+  Rng rng(32);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Rect window = Rect::FromCorners(
+        Point{rng.NextDouble(-50, 1050), rng.NextDouble(-50, 1050)},
+        Point{rng.NextDouble(-50, 1050), rng.NextDouble(-50, 1050)});
+    std::vector<ObjectId> expected;
+    for (const DataObject& obj : objects) {
+      if (window.Contains(obj.pos)) expected.push_back(obj.id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(SortedIds(WindowQuery(tree, window, nullptr)), expected);
+  }
+}
+
+TEST(WindowQueryTest, CountMatchesQuery) {
+  const std::vector<DataObject> objects = RandomObjects(500, 33);
+  const RStarTree tree = BuildTree(objects);
+  Rng rng(34);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect window = Rect::FromCorners(
+        Point{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)},
+        Point{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)});
+    EXPECT_EQ(WindowCount(tree, window, nullptr), WindowQuery(tree, window, nullptr).size());
+  }
+}
+
+TEST(WindowQueryTest, ChargesIoPerVisitedNode) {
+  const std::vector<DataObject> objects = RandomObjects(500, 35);
+  const RStarTree tree = BuildTree(objects);
+  IoCounter io;
+  WindowQuery(tree, Rect{0, 0, 1000, 1000}, &io);
+  // Covering window visits every node exactly once.
+  EXPECT_EQ(io.window_query_reads(), tree.node_count());
+  EXPECT_EQ(io.traversal_reads(), 0u);
+}
+
+TEST(WindowQueryTest, EmptyWindowVisitsOnlyRootPath) {
+  const std::vector<DataObject> objects = RandomObjects(500, 36);
+  const RStarTree tree = BuildTree(objects);
+  IoCounter io;
+  const auto result = WindowQuery(tree, Rect{-100, -100, -50, -50}, &io);
+  EXPECT_TRUE(result.empty());
+  EXPECT_EQ(io.window_query_reads(), 1u);  // only the root is read
+}
+
+TEST(KnnQueryTest, MatchesLinearScan) {
+  const std::vector<DataObject> objects = RandomObjects(600, 37);
+  const RStarTree tree = BuildTree(objects);
+  Rng rng(38);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point q{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)};
+    const size_t k = 1 + static_cast<size_t>(rng.NextUint64(20));
+
+    std::vector<std::pair<double, ObjectId>> expected;
+    for (const DataObject& obj : objects) {
+      expected.emplace_back(Distance(q, obj.pos), obj.id);
+    }
+    std::sort(expected.begin(), expected.end());
+
+    const std::vector<DataObject> found = KnnQuery(tree, q, k, nullptr);
+    ASSERT_EQ(found.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(Distance(q, found[i].pos), expected[i].first, 1e-9)
+          << "rank " << i << " differs";
+    }
+  }
+}
+
+TEST(KnnQueryTest, KLargerThanDatasetReturnsAll) {
+  const std::vector<DataObject> objects = RandomObjects(20, 39);
+  const RStarTree tree = BuildTree(objects);
+  EXPECT_EQ(KnnQuery(tree, Point{0, 0}, 100, nullptr).size(), 20u);
+}
+
+TEST(KnnQueryTest, ZeroKReturnsNothing) {
+  const std::vector<DataObject> objects = RandomObjects(20, 40);
+  const RStarTree tree = BuildTree(objects);
+  EXPECT_TRUE(KnnQuery(tree, Point{0, 0}, 0, nullptr).empty());
+}
+
+TEST(DistanceBrowserTest, YieldsNonDecreasingDistances) {
+  const std::vector<DataObject> objects = RandomObjects(400, 41);
+  const RStarTree tree = BuildTree(objects);
+  const Point q{500, 500};
+  DistanceBrowser browser(tree, q, nullptr);
+  double previous = -1.0;
+  size_t count = 0;
+  while (browser.HasNext()) {
+    const DistanceBrowser::BrowseItem item = browser.Next();
+    EXPECT_GE(item.distance, previous - 1e-12);
+    EXPECT_NEAR(item.distance, Distance(q, item.object.pos), 1e-12);
+    previous = item.distance;
+    ++count;
+  }
+  EXPECT_EQ(count, objects.size());
+}
+
+TEST(DistanceBrowserTest, ReportsHoldingLeaf) {
+  const std::vector<DataObject> objects = RandomObjects(300, 42);
+  const RStarTree tree = BuildTree(objects);
+  DistanceBrowser browser(tree, Point{1, 1}, nullptr);
+  while (browser.HasNext()) {
+    const DistanceBrowser::BrowseItem item = browser.Next();
+    ASSERT_TRUE(tree.IsLive(item.leaf));
+    const RTreeNode& leaf = tree.node(item.leaf);
+    ASSERT_TRUE(leaf.is_leaf());
+    EXPECT_TRUE(std::any_of(leaf.objects.begin(), leaf.objects.end(),
+                            [&](const DataObject& o) { return o == item.object; }));
+  }
+}
+
+TEST(DistanceBrowserTest, IoBoundedByNodeCount) {
+  const std::vector<DataObject> objects = RandomObjects(500, 43);
+  const RStarTree tree = BuildTree(objects);
+  IoCounter io;
+  DistanceBrowser browser(tree, Point{500, 500}, &io);
+  while (browser.HasNext()) browser.Next();
+  EXPECT_EQ(io.traversal_reads(), tree.node_count());
+}
+
+TEST(WindowQueryFromTest, SubtreeQueryFindsSubtreeObjects) {
+  const std::vector<DataObject> objects = RandomObjects(800, 44);
+  RTreeOptions options;
+  options.max_entries = 10;
+  options.min_entries = 4;
+  const RStarTree tree = BulkLoadStr(objects, options);
+  ASSERT_GT(tree.height(), 0);
+
+  // Query each root child's subtree with a window covering everything: we
+  // must get exactly that subtree's objects.
+  const RTreeNode& root = tree.node(tree.root());
+  size_t total = 0;
+  for (const ChildEntry& entry : root.children) {
+    const std::vector<DataObject> sub =
+        WindowQueryFrom(tree, {entry.child}, Rect{0, 0, 1000, 1000}, nullptr);
+    for (const DataObject& obj : sub) {
+      EXPECT_TRUE(entry.mbr.Contains(obj.pos));
+    }
+    total += sub.size();
+  }
+  EXPECT_EQ(total, objects.size());
+}
+
+}  // namespace
+}  // namespace nwc

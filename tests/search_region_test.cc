@@ -1,0 +1,212 @@
+#include "core/search_region.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nwc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SearchRegionTest, FirstQuadrantConstruction) {
+  // Paper Sec. 3.2 vertex formulas for p on the right edge.
+  const Rect sr = SearchRegionFirstQuadrant(Point{100, 50}, 8, 6);
+  EXPECT_EQ(sr, (Rect{92, 44, 100, 56}));
+}
+
+TEST(SearchRegionTest, ContainsAllWindowsGeneratedByP) {
+  // Every window with p on the right edge and top edge within w above p
+  // must lie inside SR_p.
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    const double l = rng.NextDouble(1, 10);
+    const double w = rng.NextDouble(1, 10);
+    const Rect sr = SearchRegionFirstQuadrant(p, l, w);
+    const double top = p.y + rng.NextDouble(0, w);
+    const Rect window{p.x - l, top - w, p.x, top};
+    EXPECT_TRUE(sr.Contains(window));
+  }
+}
+
+TEST(ShrinkSearchRegionTest, InfiniteBestKeepsFullRegion) {
+  const Point q{0, 0};
+  const Point p{50, 30};
+  EXPECT_EQ(ShrinkSearchRegion(q, p, 8, 6, kInf), SearchRegionFirstQuadrant(p, 8, 6));
+}
+
+TEST(ShrinkSearchRegionTest, FarObjectIsSkipped) {
+  const Point q{0, 0};
+  const Point p{100, 0};
+  // Left edge of SR is at x=92; any window is at least 92 away.
+  EXPECT_TRUE(ShrinkSearchRegion(q, p, 8, 6, 50.0).IsEmpty());
+}
+
+TEST(ShrinkSearchRegionTest, PaperFormulaWhenQOutside) {
+  // q left-below the region: w' = sqrt(db^2 - dx^2) - (y_p - w - y_q).
+  const Point q{0, 0};
+  const Point p{20, 30};
+  const double l = 8;
+  const double w = 6;
+  const double db = 30.0;
+  const Rect reduced = ShrinkSearchRegion(q, p, l, w, db);
+  ASSERT_FALSE(reduced.IsEmpty());
+  const double dx = p.x - l - q.x;  // 12
+  const double expected_w_prime = std::sqrt(db * db - dx * dx) - (p.y - w - q.y);
+  ASSERT_GT(expected_w_prime, 0);
+  ASSERT_LT(expected_w_prime, w);
+  EXPECT_DOUBLE_EQ(reduced.max_y, p.y + expected_w_prime);
+  // Only the top side shrinks.
+  const Rect full = SearchRegionFirstQuadrant(p, l, w);
+  EXPECT_EQ(reduced.min_x, full.min_x);
+  EXPECT_EQ(reduced.max_x, full.max_x);
+  EXPECT_EQ(reduced.min_y, full.min_y);
+}
+
+TEST(ShrinkSearchRegionTest, ClampsXDistanceWhenQInsideXRange) {
+  // q's x lies inside the region's x-range; the unclamped paper formula
+  // would over-shrink. With dx = 0 and q.y = 0, any top edge up to
+  // y: (top - w) <= db qualifies.
+  const Point q{0, 0};
+  const Point p{5, 10};  // SR x-range [-3, 5] contains q.x = 0
+  const double l = 8;
+  const double w = 6;
+  const double db = 10.0;
+  const Rect reduced = ShrinkSearchRegion(q, p, l, w, db);
+  ASSERT_FALSE(reduced.IsEmpty());
+  // w' = min(w, db - (p.y - w - q.y)) = min(6, 10 - 4) = 6 -> full region.
+  EXPECT_EQ(reduced, SearchRegionFirstQuadrant(p, l, w));
+}
+
+TEST(ShrinkSearchRegionTest, ExactReductionProperty) {
+  // Every window inside SR' has MINDIST < db (or <= at the boundary), and
+  // the topmost excluded window has MINDIST >= db.
+  Rng rng(102);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Point q{0, 0};
+    const Point p{rng.NextDouble(0, 60), rng.NextDouble(0, 60)};
+    const double l = rng.NextDouble(2, 12);
+    const double w = rng.NextDouble(2, 12);
+    const double db = rng.NextDouble(1, 80);
+    const Rect reduced = ShrinkSearchRegion(q, p, l, w, db);
+    const Rect full = SearchRegionFirstQuadrant(p, l, w);
+    if (reduced.IsEmpty()) {
+      // Even the closest window (top edge at p.y) must miss the bound.
+      const Rect closest{full.min_x, p.y - w, full.max_x, p.y};
+      EXPECT_GE(MinDist(q, closest), db - 1e-9);
+      continue;
+    }
+    EXPECT_TRUE(full.Contains(reduced));
+    // Topmost retained window is within the bound.
+    const Rect top_window{full.min_x, reduced.max_y - w, full.max_x, reduced.max_y};
+    EXPECT_LE(MinDist(q, top_window), db + 1e-9);
+    // If the region was actually shrunk, the next window above is not.
+    if (reduced.max_y < full.max_y - 1e-9) {
+      const double above = reduced.max_y + 1e-6;
+      const Rect excluded{full.min_x, above - w, full.max_x, above};
+      EXPECT_GE(MinDist(q, excluded), db - 1e-5);
+    }
+  }
+}
+
+TEST(GeneratedWindowLowerBoundTest, DegenerateRegionEqualsSearchRegionMinDist) {
+  Rng rng(103);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Point q{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)};
+    const Point p{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)};
+    const double l = rng.NextDouble(1, 10);
+    const double w = rng.NextDouble(1, 10);
+    const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, p);
+    const Rect sr_world = t.Apply(SearchRegionFirstQuadrant(t.Apply(p), l, w));
+    EXPECT_NEAR(GeneratedWindowLowerBound(q, Rect::FromPoint(p), l, w),
+                MinDist(q, sr_world), 1e-9);
+  }
+}
+
+TEST(GeneratedWindowLowerBoundTest, IsSoundForSampledPoints) {
+  // For any point inside the region, every window it generates (top edge
+  // within w above it, in its own quadrant frame) has MINDIST >= bound.
+  Rng rng(104);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point q{rng.NextDouble(-20, 20), rng.NextDouble(-20, 20)};
+    const Rect region = Rect::FromCorners(
+        Point{rng.NextDouble(-60, 60), rng.NextDouble(-60, 60)},
+        Point{rng.NextDouble(-60, 60), rng.NextDouble(-60, 60)});
+    const double l = rng.NextDouble(1, 8);
+    const double w = rng.NextDouble(1, 8);
+    const double bound = GeneratedWindowLowerBound(q, region, l, w);
+    for (int s = 0; s < 30; ++s) {
+      const Point p{rng.NextDouble(region.min_x, region.max_x),
+                    rng.NextDouble(region.min_y, region.max_y)};
+      const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, p);
+      const Point pf = t.Apply(p);
+      const double top = pf.y + rng.NextDouble(0, w);
+      const Rect window_frame{pf.x - l, top - w, pf.x, top};
+      EXPECT_GE(MinDist(q, window_frame), bound - 1e-9);
+    }
+  }
+}
+
+TEST(GeneratedWindowLowerBoundTest, EmptyRegionIsInfinite) {
+  EXPECT_TRUE(std::isinf(GeneratedWindowLowerBound(Point{0, 0}, Rect::Empty(), 5, 5)));
+}
+
+TEST(GeneratedWindowLowerBoundTest, MatchesPaperPruningRegionPr1) {
+  // A point in PR_1 = {x >= x_q + db + l, y_q <= y <= y_q + w} must have
+  // bound >= db (Eq. 7).
+  const Point q{100, 100};
+  const double l = 8;
+  const double w = 6;
+  const double db = 40;
+  const Rect in_pr1{q.x + db + l, q.y, q.x + db + l + 5, q.y + w};
+  EXPECT_GE(GeneratedWindowLowerBound(q, in_pr1, l, w), db - 1e-9);
+  // Just inside the boundary (x slightly smaller) the bound drops below db.
+  const Rect not_pr1{q.x + db + l - 1, q.y, q.x + db + l - 0.5, q.y + w};
+  EXPECT_LT(GeneratedWindowLowerBound(q, not_pr1, l, w), db);
+}
+
+TEST(DepExtendedMbrTest, FirstQuadrantMatchesPaperExtension) {
+  // MBR fully in the first quadrant: extension is
+  // [min_x - l, max_x] x [min_y - w, max_y + w].
+  const Point q{0, 0};
+  const Rect mbr{50, 60, 70, 80};
+  EXPECT_EQ(DepExtendedMbr(q, mbr, 8, 6), (Rect{42, 54, 70, 86}));
+}
+
+TEST(DepExtendedMbrTest, CoversSearchRegionsOfSampledPoints) {
+  Rng rng(105);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point q{rng.NextDouble(-20, 20), rng.NextDouble(-20, 20)};
+    const Rect region = Rect::FromCorners(
+        Point{rng.NextDouble(-60, 60), rng.NextDouble(-60, 60)},
+        Point{rng.NextDouble(-60, 60), rng.NextDouble(-60, 60)});
+    const double l = rng.NextDouble(1, 8);
+    const double w = rng.NextDouble(1, 8);
+    const Rect extended = DepExtendedMbr(q, region, l, w);
+    for (int s = 0; s < 30; ++s) {
+      const Point p{rng.NextDouble(region.min_x, region.max_x),
+                    rng.NextDouble(region.min_y, region.max_y)};
+      const QuadrantTransform t = QuadrantTransform::MapToFirstQuadrant(q, p);
+      const Rect sr_world = t.Apply(SearchRegionFirstQuadrant(t.Apply(p), l, w));
+      EXPECT_TRUE(extended.Contains(sr_world))
+          << "extended " << extended << " misses SR " << sr_world;
+    }
+  }
+}
+
+TEST(DepExtendedMbrTest, StraddlingRegionStillBounded) {
+  // Region straddling both axes: the extension must stay within the
+  // symmetric inflation (the loosest sound bound).
+  const Point q{0, 0};
+  const Rect region{-10, -10, 10, 10};
+  const Rect extended = DepExtendedMbr(q, region, 8, 6);
+  EXPECT_TRUE(region.Inflated(8, 6).Contains(extended));
+  EXPECT_TRUE(extended.Contains(region));
+}
+
+}  // namespace
+}  // namespace nwc

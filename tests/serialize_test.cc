@@ -1,0 +1,142 @@
+#include "rtree/serialize.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/bulk_load.h"
+#include "rtree/queries.h"
+#include "rtree/validate.h"
+
+namespace nwc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<DataObject> RandomObjects(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DataObject> objects;
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(DataObject{static_cast<ObjectId>(i),
+                                 Point{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)}});
+  }
+  return objects;
+}
+
+std::vector<ObjectId> SortedIds(std::vector<DataObject> objects) {
+  std::vector<ObjectId> ids;
+  for (const DataObject& obj : objects) ids.push_back(obj.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(SerializeTest, RoundTripPreservesQueries) {
+  const std::vector<DataObject> objects = RandomObjects(3000, 51);
+  RTreeOptions options;
+  options.max_entries = 12;
+  options.min_entries = 5;
+  RStarTree tree(options);
+  for (const DataObject& obj : objects) tree.Insert(obj);
+
+  const std::string path = TempPath("roundtrip.nwctree");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  Result<RStarTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->size(), tree.size());
+  EXPECT_EQ(loaded->height(), tree.height());
+  EXPECT_EQ(loaded->node_count(), tree.node_count());
+  EXPECT_TRUE(ValidateTree(*loaded).ok()) << ValidateTree(*loaded).ToString();
+
+  Rng rng(52);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Rect window = Rect::FromCorners(
+        Point{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)},
+        Point{rng.NextDouble(0, 1000), rng.NextDouble(0, 1000)});
+    EXPECT_EQ(SortedIds(WindowQuery(*loaded, window, nullptr)),
+              SortedIds(WindowQuery(tree, window, nullptr)));
+  }
+}
+
+TEST(SerializeTest, RoundTripAfterDeletions) {
+  std::vector<DataObject> objects = RandomObjects(1000, 53);
+  RTreeOptions options;
+  options.max_entries = 10;
+  options.min_entries = 4;
+  RStarTree tree(options);
+  for (const DataObject& obj : objects) tree.Insert(obj);
+  // Deletions create freed arena slots; serialization must handle them.
+  for (size_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree.Delete(objects[i]).ok());
+  }
+
+  const std::string path = TempPath("after_delete.nwctree");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  Result<RStarTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 600u);
+  EXPECT_TRUE(ValidateTree(*loaded).ok()) << ValidateTree(*loaded).ToString();
+}
+
+TEST(SerializeTest, RoundTripEmptyTree) {
+  RStarTree tree;
+  const std::string path = TempPath("empty.nwctree");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  Result<RStarTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(SerializeTest, RoundTripBulkLoadedTree) {
+  const std::vector<DataObject> objects = RandomObjects(5000, 54);
+  const RStarTree tree = BulkLoadStr(objects, RTreeOptions{});
+  const std::string path = TempPath("bulk.nwctree");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  Result<RStarTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 5000u);
+  EXPECT_EQ(loaded->node_count(), tree.node_count());
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  Result<RStarTree> loaded = LoadTree(TempPath("does_not_exist.nwctree"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, LoadGarbageFails) {
+  const std::string path = TempPath("garbage.nwctree");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a tree file at all", f);
+  std::fclose(f);
+  Result<RStarTree> loaded = LoadTree(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializeTest, LoadTruncatedFails) {
+  const std::vector<DataObject> objects = RandomObjects(500, 55);
+  const RStarTree tree = BulkLoadStr(objects, RTreeOptions{});
+  const std::string path = TempPath("truncated.nwctree");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  // Truncate to half size.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  Result<RStarTree> loaded = LoadTree(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace nwc

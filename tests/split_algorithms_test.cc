@@ -1,0 +1,170 @@
+#include "rtree/rstar_split.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/queries.h"
+#include "rtree/rstar_tree.h"
+#include "rtree/validate.h"
+
+namespace nwc {
+namespace {
+
+Rect MbrOf(const DataObject& obj) { return Rect::FromPoint(obj.pos); }
+
+std::vector<DataObject> RandomObjects(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DataObject> objects;
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(DataObject{static_cast<ObjectId>(i),
+                                 Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}});
+  }
+  return objects;
+}
+
+std::vector<ObjectId> AllIdsSorted(const SplitResult<DataObject>& split) {
+  std::vector<ObjectId> ids;
+  for (const DataObject& obj : split.first) ids.push_back(obj.id);
+  for (const DataObject& obj : split.second) ids.push_back(obj.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+class SplitAlgorithmTest : public ::testing::TestWithParam<SplitAlgorithm> {};
+
+TEST_P(SplitAlgorithmTest, PartitionIsCompleteAndRespectsMinFill) {
+  Rng rng(500);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t count = 4 + rng.NextUint64(60);
+    const size_t min_entries = 1 + rng.NextUint64(count / 2);
+    const std::vector<DataObject> objects = RandomObjects(count, 600 + trial);
+    const SplitResult<DataObject> split =
+        SplitEntries(GetParam(), objects, min_entries, MbrOf);
+
+    EXPECT_GE(split.first.size(), min_entries);
+    EXPECT_GE(split.second.size(), min_entries);
+    EXPECT_EQ(split.first.size() + split.second.size(), count);
+
+    std::vector<ObjectId> expected;
+    for (const DataObject& obj : objects) expected.push_back(obj.id);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(AllIdsSorted(split), expected);
+  }
+}
+
+TEST_P(SplitAlgorithmTest, HandlesCoincidentEntries) {
+  std::vector<DataObject> objects;
+  for (ObjectId i = 0; i < 20; ++i) objects.push_back(DataObject{i, Point{5, 5}});
+  const SplitResult<DataObject> split = SplitEntries(GetParam(), objects, 8, MbrOf);
+  EXPECT_GE(split.first.size(), 8u);
+  EXPECT_GE(split.second.size(), 8u);
+  EXPECT_EQ(split.first.size() + split.second.size(), 20u);
+}
+
+TEST_P(SplitAlgorithmTest, TwoEntriesSplitOneEach) {
+  const std::vector<DataObject> objects = {DataObject{0, Point{1, 1}},
+                                           DataObject{1, Point{9, 9}}};
+  const SplitResult<DataObject> split = SplitEntries(GetParam(), objects, 1, MbrOf);
+  EXPECT_EQ(split.first.size(), 1u);
+  EXPECT_EQ(split.second.size(), 1u);
+}
+
+TEST_P(SplitAlgorithmTest, SeparatesTwoObviousClusters) {
+  // Two well-separated blobs must not be mixed by any algorithm.
+  Rng rng(501);
+  std::vector<DataObject> objects;
+  for (ObjectId i = 0; i < 12; ++i) {
+    objects.push_back(DataObject{i, Point{rng.NextDouble(0, 5), rng.NextDouble(0, 5)}});
+  }
+  for (ObjectId i = 12; i < 24; ++i) {
+    objects.push_back(DataObject{i, Point{rng.NextDouble(95, 100), rng.NextDouble(95, 100)}});
+  }
+  rng.Shuffle(objects);
+  const SplitResult<DataObject> split = SplitEntries(GetParam(), objects, 6, MbrOf);
+  Rect first = Rect::Empty();
+  Rect second = Rect::Empty();
+  for (const DataObject& obj : split.first) first.Expand(obj.pos);
+  for (const DataObject& obj : split.second) second.Expand(obj.pos);
+  EXPECT_FALSE(first.Intersects(second));
+}
+
+TEST_P(SplitAlgorithmTest, TreeBuiltWithAlgorithmIsValidAndComplete) {
+  RTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  options.split_algorithm = GetParam();
+  RStarTree tree(options);
+  const std::vector<DataObject> objects = RandomObjects(1500, 700);
+  for (const DataObject& obj : objects) tree.Insert(obj);
+  ASSERT_TRUE(ValidateTree(tree).ok()) << ValidateTree(tree).ToString();
+  EXPECT_EQ(WindowQuery(tree, tree.bounds(), nullptr).size(), objects.size());
+}
+
+TEST_P(SplitAlgorithmTest, QueriesAgreeAcrossAlgorithms) {
+  const std::vector<DataObject> objects = RandomObjects(800, 701);
+  RTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  options.split_algorithm = GetParam();
+  RStarTree tree(options);
+  for (const DataObject& obj : objects) tree.Insert(obj);
+
+  RTreeOptions reference_options;
+  reference_options.max_entries = 8;
+  reference_options.min_entries = 3;
+  RStarTree reference(reference_options);
+  for (const DataObject& obj : objects) reference.Insert(obj);
+
+  Rng rng(702);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Rect window = Rect::FromCorners(
+        Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)},
+        Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    auto ids = [](std::vector<DataObject> v) {
+      std::vector<ObjectId> out;
+      for (const DataObject& o : v) out.push_back(o.id);
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(ids(WindowQuery(tree, window, nullptr)),
+              ids(WindowQuery(reference, window, nullptr)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SplitAlgorithmTest,
+                         ::testing::Values(SplitAlgorithm::kRStar, SplitAlgorithm::kQuadratic,
+                                           SplitAlgorithm::kLinear),
+                         [](const ::testing::TestParamInfo<SplitAlgorithm>& info) {
+                           return SplitAlgorithmName(info.param);
+                         });
+
+TEST(SplitQualityTest, RStarSplitHasLeastOverlapOnAverage) {
+  // The reason the paper's index is an R*-tree: its split produces less
+  // group overlap than Guttman's heuristics (averaged over many inputs).
+  Rng rng(502);
+  double overlap_rstar = 0.0;
+  double overlap_quadratic = 0.0;
+  double overlap_linear = 0.0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<DataObject> objects = RandomObjects(51, 800 + trial);
+    const auto overlap_of = [&](SplitAlgorithm algorithm) {
+      const SplitResult<DataObject> split = SplitEntries(algorithm, objects, 20, MbrOf);
+      Rect a = Rect::Empty();
+      Rect b = Rect::Empty();
+      for (const DataObject& obj : split.first) a.Expand(obj.pos);
+      for (const DataObject& obj : split.second) b.Expand(obj.pos);
+      return a.OverlapArea(b);
+    };
+    overlap_rstar += overlap_of(SplitAlgorithm::kRStar);
+    overlap_quadratic += overlap_of(SplitAlgorithm::kQuadratic);
+    overlap_linear += overlap_of(SplitAlgorithm::kLinear);
+  }
+  EXPECT_LE(overlap_rstar, overlap_quadratic);
+  EXPECT_LE(overlap_rstar, overlap_linear);
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,306 @@
+// nwc_tool — command-line front end for the library.
+//
+// Subcommands:
+//   generate --kind=<uniform|gaussian|ca|ny> --count=N --seed=S --out=F.csv
+//       Write a synthetic dataset as CSV.
+//   build    --data=F.csv --out=F.nwctree [--max-entries=50] [--str]
+//       Build an R*-tree over a CSV dataset and save it.
+//   query    --index=F.nwctree --q=X,Y --l=L --w=W --n=N
+//            [--scheme=<plain|srr|dip|dep|iwp|plus|star>]
+//            [--measure=<min|max|avg|nearest>] [--data=F.csv]
+//       Run one NWC query and print the group plus the I/O cost.
+//       (--data is required for schemes using DEP, to build the grid.)
+//   knwc     --index=F.nwctree --q=X,Y --l=L --w=W --n=N --k=K --m=M
+//            [--scheme=...] [--data=F.csv]
+//       Run one kNWC query.
+//   stats    --index=F.nwctree
+//       Print index statistics.
+//
+// Example session:
+//   nwc_tool generate --kind=ca --out=/tmp/ca.csv
+//   nwc_tool build --data=/tmp/ca.csv --out=/tmp/ca.nwctree --str
+//   nwc_tool query --index=/tmp/ca.nwctree --data=/tmp/ca.csv
+//       --q=5000,5000 --l=64 --w=64 --n=8 --scheme=star
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/knwc_engine.h"
+#include "core/nwc_engine.h"
+#include "datasets/dataset.h"
+#include "datasets/generators.h"
+#include "grid/density_grid.h"
+#include "rtree/bulk_load.h"
+#include "rtree/iwp_index.h"
+#include "rtree/serialize.h"
+#include "rtree/tree_stats.h"
+#include "rtree/validate.h"
+
+namespace nwc {
+namespace {
+
+// --key=value argument bag.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) continue;
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr) {
+        values_[std::string(arg + 2)] = "true";
+      } else {
+        values_[std::string(arg + 2, eq)] = std::string(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  long GetLong(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+Result<NwcOptions> ParseOptions(const Args& args) {
+  NwcOptions options;
+  const std::string scheme = args.Get("scheme", "star");
+  if (scheme == "plain") {
+    options = NwcOptions::Plain();
+  } else if (scheme == "srr") {
+    options = NwcOptions::Srr();
+  } else if (scheme == "dip") {
+    options = NwcOptions::Dip();
+  } else if (scheme == "dep") {
+    options = NwcOptions::Dep();
+  } else if (scheme == "iwp") {
+    options = NwcOptions::Iwp();
+  } else if (scheme == "plus") {
+    options = NwcOptions::Plus();
+  } else if (scheme == "star") {
+    options = NwcOptions::Star();
+  } else {
+    return Status::InvalidArgument("unknown --scheme " + scheme);
+  }
+  const std::string measure = args.Get("measure", "nearest");
+  if (measure == "min") {
+    options.measure = DistanceMeasure::kMin;
+  } else if (measure == "max") {
+    options.measure = DistanceMeasure::kMax;
+  } else if (measure == "avg") {
+    options.measure = DistanceMeasure::kAvg;
+  } else if (measure == "nearest") {
+    options.measure = DistanceMeasure::kNearestWindow;
+  } else {
+    return Status::InvalidArgument("unknown --measure " + measure);
+  }
+  return options;
+}
+
+Result<Point> ParsePoint(const std::string& text) {
+  const size_t comma = text.find(',');
+  if (comma == std::string::npos) {
+    return Status::InvalidArgument("--q must be X,Y");
+  }
+  return Point{std::strtod(text.substr(0, comma).c_str(), nullptr),
+               std::strtod(text.substr(comma + 1).c_str(), nullptr)};
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string kind = args.Get("kind", "uniform");
+  const uint64_t seed = static_cast<uint64_t>(args.GetLong("seed", 1));
+  Dataset dataset;
+  if (kind == "uniform") {
+    dataset = MakeUniform(static_cast<size_t>(args.GetLong("count", 100000)), seed);
+  } else if (kind == "gaussian") {
+    dataset = MakeGaussian(static_cast<size_t>(args.GetLong("count", 250000)), seed);
+  } else if (kind == "ca") {
+    dataset = MakeCaLike(seed, static_cast<size_t>(args.GetLong("count", 62556)));
+  } else if (kind == "ny") {
+    dataset = MakeNyLike(seed, static_cast<size_t>(args.GetLong("count", 255259)));
+  } else {
+    return Fail("unknown --kind " + kind);
+  }
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("--out is required");
+  const Status saved = SaveDatasetCsv(dataset, out);
+  if (!saved.ok()) return Fail(saved.ToString());
+  std::printf("wrote %zu objects (%s) to %s\n", dataset.size(), dataset.name.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  const std::string data = args.Get("data");
+  const std::string out = args.Get("out");
+  if (data.empty() || out.empty()) return Fail("--data and --out are required");
+  Result<Dataset> dataset = LoadDatasetCsv(data, "cli");
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+
+  RTreeOptions options;
+  options.max_entries = static_cast<int>(args.GetLong("max-entries", kMaxEntriesDefault));
+  options.min_entries = options.max_entries * 2 / 5;
+  const Status valid = options.Validate();
+  if (!valid.ok()) return Fail(valid.ToString());
+
+  RStarTree tree(options);
+  if (args.Has("str")) {
+    tree = BulkLoadStr(dataset->objects, options);
+  } else {
+    for (const DataObject& obj : dataset->objects) tree.Insert(obj);
+  }
+  const Status saved = SaveTree(tree, out);
+  if (!saved.ok()) return Fail(saved.ToString());
+  std::printf("built %s tree: %zu objects, %zu nodes, height %d -> %s\n",
+              args.Has("str") ? "STR" : "R*", tree.size(), tree.node_count(), tree.height(),
+              out.c_str());
+  return 0;
+}
+
+struct LoadedIndex {
+  RStarTree tree;
+  std::unique_ptr<IwpIndex> iwp;
+  std::unique_ptr<DensityGrid> grid;
+};
+
+Result<LoadedIndex> LoadIndexFor(const Args& args, const NwcOptions& options) {
+  const std::string index_path = args.Get("index");
+  if (index_path.empty()) return Status::InvalidArgument("--index is required");
+  Result<RStarTree> tree = LoadTree(index_path);
+  if (!tree.ok()) return tree.status();
+  LoadedIndex loaded{std::move(tree).value(), nullptr, nullptr};
+  if (options.use_iwp) {
+    loaded.iwp = std::make_unique<IwpIndex>(IwpIndex::Build(loaded.tree));
+  }
+  if (options.use_dep) {
+    const std::string data = args.Get("data");
+    if (data.empty()) {
+      return Status::InvalidArgument("--data is required for DEP schemes (density grid)");
+    }
+    Result<Dataset> dataset = LoadDatasetCsv(data, "cli");
+    if (!dataset.ok()) return dataset.status();
+    loaded.grid = std::make_unique<DensityGrid>(
+        NormalizedSpace(), args.GetDouble("grid-cell", 25.0), dataset->objects);
+  }
+  return loaded;
+}
+
+int CmdQuery(const Args& args) {
+  const Result<NwcOptions> options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+  const Result<Point> q = ParsePoint(args.Get("q", ""));
+  if (!q.ok()) return Fail(q.status().ToString());
+  Result<LoadedIndex> index = LoadIndexFor(args, *options);
+  if (!index.ok()) return Fail(index.status().ToString());
+
+  const NwcQuery query{*q, args.GetDouble("l", 8.0), args.GetDouble("w", 8.0),
+                       static_cast<size_t>(args.GetLong("n", 8))};
+  NwcEngine engine(index->tree, index->iwp.get(), index->grid.get());
+  IoCounter io;
+  const Result<NwcResult> result = engine.Execute(query, *options, &io);
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result->found) {
+    std::printf("no qualified window (no %g x %g window holds %zu objects)\n", query.length,
+                query.width, query.n);
+    return 0;
+  }
+  std::printf("distance %.3f (%s measure), %llu node reads\n", result->distance,
+              DistanceMeasureName(options->measure),
+              static_cast<unsigned long long>(io.query_total()));
+  for (const DataObject& obj : result->objects) {
+    std::printf("  %u (%.3f, %.3f)\n", obj.id, obj.pos.x, obj.pos.y);
+  }
+  return 0;
+}
+
+int CmdKnwc(const Args& args) {
+  const Result<NwcOptions> options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+  const Result<Point> q = ParsePoint(args.Get("q", ""));
+  if (!q.ok()) return Fail(q.status().ToString());
+  Result<LoadedIndex> index = LoadIndexFor(args, *options);
+  if (!index.ok()) return Fail(index.status().ToString());
+
+  const KnwcQuery query{NwcQuery{*q, args.GetDouble("l", 8.0), args.GetDouble("w", 8.0),
+                                 static_cast<size_t>(args.GetLong("n", 8))},
+                        static_cast<size_t>(args.GetLong("k", 4)),
+                        static_cast<size_t>(args.GetLong("m", 2))};
+  KnwcEngine engine(index->tree, index->iwp.get(), index->grid.get());
+  IoCounter io;
+  const Result<KnwcResult> result = engine.Execute(query, *options, &io);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::printf("%zu group(s), %llu node reads\n", result->groups.size(),
+              static_cast<unsigned long long>(io.query_total()));
+  size_t rank = 1;
+  for (const NwcGroup& group : result->groups) {
+    std::printf("group %zu: distance %.3f, ids:", rank++, group.distance);
+    for (const DataObject& obj : group.objects) std::printf(" %u", obj.id);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  const std::string index_path = args.Get("index");
+  if (index_path.empty()) return Fail("--index is required");
+  Result<RStarTree> tree = LoadTree(index_path);
+  if (!tree.ok()) return Fail(tree.status().ToString());
+  const Status valid = ValidateTree(*tree);
+  std::printf("objects:  %zu\n", tree->size());
+  std::printf("nodes:    %zu (%zu bytes as pages)\n", tree->node_count(),
+              tree->StorageBytes());
+  std::printf("height:   %d\n", tree->height());
+  std::printf("fanout:   max %d / min %d\n", tree->options().max_entries,
+              tree->options().min_entries);
+  std::printf("split:    %s\n", SplitAlgorithmName(tree->options().split_algorithm));
+  std::printf("valid:    %s\n", valid.ok() ? "yes" : valid.ToString().c_str());
+  const Rect bounds = tree->bounds();
+  std::printf("bounds:   [%.1f, %.1f] x [%.1f, %.1f]\n", bounds.min_x, bounds.max_x,
+              bounds.min_y, bounds.max_y);
+  std::printf("%s", ComputeTreeStats(*tree).ToString().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nwc_tool <generate|build|query|knwc|stats> [--key=value ...]\n"
+               "see the header of tools/nwc_tool.cc for the full reference\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "build") return CmdBuild(args);
+  if (command == "query") return CmdQuery(args);
+  if (command == "knwc") return CmdKnwc(args);
+  if (command == "stats") return CmdStats(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace nwc
+
+int main(int argc, char** argv) { return nwc::Run(argc, argv); }
