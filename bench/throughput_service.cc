@@ -1,0 +1,96 @@
+// Service throughput trajectory: queries/sec vs worker-thread count.
+//
+// This is the repo's first serving-scale benchmark (no paper counterpart):
+// it replays a fixed set of NWC queries through the concurrent
+// QueryService at thread counts 1, 2, 4 and 8 for every optimization
+// preset of Table 3, reporting throughput, aggregate latency quantiles
+// (p50/p95/p99 from the service histogram) and merged per-phase I/O.
+// Because the index stack is immutable and all mutable state is
+// per-query, throughput should scale near-linearly until the machine's
+// cores saturate — deviations localize contention.
+//
+// Honors NWC_SCALE / NWC_QUERIES like every other driver; the query count
+// per configuration is 8x NWC_QUERIES (default 200 = 8 * 25) so the
+// histogram quantiles rest on a meaningful sample.
+
+#include <cstddef>
+#include <iterator>
+
+#include "bench/bench_common.h"
+#include "bench_util/table_printer.h"
+#include "common/string_util.h"
+#include "rtree/bulk_load.h"
+#include "service/query_service.h"
+
+int main() {
+  using namespace nwc;
+  using namespace nwc::bench;
+
+  PrintRunConfig("Service throughput: NWC queries/sec vs worker threads (CA-like)");
+  const size_t query_count = QueryCountFromEnv() * 8;
+  const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+  Dataset dataset = MakeCaLike(kDatasetSeed, ScaledCardinality(62556));
+  Progress("building %s (%zu objects)", dataset.name.c_str(), dataset.size());
+  const std::vector<Point> points = SampleQueryPoints(dataset, query_count, kQuerySeed);
+  const Rect space = dataset.space;
+
+  Result<Session> session =
+      Session::Open(BulkLoadStr(dataset.objects, RTreeOptions{}),
+                    SessionConfig{.build_iwp = true, .build_grid = true,
+                                  .grid_cell_size = 25.0, .grid_space = space});
+  CheckOk(session.status(), "Session::Open");
+
+  std::vector<NwcRequest> requests;
+  requests.reserve(points.size());
+  for (const Point& q : points) {
+    requests.push_back(NwcRequest{NwcQuery{q, kDefaultWindow, kDefaultWindow, kDefaultN}, {}});
+  }
+
+  TablePrinter table("Service throughput - queries/sec | p95 latency (us)",
+                     {"scheme", "1 thread", "2 threads", "4 threads", "8 threads"});
+  TablePrinter csv("Service throughput (CSV series)",
+                   {"scheme", "threads", "queries", "qps", "p50_us", "p95_us", "p99_us",
+                    "traversal_reads", "window_reads"});
+
+  for (const Scheme& scheme : AllSchemes()) {
+    std::vector<std::string> row{scheme.name};
+    for (const size_t threads : kThreadCounts) {
+      ServiceConfig config;
+      config.num_threads = threads;
+      config.queue_capacity = 2 * query_count + 1;  // no backpressure: measure workers
+      config.default_options = scheme.options;
+      QueryService service(*session, config);
+
+      Stopwatch wall;
+      const std::vector<NwcResponse> responses = service.RunNwcBatch(requests);
+      const double seconds = wall.ElapsedSeconds();
+      for (const NwcResponse& response : responses) {
+        CheckOk(response.status, "throughput_service query");
+      }
+      const MetricsSnapshot metrics = service.SnapshotMetrics();
+      const double qps =
+          seconds > 0.0 ? static_cast<double>(responses.size()) / seconds : 0.0;
+      Progress("%s threads=%zu: %.1f q/s, p50=%llu p95=%llu p99=%llu us, %llu reads",
+               scheme.name.c_str(), threads, qps,
+               static_cast<unsigned long long>(metrics.latency_p50_us),
+               static_cast<unsigned long long>(metrics.latency_p95_us),
+               static_cast<unsigned long long>(metrics.latency_p99_us),
+               static_cast<unsigned long long>(metrics.total_reads()));
+      row.push_back(StrFormat("%.0f | %llu", qps,
+                              static_cast<unsigned long long>(metrics.latency_p95_us)));
+      csv.AddRow({scheme.name, StrFormat("%zu", threads), StrFormat("%zu", responses.size()),
+                  StrFormat("%.1f", qps),
+                  StrFormat("%llu", static_cast<unsigned long long>(metrics.latency_p50_us)),
+                  StrFormat("%llu", static_cast<unsigned long long>(metrics.latency_p95_us)),
+                  StrFormat("%llu", static_cast<unsigned long long>(metrics.latency_p99_us)),
+                  StrFormat("%llu", static_cast<unsigned long long>(metrics.traversal_reads)),
+                  StrFormat("%llu", static_cast<unsigned long long>(metrics.window_query_reads))});
+    }
+    table.AddRow(std::move(row));
+  }
+
+  table.Print();
+  csv.WriteCsv(CsvPath("throughput_service.csv"));
+  return 0;
+}

@@ -29,6 +29,10 @@ enum class IoPhase {
 /// every visit, including re-visits by successive window queries. (The
 /// optional LRU BufferPool in storage/ is an ablation extension layered on
 /// top, not part of the reproduction metric.)
+///
+/// ThreadSafety: NOT thread-safe. The service layer gives every in-flight
+/// query its own IoCounter and merges them with Add() under the metrics
+/// mutex; never share one counter across concurrent queries.
 class IoCounter {
  public:
   IoCounter() = default;
@@ -86,6 +90,18 @@ class IoCounter {
   uint64_t traversal_reads() const { return traversal_reads_; }
   uint64_t window_query_reads() const { return window_query_reads_; }
   uint64_t maintenance_reads() const { return maintenance_reads_; }
+
+  /// Merges another counter's accumulated counts into this one (phase
+  /// reads and cache hits add; the trace and cache probe are unaffected —
+  /// access order across counters is meaningless). This is how the query
+  /// service and the benchmark drivers roll per-query counters up into an
+  /// aggregate without losing the per-phase breakdown.
+  void Add(const IoCounter& other) {
+    traversal_reads_ += other.traversal_reads_;
+    window_query_reads_ += other.window_query_reads_;
+    maintenance_reads_ += other.maintenance_reads_;
+    cache_hits_ += other.cache_hits_;
+  }
 
   /// Resets all counters and any recorded trace (tracing and the cache
   /// probe stay installed).

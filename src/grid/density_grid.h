@@ -25,6 +25,14 @@ namespace nwc {
 /// row/column closed) so each object is counted exactly once; the
 /// intersection test in CountUpperBound is closed, preserving the bound's
 /// soundness for objects on cell boundaries.
+///
+/// ThreadSafety: CountUpperBound()/CellCount() are safe for concurrent
+/// readers as long as no OnInsert()/OnRemove() has intervened since
+/// construction (the constructor builds the prefix sums eagerly, so a
+/// freshly built grid is read-only). After any update the next query
+/// rebuilds the lazily-invalidated prefix sums and must therefore be
+/// serialized with the updates — the query service only shares grids in
+/// the frozen, post-construction state.
 class DensityGrid {
  public:
   /// Builds a grid over `space` (typically the dataset bounds or the

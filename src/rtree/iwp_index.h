@@ -37,6 +37,10 @@ struct NodePointer {
 ///
 /// The structure is built over a static tree (the paper's setting); it
 /// must be rebuilt after tree modifications.
+///
+/// ThreadSafety: immutable after Build() returns — every member is const
+/// and touches no mutable state, so concurrent readers are safe. Per-query
+/// IoCounters passed to WindowQuery() must not be shared across threads.
 class IwpIndex {
  public:
   /// Builds the pointer structure for `tree`. The tree must outlive the

@@ -49,6 +49,16 @@ struct RTreeOptions {
 /// page read per visited node through AccessNode(); maintenance operations
 /// do not charge I/O (the paper only measures query cost on static data).
 ///
+/// ThreadSafety: the read path — node(), AccessNode(), IsLive(), bounds(),
+/// and every query algorithm built on them — is safe for any number of
+/// concurrent threads *provided no thread calls Insert()/Delete()
+/// concurrently*. AccessNode() mutates nothing in the tree; all I/O
+/// accounting goes to the caller-supplied per-query IoCounter, which must
+/// not be shared across threads. The query service relies on this
+/// const-reader contract (src/service/). Mutations require external
+/// exclusive locking, or (the paper's and the service's setting) a tree
+/// that is frozen after construction.
+///
 /// The class is move-only (it owns the node arena).
 class RStarTree {
  public:

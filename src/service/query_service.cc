@@ -1,0 +1,256 @@
+#include "service/query_service.h"
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/knwc_engine.h"
+#include "core/nwc_engine.h"
+
+namespace nwc {
+namespace {
+
+/// Collects every stored object by walking the tree's leaves (structural
+/// access, no I/O charged) — the density grid is built from the index
+/// itself, so opening a session needs no separate dataset.
+std::vector<DataObject> CollectObjects(const RStarTree& tree) {
+  std::vector<DataObject> objects;
+  objects.reserve(tree.size());
+  std::vector<NodeId> stack{tree.root()};
+  while (!stack.empty()) {
+    const RTreeNode& node = tree.node(stack.back());
+    stack.pop_back();
+    if (node.is_leaf()) {
+      objects.insert(objects.end(), node.objects.begin(), node.objects.end());
+    } else {
+      for (const ChildEntry& entry : node.children) stack.push_back(entry.child);
+    }
+  }
+  return objects;
+}
+
+}  // namespace
+
+Status SessionConfig::Validate() const {
+  if (build_grid && !(grid_cell_size > 0.0)) {
+    return Status::InvalidArgument("grid_cell_size must be positive");
+  }
+  return Status::Ok();
+}
+
+Status ServiceConfig::Validate() const {
+  if (num_threads == 0) return Status::InvalidArgument("num_threads must be >= 1");
+  if (queue_capacity == 0) return Status::InvalidArgument("queue_capacity must be >= 1");
+  return Status::Ok();
+}
+
+Result<Session> Session::Open(RStarTree tree, const SessionConfig& config) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+
+  Session session;
+  session.tree_ = std::make_unique<RStarTree>(std::move(tree));
+  if (config.build_iwp) {
+    session.iwp_ = std::make_unique<IwpIndex>(IwpIndex::Build(*session.tree_));
+  }
+  if (config.build_grid) {
+    Rect space = config.grid_space;
+    if (space.IsEmpty()) space = session.tree_->bounds();
+    if (space.IsEmpty()) {
+      // Empty tree: a 1-cell grid with zero counts keeps DEP sound (it
+      // prunes everything, which is the right answer for no data).
+      space = Rect{0.0, 0.0, config.grid_cell_size, config.grid_cell_size};
+    }
+    session.grid_ = std::make_unique<DensityGrid>(space, config.grid_cell_size,
+                                                  CollectObjects(*session.tree_));
+  }
+  return session;
+}
+
+QueryService::QueryService(const Session& session, const ServiceConfig& config)
+    : session_(session),
+      config_(config),
+      worker_pools_(config.num_threads == 0 ? 1 : config.num_threads),
+      pool_(config.num_threads, config.queue_capacity) {
+  if (config_.worker_pool_pages > 0) {
+    for (auto& pool : worker_pools_) {
+      pool = std::make_unique<BufferPool>(config_.worker_pool_pages);
+    }
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() { pool_.Shutdown(); }
+
+Status QueryService::CheckRequest(const std::optional<NwcOptions>& override_options,
+                                  NwcOptions* effective) const {
+  *effective = override_options.value_or(config_.default_options);
+  if (!session_.Supports(*effective)) {
+    return Status::FailedPrecondition(
+        "session lacks the IWP index / density grid required by the requested scheme");
+  }
+  return Status::Ok();
+}
+
+template <typename Response, typename Query>
+void QueryService::Execute(size_t worker_index, const Query& query, const NwcOptions& options,
+                           std::promise<Response> promise) {
+  Response response;
+  IoCounter io;
+  BufferPool* worker_pool = worker_pools_[worker_index].get();
+  if (worker_pool != nullptr) {
+    io.SetCacheProbe([worker_pool](uint32_t page) { return worker_pool->Access(page); });
+  }
+
+  Stopwatch timer;
+  bool found = false;
+  if constexpr (std::is_same_v<Response, NwcResponse>) {
+    NwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
+    Result<NwcResult> result = engine.Execute(query, options, &io);
+    response.status = result.status();
+    if (result.ok()) {
+      found = result->found;
+      response.result = std::move(result).value();
+    }
+  } else {
+    KnwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
+    Result<KnwcResult> result = engine.Execute(query, options, &io);
+    response.status = result.status();
+    if (result.ok()) {
+      found = !result->groups.empty();
+      response.result = std::move(result).value();
+    }
+  }
+  response.latency_micros = timer.ElapsedMicros();
+  response.traversal_reads = io.traversal_reads();
+  response.window_query_reads = io.window_query_reads();
+  response.cache_hits = io.cache_hits();
+
+  metrics_.RecordQuery(response.latency_micros, io, response.status.ok(), found);
+  promise.set_value(std::move(response));
+}
+
+namespace {
+
+/// A response that never reached a worker (service-level failure).
+template <typename Response>
+Response FailedResponse(Status status) {
+  Response response;
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+std::future<NwcResponse> QueryService::SubmitNwc(NwcRequest request) {
+  auto promise = std::make_shared<std::promise<NwcResponse>>();
+  std::future<NwcResponse> future = promise->get_future();
+  NwcOptions options;
+  const Status status = CheckRequest(request.options, &options);
+  if (!status.ok()) {
+    promise->set_value(FailedResponse<NwcResponse>(status));
+    return future;
+  }
+  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
+  const bool accepted =
+      pool_.Submit([this, query = request.query, options, promise](size_t worker) mutable {
+        Execute<NwcResponse>(worker, query, options, std::move(*promise));
+      });
+  if (!accepted) {
+    promise->set_value(FailedResponse<NwcResponse>(
+        Status::FailedPrecondition("query service is shut down")));
+  }
+  return future;
+}
+
+std::future<KnwcResponse> QueryService::SubmitKnwc(KnwcRequest request) {
+  auto promise = std::make_shared<std::promise<KnwcResponse>>();
+  std::future<KnwcResponse> future = promise->get_future();
+  NwcOptions options;
+  const Status status = CheckRequest(request.options, &options);
+  if (!status.ok()) {
+    promise->set_value(FailedResponse<KnwcResponse>(status));
+    return future;
+  }
+  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
+  const bool accepted =
+      pool_.Submit([this, query = request.query, options, promise](size_t worker) mutable {
+        Execute<KnwcResponse>(worker, query, options, std::move(*promise));
+      });
+  if (!accepted) {
+    promise->set_value(FailedResponse<KnwcResponse>(
+        Status::FailedPrecondition("query service is shut down")));
+  }
+  return future;
+}
+
+bool QueryService::TrySubmitNwc(NwcRequest request, std::future<NwcResponse>* out) {
+  auto promise = std::make_shared<std::promise<NwcResponse>>();
+  std::future<NwcResponse> future = promise->get_future();
+  NwcOptions options;
+  const Status status = CheckRequest(request.options, &options);
+  if (!status.ok()) {
+    promise->set_value(FailedResponse<NwcResponse>(status));
+    *out = std::move(future);
+    return true;
+  }
+  const bool accepted =
+      pool_.TrySubmit([this, query = request.query, options, promise](size_t worker) mutable {
+        Execute<NwcResponse>(worker, query, options, std::move(*promise));
+      });
+  if (!accepted) {
+    metrics_.RecordRejection();
+    return false;
+  }
+  metrics_.RecordQueueDepth(pool_.QueueDepth());
+  *out = std::move(future);
+  return true;
+}
+
+bool QueryService::TrySubmitKnwc(KnwcRequest request, std::future<KnwcResponse>* out) {
+  auto promise = std::make_shared<std::promise<KnwcResponse>>();
+  std::future<KnwcResponse> future = promise->get_future();
+  NwcOptions options;
+  const Status status = CheckRequest(request.options, &options);
+  if (!status.ok()) {
+    promise->set_value(FailedResponse<KnwcResponse>(status));
+    *out = std::move(future);
+    return true;
+  }
+  const bool accepted =
+      pool_.TrySubmit([this, query = request.query, options, promise](size_t worker) mutable {
+        Execute<KnwcResponse>(worker, query, options, std::move(*promise));
+      });
+  if (!accepted) {
+    metrics_.RecordRejection();
+    return false;
+  }
+  metrics_.RecordQueueDepth(pool_.QueueDepth());
+  *out = std::move(future);
+  return true;
+}
+
+std::vector<NwcResponse> QueryService::RunNwcBatch(const std::vector<NwcRequest>& requests) {
+  std::vector<std::future<NwcResponse>> futures;
+  futures.reserve(requests.size());
+  for (const NwcRequest& request : requests) futures.push_back(SubmitNwc(request));
+  std::vector<NwcResponse> responses;
+  responses.reserve(requests.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  return responses;
+}
+
+std::vector<KnwcResponse> QueryService::RunKnwcBatch(const std::vector<KnwcRequest>& requests) {
+  std::vector<std::future<KnwcResponse>> futures;
+  futures.reserve(requests.size());
+  for (const KnwcRequest& request : requests) futures.push_back(SubmitKnwc(request));
+  std::vector<KnwcResponse> responses;
+  responses.reserve(requests.size());
+  for (auto& future : futures) responses.push_back(future.get());
+  return responses;
+}
+
+}  // namespace nwc

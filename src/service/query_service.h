@@ -1,0 +1,204 @@
+#ifndef NWC_SERVICE_QUERY_SERVICE_H_
+#define NWC_SERVICE_QUERY_SERVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "common/status.h"
+#include "core/nwc_types.h"
+#include "grid/density_grid.h"
+#include "rtree/iwp_index.h"
+#include "rtree/rstar_tree.h"
+#include "service/service_metrics.h"
+#include "service/thread_pool.h"
+#include "storage/buffer_pool.h"
+
+namespace nwc {
+
+/// What auxiliary structures a Session builds next to the tree. The
+/// defaults cover NWC* (every optimization available); disable structures
+/// the deployed option presets never use to save build time and memory.
+struct SessionConfig {
+  bool build_iwp = true;      ///< IWP pointer tables (needed by use_iwp)
+  bool build_grid = true;     ///< density grid (needed by use_dep)
+  double grid_cell_size = 25.0;  ///< cell side for the density grid
+  /// Grid data space; an empty rect means "the tree's bounds". Pass the
+  /// normalized space when queries may fall outside the data bounds.
+  Rect grid_space = Rect::Empty();
+
+  Status Validate() const;
+};
+
+/// An immutable, shareable snapshot of the index stack: the R*-tree plus
+/// the optional IWP augmentation and density grid built over it.
+///
+/// A Session is the unit the service shares across worker threads: after
+/// Open() returns, nothing in it ever mutates, so any number of concurrent
+/// readers is safe (see the ThreadSafety notes on RStarTree, IwpIndex and
+/// DensityGrid). Mutating the tree requires opening a new Session — the
+/// paper's setting is static data, and the service inherits it.
+class Session {
+ public:
+  /// Takes ownership of `tree` and builds the configured auxiliary
+  /// structures (grid objects are collected from the tree's own leaves, so
+  /// no separate dataset is needed). Returns InvalidArgument for a bad
+  /// config.
+  static Result<Session> Open(RStarTree tree, const SessionConfig& config = SessionConfig());
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const RStarTree& tree() const { return *tree_; }
+  /// nullptr when the session was opened without IWP.
+  const IwpIndex* iwp() const { return iwp_.get(); }
+  /// nullptr when the session was opened without the grid.
+  const DensityGrid* grid() const { return grid_.get(); }
+
+  /// True when every structure the preset's techniques need is present.
+  bool Supports(const NwcOptions& options) const {
+    return (!options.use_iwp || iwp_ != nullptr) && (!options.use_dep || grid_ != nullptr);
+  }
+
+ private:
+  Session() = default;
+
+  // unique_ptrs keep Session movable while workers hold stable references.
+  std::unique_ptr<RStarTree> tree_;
+  std::unique_ptr<IwpIndex> iwp_;
+  std::unique_ptr<DensityGrid> grid_;
+};
+
+/// Sizing and defaults for a QueryService.
+struct ServiceConfig {
+  size_t num_threads = 4;      ///< worker threads sharing the session
+  size_t queue_capacity = 256; ///< bounded job queue (backpressure point)
+  /// Options applied when a request carries no override.
+  NwcOptions default_options = NwcOptions::Star();
+  /// Pages per *per-worker* LRU buffer pool; 0 disables pooling and
+  /// reproduces the paper's bufferless metric. Pools are strictly
+  /// per-worker — BufferPool's LRU state must never be shared across
+  /// threads (see storage/buffer_pool.h).
+  size_t worker_pool_pages = 0;
+
+  Status Validate() const;
+};
+
+/// One NWC request: the query plus an optional per-request option
+/// override (scheme + measure); absent means the service default.
+struct NwcRequest {
+  NwcQuery query;
+  std::optional<NwcOptions> options;
+};
+
+/// One kNWC request; see NwcRequest.
+struct KnwcRequest {
+  KnwcQuery query;
+  std::optional<NwcOptions> options;
+};
+
+/// Outcome of one NWC request. `result` is meaningful only when
+/// status.ok(); `io` is the query's private counter (also merged into the
+/// service metrics), `latency_micros` the wall time inside the worker.
+struct NwcResponse {
+  Status status;
+  NwcResult result;
+  uint64_t latency_micros = 0;
+  uint64_t traversal_reads = 0;
+  uint64_t window_query_reads = 0;
+  uint64_t cache_hits = 0;
+};
+
+/// Outcome of one kNWC request; see NwcResponse.
+struct KnwcResponse {
+  Status status;
+  KnwcResult result;
+  uint64_t latency_micros = 0;
+  uint64_t traversal_reads = 0;
+  uint64_t window_query_reads = 0;
+  uint64_t cache_hits = 0;
+};
+
+/// Concurrent query execution over one immutable Session.
+///
+/// The service owns a fixed ThreadPool; each worker runs queries against
+/// the shared read-only index stack with strictly per-query mutable state
+/// (IoCounter, engine locals) plus an optional per-worker BufferPool, so
+/// execution is concurrency-correct by construction. Results come back
+/// through std::future; rejected TrySubmits and per-query latency/I/O are
+/// visible in metrics().
+///
+/// Shutdown (or destruction) drains accepted requests before returning,
+/// so every future obtained from a successful submit becomes ready.
+///
+/// ThreadSafety: Submit/TrySubmit/RunBatch and the metrics accessors may
+/// be called from any thread. The Session must outlive the service.
+class QueryService {
+ public:
+  /// Binds to `session` (not owned, must outlive the service) and starts
+  /// the workers. `config` must already be validated.
+  QueryService(const Session& session, const ServiceConfig& config);
+
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues a request, blocking while the queue is full. The future is
+  /// always valid; a service-level failure (shutdown, unsupported scheme)
+  /// surfaces as a non-OK response status.
+  std::future<NwcResponse> SubmitNwc(NwcRequest request);
+  std::future<KnwcResponse> SubmitKnwc(KnwcRequest request);
+
+  /// Non-blocking submit. Returns false — and counts a rejection in the
+  /// metrics — when the queue is full; `out` is untouched in that case.
+  bool TrySubmitNwc(NwcRequest request, std::future<NwcResponse>* out);
+  bool TrySubmitKnwc(KnwcRequest request, std::future<KnwcResponse>* out);
+
+  /// Convenience: submits every request (blocking on backpressure) and
+  /// waits for all responses, returned in request order.
+  std::vector<NwcResponse> RunNwcBatch(const std::vector<NwcRequest>& requests);
+  std::vector<KnwcResponse> RunKnwcBatch(const std::vector<KnwcRequest>& requests);
+
+  /// Aggregated per-query metrics since construction / the last reset.
+  MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+  void ResetMetrics() { metrics_.Reset(); }
+
+  /// Drains accepted requests and stops the workers. Idempotent; called
+  /// by the destructor. Submits after shutdown fail with
+  /// FailedPrecondition responses.
+  void Shutdown();
+
+  size_t num_workers() const { return pool_.num_threads(); }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  /// Resolves the effective options and checks the session supports them.
+  Status CheckRequest(const std::optional<NwcOptions>& override_options,
+                      NwcOptions* effective) const;
+
+  /// Runs one query on a worker: binds the per-worker pool (if any) to a
+  /// fresh IoCounter, executes, fills the response fields common to both
+  /// query kinds.
+  template <typename Response, typename Query>
+  void Execute(size_t worker_index, const Query& query, const NwcOptions& options,
+               std::promise<Response> promise);
+
+  const Session& session_;
+  ServiceConfig config_;
+  ServiceMetrics metrics_;
+  // One pool per worker, indexed by the worker id ThreadPool hands to each
+  // job; never shared across threads (empty when worker_pool_pages == 0).
+  std::vector<std::unique_ptr<BufferPool>> worker_pools_;
+  ThreadPool pool_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_SERVICE_QUERY_SERVICE_H_

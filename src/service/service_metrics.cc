@@ -1,0 +1,84 @@
+#include "service/service_metrics.h"
+
+#include "common/string_util.h"
+
+namespace nwc {
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  out += StrFormat("queries:    %llu (%llu failed, %llu without result)\n",
+                   static_cast<unsigned long long>(queries),
+                   static_cast<unsigned long long>(failures),
+                   static_cast<unsigned long long>(not_found));
+  out += StrFormat("rejections: %llu, max queue depth %llu\n",
+                   static_cast<unsigned long long>(rejections),
+                   static_cast<unsigned long long>(max_queue_depth));
+  out += StrFormat("latency:    p50 %llu us, p95 %llu us, p99 %llu us (min %llu, mean %.1f, max %llu)\n",
+                   static_cast<unsigned long long>(latency_p50_us),
+                   static_cast<unsigned long long>(latency_p95_us),
+                   static_cast<unsigned long long>(latency_p99_us),
+                   static_cast<unsigned long long>(latency_min_us), latency_mean_us,
+                   static_cast<unsigned long long>(latency_max_us));
+  out += StrFormat("node reads: %llu (traversal %llu, window %llu), cache hits %llu\n",
+                   static_cast<unsigned long long>(total_reads()),
+                   static_cast<unsigned long long>(traversal_reads),
+                   static_cast<unsigned long long>(window_query_reads),
+                   static_cast<unsigned long long>(cache_hits));
+  return out;
+}
+
+void ServiceMetrics::RecordQuery(uint64_t latency_micros, const IoCounter& io, bool ok,
+                                 bool found) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_.Record(latency_micros);
+  io_.Add(io);
+  ++queries_;
+  if (!ok) {
+    ++failures_;
+  } else if (!found) {
+    ++not_found_;
+  }
+}
+
+void ServiceMetrics::RecordRejection() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejections_;
+}
+
+void ServiceMetrics::RecordQueueDepth(size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth > max_queue_depth_) max_queue_depth_ = depth;
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.queries = queries_;
+  snapshot.failures = failures_;
+  snapshot.not_found = not_found_;
+  snapshot.rejections = rejections_;
+  snapshot.max_queue_depth = max_queue_depth_;
+  snapshot.latency_p50_us = latency_.Quantile(0.50);
+  snapshot.latency_p95_us = latency_.Quantile(0.95);
+  snapshot.latency_p99_us = latency_.Quantile(0.99);
+  snapshot.latency_min_us = latency_.min();
+  snapshot.latency_max_us = latency_.max();
+  snapshot.latency_mean_us = latency_.Mean();
+  snapshot.traversal_reads = io_.traversal_reads();
+  snapshot.window_query_reads = io_.window_query_reads();
+  snapshot.cache_hits = io_.cache_hits();
+  return snapshot;
+}
+
+void ServiceMetrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_.Reset();
+  io_.Reset();
+  queries_ = 0;
+  failures_ = 0;
+  not_found_ = 0;
+  rejections_ = 0;
+  max_queue_depth_ = 0;
+}
+
+}  // namespace nwc

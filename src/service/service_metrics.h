@@ -1,0 +1,82 @@
+#ifndef NWC_SERVICE_SERVICE_METRICS_H_
+#define NWC_SERVICE_SERVICE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/io_stats.h"
+#include "service/latency_histogram.h"
+
+namespace nwc {
+
+/// Point-in-time copy of a ServiceMetrics, safe to read without locks.
+struct MetricsSnapshot {
+  uint64_t queries = 0;       ///< completed queries (ok or failed)
+  uint64_t failures = 0;      ///< queries that returned a non-OK status
+  uint64_t not_found = 0;     ///< OK queries with no qualified window / 0 groups
+  uint64_t rejections = 0;    ///< TrySubmit calls bounced by the full queue
+  uint64_t max_queue_depth = 0;  ///< high-water mark observed at submit time
+
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p95_us = 0;
+  uint64_t latency_p99_us = 0;
+  uint64_t latency_min_us = 0;
+  uint64_t latency_max_us = 0;
+  double latency_mean_us = 0.0;
+
+  /// Per-phase I/O totals merged from every completed query's IoCounter.
+  uint64_t traversal_reads = 0;
+  uint64_t window_query_reads = 0;
+  uint64_t cache_hits = 0;
+
+  uint64_t total_reads() const { return traversal_reads + window_query_reads; }
+
+  /// Multi-line human-readable report (the serve-batch output).
+  std::string ToString() const;
+};
+
+/// Aggregated observability for a QueryService: a latency histogram with
+/// p50/p95/p99, per-phase I/O roll-ups merged from the per-query
+/// IoCounters, queue-depth high-water mark, and rejection counts.
+///
+/// ThreadSafety: all members are safe to call concurrently; state is
+/// guarded by one mutex. Workers touch it once per completed query, so
+/// contention is negligible next to query cost.
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+
+  /// Records one completed query: its wall latency, its per-query I/O
+  /// counter (merged into the roll-up), and its outcome. `ok` is the
+  /// engine status; `found` whether a result was produced (ignored when
+  /// !ok).
+  void RecordQuery(uint64_t latency_micros, const IoCounter& io, bool ok, bool found);
+
+  /// Records one TrySubmit rejection (queue full).
+  void RecordRejection();
+
+  /// Records an observed queue depth; keeps the high-water mark.
+  void RecordQueueDepth(size_t depth);
+
+  /// Consistent point-in-time copy of everything above.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter and the histogram.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram latency_;
+  IoCounter io_;
+  uint64_t queries_ = 0;
+  uint64_t failures_ = 0;
+  uint64_t not_found_ = 0;
+  uint64_t rejections_ = 0;
+  uint64_t max_queue_depth_ = 0;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_SERVICE_SERVICE_METRICS_H_

@@ -16,6 +16,11 @@ namespace nwc {
 /// the raw node-visit cost a small LRU buffer would absorb for each scheme,
 /// which contextualizes the paper's "I/O cost dominates" claim on modern
 /// stacks. It is not consulted by the reproduction benchmarks.
+///
+/// ThreadSafety: NOT thread-safe — Access() mutates the LRU list on every
+/// call (even hits). A pool must never be shared across query-service
+/// workers; QueryService enforces this by giving each worker its own pool
+/// (or none), indexed by the worker id (see src/service/query_service.h).
 class BufferPool {
  public:
   /// Creates a pool holding at most `capacity_pages` pages. A capacity of 0

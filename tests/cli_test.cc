@@ -99,6 +99,54 @@ TEST_F(CliPipelineTest, KnwcReturnsOrderedGroups) {
   EXPECT_NE(result.output.find("group 1:"), std::string::npos) << result.output;
 }
 
+TEST_F(CliPipelineTest, ServeBatchReplaysQueryFileAndReportsMetrics) {
+  const std::string queries_path = TempPath("cli_serve_batch.txt");
+  std::FILE* file = std::fopen(queries_path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fprintf(file, "# mixed NWC / kNWC replay\n");
+  for (int i = 0; i < 12; ++i) {
+    std::fprintf(file, "nwc %d %d 400 400 5\n", 1000 + i * 700, 9000 - i * 600);
+  }
+  std::fprintf(file, "knwc 5000 5000 400 400 4 3 1\n");
+  std::fclose(file);
+
+  const CommandResult result =
+      RunTool("serve-batch --index=" + *tree_path_ + " --queries=" + queries_path +
+          " --threads=4 --scheme=star --print");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("serving 13 queries"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("metrics report"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("queries/sec"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("p95"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("node reads:"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("queries:    13 (0 failed"), std::string::npos) << result.output;
+}
+
+TEST_F(CliPipelineTest, ServeBatchMatchesSingleQueryDistance) {
+  const std::string queries_path = TempPath("cli_serve_one.txt");
+  std::FILE* file = std::fopen(queries_path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fprintf(file, "nwc 5000 5000 400 400 5\n");
+  std::fclose(file);
+
+  const CommandResult single =
+      RunTool("query --index=" + *tree_path_ + " --data=" + *csv_path_ +
+          " --q=5000,5000 --l=400 --w=400 --n=5 --scheme=plus");
+  ASSERT_EQ(single.exit_code, 0) << single.output;
+  const CommandResult served =
+      RunTool("serve-batch --index=" + *tree_path_ + " --queries=" + queries_path +
+          " --threads=2 --scheme=plus --print");
+  ASSERT_EQ(served.exit_code, 0) << served.output;
+
+  // "distance %.3f" from query must appear as "distance %.3f" in the
+  // served per-query line.
+  const size_t pos = single.output.find("distance ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string distance = single.output.substr(pos, single.output.find(' ', pos + 9) - pos);
+  EXPECT_NE(served.output.find(distance), std::string::npos)
+      << "expected '" << distance << "' in: " << served.output;
+}
+
 TEST_F(CliPipelineTest, ErrorPaths) {
   EXPECT_NE(RunTool("").exit_code, 0);
   EXPECT_NE(RunTool("frobnicate").exit_code, 0);
@@ -111,6 +159,31 @@ TEST_F(CliPipelineTest, ErrorPaths) {
       RunTool("query --index=" + *tree_path_ + " --q=1,1 --l=4 --w=4 --n=2 --scheme=dep");
   EXPECT_NE(dep.exit_code, 0);
   EXPECT_NE(dep.output.find("--data"), std::string::npos) << dep.output;
+  // serve-batch: missing/bad inputs must fail cleanly.
+  EXPECT_NE(RunTool("serve-batch --index=" + *tree_path_).exit_code, 0);
+  EXPECT_NE(RunTool("serve-batch --index=" + *tree_path_ + " --queries=/does/not/exist.txt")
+                .exit_code,
+            0);
+  const std::string bad_path = TempPath("cli_bad_queries.txt");
+  std::FILE* bad = std::fopen(bad_path.c_str(), "w");
+  ASSERT_NE(bad, nullptr);
+  std::fprintf(bad, "walk 1 2 3\n");
+  std::fclose(bad);
+  const CommandResult malformed =
+      RunTool("serve-batch --index=" + *tree_path_ + " --queries=" + bad_path);
+  EXPECT_NE(malformed.exit_code, 0);
+  EXPECT_NE(malformed.output.find("line 1"), std::string::npos) << malformed.output;
+  // Trailing junk (e.g. knwc arity under the nwc keyword) must be rejected,
+  // not silently dropped.
+  const std::string junk_path = TempPath("cli_junk_queries.txt");
+  std::FILE* junk = std::fopen(junk_path.c_str(), "w");
+  ASSERT_NE(junk, nullptr);
+  std::fprintf(junk, "nwc 1 2 3 4 5 6 7\n");
+  std::fclose(junk);
+  const CommandResult trailing =
+      RunTool("serve-batch --index=" + *tree_path_ + " --queries=" + junk_path);
+  EXPECT_NE(trailing.exit_code, 0);
+  EXPECT_NE(trailing.output.find("trailing"), std::string::npos) << trailing.output;
 }
 
 }  // namespace

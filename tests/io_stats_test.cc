@@ -68,6 +68,52 @@ TEST(IoCounterTest, UnknownPagePlaceholder) {
 }
 
 
+TEST(IoCounterTest, AddMergesPhaseCountsAndCacheHits) {
+  IoCounter a;
+  a.OnNodeAccess(IoPhase::kTraversal);
+  a.OnNodeAccess(IoPhase::kWindowQuery);
+
+  IoCounter b;
+  b.SetCacheProbe([](uint32_t) { return true; });
+  b.OnNodeAccess(IoPhase::kTraversal, 1);   // absorbed as a cache hit
+  b.SetCacheProbe(nullptr);
+  b.OnNodeAccess(IoPhase::kWindowQuery);
+  b.OnNodeAccess(IoPhase::kWindowQuery);
+  b.OnNodeAccess(IoPhase::kMaintenance);
+
+  a.Add(b);
+  EXPECT_EQ(a.traversal_reads(), 1u);
+  EXPECT_EQ(a.window_query_reads(), 3u);
+  EXPECT_EQ(a.maintenance_reads(), 1u);
+  EXPECT_EQ(a.cache_hits(), 1u);
+  EXPECT_EQ(a.total(), 5u);
+  // The source counter is unchanged.
+  EXPECT_EQ(b.query_total(), 2u);
+}
+
+TEST(IoCounterTest, AddOfEmptyCounterIsANoOp) {
+  IoCounter a;
+  a.OnNodeAccess(IoPhase::kTraversal);
+  a.Add(IoCounter());
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.traversal_reads(), 1u);
+}
+
+TEST(IoCounterTest, AddDoesNotTouchTraceOrProbe) {
+  IoCounter a;
+  a.EnableTrace();
+  a.OnNodeAccess(IoPhase::kTraversal, 4);
+
+  IoCounter b;
+  b.EnableTrace();
+  b.OnNodeAccess(IoPhase::kWindowQuery, 9);
+
+  a.Add(b);
+  ASSERT_EQ(a.trace().size(), 1u);  // b's trace is not appended
+  EXPECT_EQ(a.trace()[0], 4u);
+  EXPECT_EQ(a.window_query_reads(), 1u);
+}
+
 TEST(IoCounterTest, CacheProbeAbsorbsHits) {
   IoCounter io;
   bool cached = false;

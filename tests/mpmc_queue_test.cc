@@ -1,0 +1,126 @@
+#include "service/mpmc_queue.h"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nwc {
+namespace {
+
+TEST(MpmcQueueTest, FifoOrderSingleThread) {
+  MpmcQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(MpmcQueueTest, TryPushRejectsWhenFull) {
+  MpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_TRUE(queue.TryPush(3));  // slot freed
+}
+
+TEST(MpmcQueueTest, ZeroCapacityClampsToOne) {
+  MpmcQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_FALSE(queue.TryPush(8));
+}
+
+TEST(MpmcQueueTest, CloseDrainsAcceptedItemsThenFailsPop) {
+  MpmcQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_FALSE(queue.Push(4));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(out));  // closed and drained
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedConsumer) {
+  MpmcQueue<int> queue(1);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(queue.Pop(out));  // blocks until Close
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(MpmcQueueTest, BlockedProducerResumesWhenSlotFrees) {
+  MpmcQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  MpmcQueue<int> queue(8);
+
+  std::vector<std::thread> threads;
+  std::mutex seen_mu;
+  std::set<int> seen;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int value = 0;
+      while (queue.Pop(value)) {
+        std::lock_guard<std::mutex> lock(seen_mu);
+        EXPECT_TRUE(seen.insert(value).second) << "duplicate " << value;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,283 @@
+// QueryService correctness: the multi-threaded differential test required
+// by the service design — batch results across 4 workers must be
+// *identical* (bit-for-bit: distances, ids, positions) to single-threaded
+// NwcEngine/KnwcEngine runs over the same session — plus session/option
+// plumbing, shutdown semantics, TrySubmit backpressure, and metrics.
+
+#include "service/query_service.h"
+
+#include <future>
+#include <iterator>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/knwc_engine.h"
+#include "core/nwc_engine.h"
+#include "datasets/generators.h"
+#include "rtree/bulk_load.h"
+
+namespace nwc {
+namespace {
+
+constexpr uint64_t kSeed = 20160315;
+
+Session OpenTestSession(size_t cardinality = 4000) {
+  Dataset dataset = MakeCaLike(kSeed, cardinality);
+  SessionConfig config;
+  config.grid_space = dataset.space;
+  Result<Session> session =
+      Session::Open(BulkLoadStr(dataset.objects, RTreeOptions{}), config);
+  EXPECT_TRUE(session.ok()) << session.status();
+  return std::move(session).value();
+}
+
+std::vector<NwcRequest> SeededNwcRequests(size_t count) {
+  Rng rng(kSeed ^ 0x5E1);
+  std::vector<NwcRequest> requests;
+  const NwcOptions overrides[] = {NwcOptions::Plain(), NwcOptions::Plus(), NwcOptions::Star()};
+  for (size_t i = 0; i < count; ++i) {
+    NwcRequest request;
+    request.query.q = Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    request.query.length = rng.NextDouble(80, 400);
+    request.query.width = rng.NextDouble(80, 400);
+    request.query.n = 3 + rng.NextUint64(8);
+    if (i % 3 != 0) {  // mix service defaults with per-request overrides
+      NwcOptions options = overrides[i % std::size(overrides)];
+      options.measure = static_cast<DistanceMeasure>(i % 4);
+      request.options = options;
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+std::vector<KnwcRequest> SeededKnwcRequests(size_t count) {
+  Rng rng(kSeed ^ 0xA3);
+  std::vector<KnwcRequest> requests;
+  for (size_t i = 0; i < count; ++i) {
+    KnwcRequest request;
+    request.query.base.q = Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)};
+    request.query.base.length = rng.NextDouble(100, 400);
+    request.query.base.width = rng.NextDouble(100, 400);
+    request.query.base.n = 4 + rng.NextUint64(5);
+    request.query.k = 2 + rng.NextUint64(3);
+    request.query.m = rng.NextUint64(request.query.base.n - 1);
+    if (i % 2 == 0) request.options = NwcOptions::Plus();
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+void ExpectSameObjects(const std::vector<DataObject>& got,
+                       const std::vector<DataObject>& want, size_t index) {
+  ASSERT_EQ(got.size(), want.size()) << "request " << index;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "request " << index << " object " << i;
+    EXPECT_EQ(got[i].pos.x, want[i].pos.x) << "request " << index << " object " << i;
+    EXPECT_EQ(got[i].pos.y, want[i].pos.y) << "request " << index << " object " << i;
+  }
+}
+
+TEST(QueryServiceDifferentialTest, FourWorkerBatchMatchesSequentialEngines) {
+  const Session session = OpenTestSession();
+  ServiceConfig config;
+  config.num_threads = 4;
+  config.queue_capacity = 64;
+  config.default_options = NwcOptions::Star();
+  QueryService service(session, config);
+
+  // >= 200 seeded queries across both query kinds (acceptance criterion).
+  const std::vector<NwcRequest> nwc_requests = SeededNwcRequests(160);
+  const std::vector<KnwcRequest> knwc_requests = SeededKnwcRequests(80);
+
+  const std::vector<NwcResponse> nwc_responses = service.RunNwcBatch(nwc_requests);
+  const std::vector<KnwcResponse> knwc_responses = service.RunKnwcBatch(knwc_requests);
+  ASSERT_EQ(nwc_responses.size(), nwc_requests.size());
+  ASSERT_EQ(knwc_responses.size(), knwc_requests.size());
+
+  // Sequential reference over the *same* session structures.
+  NwcEngine nwc_engine(session.tree(), session.iwp(), session.grid());
+  size_t found = 0;
+  for (size_t i = 0; i < nwc_requests.size(); ++i) {
+    const NwcOptions options = nwc_requests[i].options.value_or(config.default_options);
+    const Result<NwcResult> expected =
+        nwc_engine.Execute(nwc_requests[i].query, options, nullptr);
+    ASSERT_TRUE(expected.ok()) << "request " << i;
+    ASSERT_TRUE(nwc_responses[i].status.ok()) << "request " << i << ": "
+                                              << nwc_responses[i].status;
+    ASSERT_EQ(nwc_responses[i].result.found, expected->found) << "request " << i;
+    if (expected->found) {
+      ++found;
+      EXPECT_EQ(nwc_responses[i].result.distance, expected->distance) << "request " << i;
+      ExpectSameObjects(nwc_responses[i].result.objects, expected->objects, i);
+    }
+  }
+  EXPECT_GT(found, nwc_requests.size() / 2) << "dataset/query mix should mostly find windows";
+
+  KnwcEngine knwc_engine(session.tree(), session.iwp(), session.grid());
+  for (size_t i = 0; i < knwc_requests.size(); ++i) {
+    const NwcOptions options = knwc_requests[i].options.value_or(config.default_options);
+    const Result<KnwcResult> expected =
+        knwc_engine.Execute(knwc_requests[i].query, options, nullptr);
+    ASSERT_TRUE(expected.ok()) << "request " << i;
+    ASSERT_TRUE(knwc_responses[i].status.ok()) << "request " << i;
+    const KnwcResult& got = knwc_responses[i].result;
+    ASSERT_EQ(got.groups.size(), expected->groups.size()) << "request " << i;
+    for (size_t g = 0; g < got.groups.size(); ++g) {
+      EXPECT_EQ(got.groups[g].distance, expected->groups[g].distance)
+          << "request " << i << " group " << g;
+      ExpectSameObjects(got.groups[g].objects, expected->groups[g].objects, i);
+    }
+  }
+
+  const MetricsSnapshot metrics = service.SnapshotMetrics();
+  EXPECT_EQ(metrics.queries, nwc_requests.size() + knwc_requests.size());
+  EXPECT_EQ(metrics.failures, 0u);
+  EXPECT_GT(metrics.total_reads(), 0u);
+  EXPECT_LE(metrics.latency_p50_us, metrics.latency_p95_us);
+  EXPECT_LE(metrics.latency_p95_us, metrics.latency_p99_us);
+  EXPECT_LE(metrics.latency_p99_us, metrics.latency_max_us);
+}
+
+TEST(QueryServiceTest, PerWorkerBufferPoolsKeepResultsIdentical) {
+  const Session session = OpenTestSession(2000);
+  ServiceConfig pooled;
+  pooled.num_threads = 4;
+  pooled.worker_pool_pages = 64;  // per-worker LRU pools (never shared)
+  QueryService service(session, pooled);
+
+  const std::vector<NwcRequest> requests = SeededNwcRequests(40);
+  const std::vector<NwcResponse> responses = service.RunNwcBatch(requests);
+
+  NwcEngine engine(session.tree(), session.iwp(), session.grid());
+  uint64_t cache_hits = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const NwcOptions options = requests[i].options.value_or(pooled.default_options);
+    const Result<NwcResult> expected = engine.Execute(requests[i].query, options, nullptr);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(responses[i].status.ok());
+    ASSERT_EQ(responses[i].result.found, expected->found) << "request " << i;
+    if (expected->found) {
+      EXPECT_EQ(responses[i].result.distance, expected->distance) << "request " << i;
+    }
+    cache_hits += responses[i].cache_hits;
+  }
+  EXPECT_GT(cache_hits, 0u) << "warm per-worker pools should absorb some accesses";
+  EXPECT_EQ(service.SnapshotMetrics().cache_hits, cache_hits);
+}
+
+TEST(QueryServiceTest, UnsupportedSchemeFailsFastWithoutIndexStructures) {
+  Dataset dataset = MakeCaLike(kSeed, 500);
+  SessionConfig bare;
+  bare.build_iwp = false;
+  bare.build_grid = false;
+  Result<Session> session = Session::Open(BulkLoadStr(dataset.objects, RTreeOptions{}), bare);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session->Supports(NwcOptions::Star()));
+  EXPECT_TRUE(session->Supports(NwcOptions::Plus()));
+
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.default_options = NwcOptions::Star();  // needs IWP + grid
+  QueryService service(*session, config);
+
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 200, 200, 4};
+  NwcResponse response = service.SubmitNwc(request).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+
+  request.options = NwcOptions::Plus();  // supported override
+  response = service.SubmitNwc(request).get();
+  EXPECT_TRUE(response.status.ok()) << response.status;
+}
+
+TEST(QueryServiceTest, InvalidQueryYieldsInvalidArgumentResponse) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{.num_threads = 2});
+  NwcRequest request;  // n == 0, zero window: invalid
+  const NwcResponse response = service.SubmitNwc(request).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  const MetricsSnapshot metrics = service.SnapshotMetrics();
+  EXPECT_EQ(metrics.queries, 1u);
+  EXPECT_EQ(metrics.failures, 1u);
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownFailsGracefully) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{.num_threads = 2});
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 200, 200, 4};
+  EXPECT_TRUE(service.SubmitNwc(request).get().status.ok());
+
+  service.Shutdown();
+  const NwcResponse after = service.SubmitNwc(request).get();
+  EXPECT_EQ(after.status.code(), StatusCode::kFailedPrecondition);
+  std::future<NwcResponse> unused;
+  EXPECT_FALSE(service.TrySubmitNwc(request, &unused));
+}
+
+TEST(QueryServiceTest, TrySubmitShedsLoadWhenSaturated) {
+  const Session session = OpenTestSession(4000);
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.queue_capacity = 1;  // one in flight + one waiting
+  QueryService service(session, config);
+
+  // Expensive queries (large n + plain scheme) keep the single worker busy
+  // while we hammer TrySubmit; with capacity 1 a rejection must occur long
+  // before the cap.
+  NwcRequest heavy;
+  heavy.query = NwcQuery{Point{5000, 5000}, 500, 500, 24};
+  heavy.options = NwcOptions::Plain();
+
+  std::vector<std::future<NwcResponse>> accepted;
+  bool rejected = false;
+  for (int i = 0; i < 10000 && !rejected; ++i) {
+    std::future<NwcResponse> future;
+    if (service.TrySubmitNwc(heavy, &future)) {
+      accepted.push_back(std::move(future));
+    } else {
+      rejected = true;
+    }
+  }
+  EXPECT_TRUE(rejected) << "bounded queue should shed load under a slow worker";
+  for (auto& future : accepted) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  EXPECT_GE(service.SnapshotMetrics().rejections, 1u);
+}
+
+TEST(QueryServiceTest, RunBatchPreservesRequestOrder) {
+  const Session session = OpenTestSession(1000);
+  QueryService service(session, ServiceConfig{.num_threads = 4});
+
+  // Queries with distinct n values; response i must answer request i.
+  std::vector<NwcRequest> requests;
+  for (size_t n = 2; n <= 11; ++n) {
+    requests.push_back(NwcRequest{NwcQuery{Point{5000, 5000}, 300, 300, n}, {}});
+  }
+  const std::vector<NwcResponse> responses = service.RunNwcBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok());
+    if (responses[i].result.found) {
+      EXPECT_EQ(responses[i].result.objects.size(), requests[i].query.n) << "request " << i;
+    }
+  }
+}
+
+TEST(QueryServiceTest, EmptyTreeSessionServesNotFound) {
+  Result<Session> session = Session::Open(RStarTree(RTreeOptions{}), SessionConfig{});
+  ASSERT_TRUE(session.ok()) << session.status();
+  QueryService service(*session, ServiceConfig{.num_threads = 2});
+  NwcRequest request;
+  request.query = NwcQuery{Point{0, 0}, 10, 10, 2};
+  const NwcResponse response = service.SubmitNwc(request).get();
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_FALSE(response.result.found);
+}
+
+}  // namespace
+}  // namespace nwc

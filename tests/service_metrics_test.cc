@@ -1,0 +1,112 @@
+#include "service/service_metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io_stats.h"
+
+namespace nwc {
+namespace {
+
+// noinline sidesteps a GCC aggressive-loop-optimization false positive
+// when the constant trip counts are propagated into the inlined body.
+__attribute__((noinline)) IoCounter CounterWith(size_t traversal, size_t window) {
+  IoCounter io;
+  for (size_t i = 0; i < traversal; ++i) io.OnNodeAccess(IoPhase::kTraversal);
+  for (size_t i = 0; i < window; ++i) io.OnNodeAccess(IoPhase::kWindowQuery);
+  return io;
+}
+
+TEST(ServiceMetricsTest, RollsUpPhaseCountsAcrossQueries) {
+  ServiceMetrics metrics;
+  metrics.RecordQuery(100, CounterWith(3, 5), /*ok=*/true, /*found=*/true);
+  metrics.RecordQuery(200, CounterWith(2, 7), /*ok=*/true, /*found=*/false);
+  metrics.RecordQuery(300, CounterWith(1, 1), /*ok=*/false, /*found=*/false);
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.queries, 3u);
+  EXPECT_EQ(snapshot.failures, 1u);
+  EXPECT_EQ(snapshot.not_found, 1u);
+  EXPECT_EQ(snapshot.traversal_reads, 6u);
+  EXPECT_EQ(snapshot.window_query_reads, 13u);
+  EXPECT_EQ(snapshot.total_reads(), 19u);
+  EXPECT_EQ(snapshot.latency_min_us, 100u);
+  EXPECT_EQ(snapshot.latency_max_us, 300u);
+  EXPECT_NEAR(snapshot.latency_mean_us, 200.0, 1e-9);
+}
+
+TEST(ServiceMetricsTest, TracksRejectionsAndQueueHighWaterMark) {
+  ServiceMetrics metrics;
+  metrics.RecordRejection();
+  metrics.RecordRejection();
+  metrics.RecordQueueDepth(3);
+  metrics.RecordQueueDepth(9);
+  metrics.RecordQueueDepth(5);
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.rejections, 2u);
+  EXPECT_EQ(snapshot.max_queue_depth, 9u);
+}
+
+TEST(ServiceMetricsTest, ResetZeroesEverything) {
+  ServiceMetrics metrics;
+  metrics.RecordQuery(123, CounterWith(4, 4), true, true);
+  metrics.RecordRejection();
+  metrics.RecordQueueDepth(7);
+  metrics.Reset();
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.queries, 0u);
+  EXPECT_EQ(snapshot.rejections, 0u);
+  EXPECT_EQ(snapshot.max_queue_depth, 0u);
+  EXPECT_EQ(snapshot.total_reads(), 0u);
+  EXPECT_EQ(snapshot.latency_p99_us, 0u);
+}
+
+TEST(ServiceMetricsTest, QuantilesComeFromTheHistogram) {
+  ServiceMetrics metrics;
+  for (int i = 0; i < 99; ++i) metrics.RecordQuery(10, CounterWith(0, 0), true, true);
+  metrics.RecordQuery(100000, CounterWith(0, 0), true, true);
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.latency_p50_us, 10u);
+  EXPECT_EQ(snapshot.latency_p95_us, 10u);
+  EXPECT_GE(snapshot.latency_p99_us, 10u);
+  EXPECT_GE(snapshot.latency_max_us, 100000u);
+}
+
+TEST(ServiceMetricsTest, ConcurrentRecordingLosesNothing) {
+  ServiceMetrics metrics;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics.RecordQuery(50, CounterWith(1, 2), true, true);
+        metrics.RecordQueueDepth(static_cast<size_t>(i % 17));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.queries, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snapshot.traversal_reads, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snapshot.window_query_reads, static_cast<uint64_t>(2 * kThreads * kPerThread));
+  EXPECT_EQ(snapshot.max_queue_depth, 16u);
+}
+
+TEST(ServiceMetricsTest, ToStringMentionsEverySection) {
+  ServiceMetrics metrics;
+  metrics.RecordQuery(42, CounterWith(2, 3), true, true);
+  const std::string report = metrics.Snapshot().ToString();
+  EXPECT_NE(report.find("queries:"), std::string::npos);
+  EXPECT_NE(report.find("latency:"), std::string::npos);
+  EXPECT_NE(report.find("node reads:"), std::string::npos);
+  EXPECT_NE(report.find("rejections:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nwc

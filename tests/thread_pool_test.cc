@@ -1,0 +1,125 @@
+#include "service/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace nwc {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedJob) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(4, 16);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pool.Submit([&](size_t) { executed.fetch_add(1); }));
+    }
+    pool.Shutdown();  // drains before joining
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndRejectsLaterSubmits) {
+  ThreadPool pool(2, 4);
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([](size_t) {}));
+  EXPECT_FALSE(pool.TrySubmit([](size_t) {}));
+  EXPECT_EQ(pool.jobs_executed(), 0u);
+}
+
+TEST(ThreadPoolTest, WorkerIndexesCoverThePool) {
+  constexpr size_t kThreads = 4;
+  std::mutex mu;
+  std::set<size_t> indexes;
+  {
+    ThreadPool pool(kThreads, 8);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(pool.Submit([&](size_t worker) {
+        ASSERT_LT(worker, kThreads);
+        std::lock_guard<std::mutex> lock(mu);
+        indexes.insert(worker);
+      }));
+    }
+  }
+  EXPECT_FALSE(indexes.empty());
+  for (const size_t index : indexes) EXPECT_LT(index, kThreads);
+}
+
+// Backpressure: with every worker parked on a gate and the queue full,
+// TrySubmit must reject instead of blocking.
+TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  constexpr size_t kThreads = 2;
+  constexpr size_t kCapacity = 3;
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<size_t> blocked{0};
+  const auto blocker = [&](size_t) {
+    blocked.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+
+  ThreadPool pool(kThreads, kCapacity);
+  // Occupy both workers...
+  ASSERT_TRUE(pool.Submit(blocker));
+  ASSERT_TRUE(pool.Submit(blocker));
+  while (blocked.load() < kThreads) std::this_thread::yield();
+  // ...then fill the queue behind them.
+  for (size_t i = 0; i < kCapacity; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([](size_t) {}));
+  }
+  EXPECT_EQ(pool.QueueDepth(), kCapacity);
+  EXPECT_FALSE(pool.TrySubmit([](size_t) {}));  // full -> rejected
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  pool.Shutdown();
+  EXPECT_EQ(pool.jobs_executed(), kThreads + kCapacity);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstJobException) {
+  ThreadPool pool(2, 8);
+  std::atomic<int> after{0};
+  ASSERT_TRUE(pool.Submit([](size_t) { throw std::runtime_error("job failed"); }));
+  ASSERT_TRUE(pool.Submit([&](size_t) { after.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(after.load(), 1) << "a throwing job must not kill the worker";
+
+  std::exception_ptr error = pool.TakeFirstError();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
+  EXPECT_EQ(pool.TakeFirstError(), nullptr) << "TakeFirstError clears the slot";
+}
+
+TEST(ThreadPoolTest, NoErrorReportedForCleanJobs) {
+  ThreadPool pool(2, 8);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(pool.Submit([](size_t) {}));
+  pool.Shutdown();
+  EXPECT_EQ(pool.TakeFirstError(), nullptr);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0, 4);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&](size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    ran.fetch_add(1);
+  }));
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace nwc

@@ -15,6 +15,14 @@
 //       Run one kNWC query.
 //   stats    --index=F.nwctree
 //       Print index statistics.
+//   serve-batch --index=F.nwctree --queries=F.txt [--threads=4] [--queue=256]
+//            [--scheme=...] [--measure=...] [--pool-pages=0] [--print]
+//       Replay a query file through the concurrent QueryService across N
+//       worker threads and print a metrics report (throughput, latency
+//       quantiles, merged per-phase I/O). The query file holds one query
+//       per line — "nwc X Y L W N" or "knwc X Y L W N K M" — with '#'
+//       comments; the density grid / IWP index needed by the scheme are
+//       built from the loaded tree itself, so no --data file is needed.
 //
 // Example session:
 //   nwc_tool generate --kind=ca --out=/tmp/ca.csv
@@ -25,10 +33,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "core/knwc_engine.h"
 #include "core/nwc_engine.h"
 #include "datasets/dataset.h"
@@ -39,6 +49,7 @@
 #include "rtree/serialize.h"
 #include "rtree/tree_stats.h"
 #include "rtree/validate.h"
+#include "service/query_service.h"
 
 namespace nwc {
 namespace {
@@ -260,6 +271,149 @@ int CmdKnwc(const Args& args) {
   return 0;
 }
 
+// One parsed line of a serve-batch query file.
+struct BatchEntry {
+  bool is_knwc = false;
+  NwcQuery nwc;
+  KnwcQuery knwc;
+};
+
+Result<std::vector<BatchEntry>> LoadQueryFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open query file " + path);
+  std::vector<BatchEntry> entries;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    BatchEntry entry;
+    double x, y, l, w;
+    unsigned long n, k, m;
+    int consumed = 0;
+    const char* text = line.c_str() + start;
+    if (std::sscanf(text, "nwc %lf %lf %lf %lf %lu%n", &x, &y, &l, &w, &n, &consumed) == 5) {
+      entry.nwc = NwcQuery{Point{x, y}, l, w, n};
+    } else if (std::sscanf(text, "knwc %lf %lf %lf %lf %lu %lu %lu%n", &x, &y, &l, &w, &n, &k, &m,
+                           &consumed) == 7) {
+      entry.is_knwc = true;
+      entry.knwc = KnwcQuery{NwcQuery{Point{x, y}, l, w, n}, k, m};
+    } else {
+      return Status::InvalidArgument("query file " + path + " line " +
+                                     std::to_string(line_no) +
+                                     ": expected 'nwc X Y L W N' or 'knwc X Y L W N K M'");
+    }
+    // Reject trailing junk: 'nwc X Y L W N K M' would otherwise silently
+    // drop K and M, serving a different query than the user wrote.
+    const std::string rest(text + consumed);
+    if (rest.find_first_not_of(" \t\r") != std::string::npos) {
+      return Status::InvalidArgument("query file " + path + " line " +
+                                     std::to_string(line_no) + ": unexpected trailing '" +
+                                     rest.substr(rest.find_first_not_of(" \t\r")) + "'");
+    }
+    entries.push_back(entry);
+  }
+  if (entries.empty()) return Status::InvalidArgument("query file " + path + " holds no queries");
+  return entries;
+}
+
+int CmdServeBatch(const Args& args) {
+  const Result<NwcOptions> options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+  const std::string index_path = args.Get("index");
+  if (index_path.empty()) return Fail("--index is required");
+  const std::string queries_path = args.Get("queries");
+  if (queries_path.empty()) return Fail("--queries is required");
+
+  Result<std::vector<BatchEntry>> entries = LoadQueryFile(queries_path);
+  if (!entries.ok()) return Fail(entries.status().ToString());
+  Result<RStarTree> tree = LoadTree(index_path);
+  if (!tree.ok()) return Fail(tree.status().ToString());
+
+  SessionConfig session_config;
+  session_config.build_iwp = options->use_iwp;
+  session_config.build_grid = options->use_dep;
+  session_config.grid_cell_size = args.GetDouble("grid-cell", 25.0);
+  Result<Session> session = Session::Open(std::move(tree).value(), session_config);
+  if (!session.ok()) return Fail(session.status().ToString());
+
+  ServiceConfig service_config;
+  service_config.num_threads = static_cast<size_t>(args.GetLong("threads", 4));
+  service_config.queue_capacity = static_cast<size_t>(args.GetLong("queue", 256));
+  service_config.default_options = *options;
+  service_config.worker_pool_pages = static_cast<size_t>(args.GetLong("pool-pages", 0));
+  const Status valid = service_config.Validate();
+  if (!valid.ok()) return Fail(valid.ToString());
+
+  QueryService service(*session, service_config);
+  std::printf("serving %zu queries from %s across %zu worker(s), scheme %s\n",
+              entries->size(), queries_path.c_str(), service.num_workers(),
+              args.Get("scheme", "star").c_str());
+
+  // Submit everything in file order (blocking submit = natural
+  // backpressure), then harvest the futures in the same order.
+  std::vector<std::future<NwcResponse>> nwc_futures;
+  std::vector<std::future<KnwcResponse>> knwc_futures;
+  Stopwatch wall;
+  for (const BatchEntry& entry : *entries) {
+    if (entry.is_knwc) {
+      knwc_futures.push_back(service.SubmitKnwc(KnwcRequest{entry.knwc, {}}));
+    } else {
+      nwc_futures.push_back(service.SubmitNwc(NwcRequest{entry.nwc, {}}));
+    }
+  }
+
+  const bool print_each = args.Has("print");
+  size_t failures = 0;
+  size_t next_nwc = 0;
+  size_t next_knwc = 0;
+  for (const BatchEntry& entry : *entries) {
+    if (entry.is_knwc) {
+      const KnwcResponse response = knwc_futures[next_knwc++].get();
+      if (!response.status.ok()) ++failures;
+      if (print_each) {
+        if (!response.status.ok()) {
+          std::printf("knwc: %s\n", response.status.ToString().c_str());
+        } else {
+          std::printf("knwc (%.1f, %.1f): %zu group(s), %llu us, %llu reads\n", entry.knwc.base.q.x,
+                      entry.knwc.base.q.y, response.result.groups.size(),
+                      static_cast<unsigned long long>(response.latency_micros),
+                      static_cast<unsigned long long>(response.traversal_reads +
+                                                      response.window_query_reads));
+        }
+      }
+    } else {
+      const NwcResponse response = nwc_futures[next_nwc++].get();
+      if (!response.status.ok()) ++failures;
+      if (print_each) {
+        if (!response.status.ok()) {
+          std::printf("nwc: %s\n", response.status.ToString().c_str());
+        } else if (!response.result.found) {
+          std::printf("nwc (%.1f, %.1f): no window, %llu us, %llu reads\n", entry.nwc.q.x,
+                      entry.nwc.q.y, static_cast<unsigned long long>(response.latency_micros),
+                      static_cast<unsigned long long>(response.traversal_reads +
+                                                      response.window_query_reads));
+        } else {
+          std::printf("nwc (%.1f, %.1f): found distance %.3f, %llu us, %llu reads\n",
+                      entry.nwc.q.x, entry.nwc.q.y, response.result.distance,
+                      static_cast<unsigned long long>(response.latency_micros),
+                      static_cast<unsigned long long>(response.traversal_reads +
+                                                      response.window_query_reads));
+        }
+      }
+    }
+  }
+  const double seconds = wall.ElapsedSeconds();
+
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  std::printf("\n--- metrics report ---\n");
+  std::printf("wall time:  %.3f s (%.1f queries/sec)\n", seconds,
+              seconds > 0.0 ? static_cast<double>(snapshot.queries) / seconds : 0.0);
+  std::printf("%s", snapshot.ToString().c_str());
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdStats(const Args& args) {
   const std::string index_path = args.Get("index");
   if (index_path.empty()) return Fail("--index is required");
@@ -283,7 +437,7 @@ int CmdStats(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: nwc_tool <generate|build|query|knwc|stats> [--key=value ...]\n"
+               "usage: nwc_tool <generate|build|query|knwc|stats|serve-batch> [--key=value ...]\n"
                "see the header of tools/nwc_tool.cc for the full reference\n");
   return 2;
 }
@@ -297,6 +451,7 @@ int Run(int argc, char** argv) {
   if (command == "query") return CmdQuery(args);
   if (command == "knwc") return CmdKnwc(args);
   if (command == "stats") return CmdStats(args);
+  if (command == "serve-batch") return CmdServeBatch(args);
   return Usage();
 }
 
