@@ -12,6 +12,12 @@
 // Honors NWC_SCALE / NWC_QUERIES like every other driver; the query count
 // per configuration is 8x NWC_QUERIES (default 200 = 8 * 25) so the
 // histogram quantiles rest on a meaningful sample.
+//
+// A final section measures the observability tax: NWC* at 4 threads with
+// per-query tracing off vs armed (spans recorded, every trace retained in
+// the ring). Disabled tracing is one branch per record site and must not
+// move throughput measurably; the armed figure bounds what "trace every
+// slow query" costs in the worst case (threshold 0 = every query is slow).
 
 #include <cstddef>
 #include <iterator>
@@ -92,5 +98,36 @@ int main() {
 
   table.Print();
   csv.WriteCsv(CsvPath("throughput_service.csv"));
+
+  // Tracing overhead: NWC* at 4 threads, tracing disabled vs armed.
+  TablePrinter overhead("Tracing overhead - NWC*, 4 threads",
+                        {"tracing", "qps", "p50_us", "p95_us", "retained traces"});
+  for (const bool traced : {false, true}) {
+    ServiceConfig config;
+    config.num_threads = 4;
+    config.queue_capacity = 2 * query_count + 1;
+    config.default_options = NwcOptions::Star();
+    config.trace_slow_queries = traced;
+    config.slow_trace_us = 0;  // worst case: retain every trace
+    config.trace_ring_capacity = 64;
+    QueryService service(*session, config);
+
+    Stopwatch wall;
+    const std::vector<NwcResponse> responses = service.RunNwcBatch(requests);
+    const double seconds = wall.ElapsedSeconds();
+    for (const NwcResponse& response : responses) {
+      CheckOk(response.status, "throughput_service traced query");
+    }
+    const MetricsSnapshot metrics = service.SnapshotMetrics();
+    const double qps = seconds > 0.0 ? static_cast<double>(responses.size()) / seconds : 0.0;
+    Progress("tracing=%s: %.1f q/s, p50=%llu p95=%llu us", traced ? "on" : "off", qps,
+             static_cast<unsigned long long>(metrics.latency_p50_us),
+             static_cast<unsigned long long>(metrics.latency_p95_us));
+    overhead.AddRow({traced ? "armed (slow-us=0)" : "off", StrFormat("%.1f", qps),
+                     StrFormat("%llu", static_cast<unsigned long long>(metrics.latency_p50_us)),
+                     StrFormat("%llu", static_cast<unsigned long long>(metrics.latency_p95_us)),
+                     StrFormat("%zu", service.SlowTraces().size())});
+  }
+  overhead.Print();
   return 0;
 }

@@ -48,7 +48,7 @@ size_t OverlapCount(const std::vector<ObjectId>& a, const std::vector<ObjectId>&
 // The Steps 1-5 maintenance procedure of Sec. 3.4.
 class KGroupSink : public internal::GroupSink {
  public:
-  KGroupSink(size_t k, size_t m) : k_(k), m_(m) {}
+  KGroupSink(size_t k, size_t m, QueryTrace& trace) : k_(k), m_(m), trace_(trace) {}
 
   double PruneDistance() const override {
     if (groups_.size() < k_) return std::numeric_limits<double>::infinity();
@@ -56,6 +56,15 @@ class KGroupSink : public internal::GroupSink {
   }
 
   void Offer(std::vector<DataObject> group, double distance) override {
+    // The overlap filtering below is the kNWC-specific cost on top of the
+    // NWC search; span it so traces attribute it separately. No I/O
+    // happens here, so the span is passed no counter.
+    TraceSpanScope filter_span(trace_, SpanKind::kOverlapFilter, nullptr);
+    OfferImpl(std::move(group), distance);
+  }
+
+ private:
+  void OfferImpl(std::vector<DataObject> group, double distance) {
     // Step 2: scan in reverse for the first group not farther than the
     // candidate; the candidate belongs right after it. (The paper scans
     // for "distance shorter than objs_p"; placing the candidate after
@@ -75,7 +84,10 @@ class KGroupSink : public internal::GroupSink {
     // Step 3: the candidate must respect the overlap budget against every
     // nearer group, or it is dropped.
     for (size_t j = 0; j < insert_at; ++j) {
-      if (OverlapCount(candidate.sorted_ids, groups_[j].sorted_ids) > m_) return;
+      if (OverlapCount(candidate.sorted_ids, groups_[j].sorted_ids) > m_) {
+        trace_.Count(TraceCounter::kGroupsDroppedOverlap);
+        return;
+      }
     }
 
     // Step 4: evict the current k-th group if full, insert the candidate.
@@ -86,6 +98,7 @@ class KGroupSink : public internal::GroupSink {
     const MaintainedGroup& inserted = groups_[insert_at];
     for (size_t j = insert_at + 1; j < groups_.size();) {
       if (OverlapCount(inserted.sorted_ids, groups_[j].sorted_ids) > m_) {
+        trace_.Count(TraceCounter::kGroupsDroppedOverlap);
         groups_.erase(groups_.begin() + static_cast<ptrdiff_t>(j));
       } else {
         ++j;
@@ -93,6 +106,7 @@ class KGroupSink : public internal::GroupSink {
     }
   }
 
+ public:
   KnwcResult TakeResult() && {
     KnwcResult result;
     result.groups.reserve(groups_.size());
@@ -105,13 +119,14 @@ class KGroupSink : public internal::GroupSink {
  private:
   size_t k_;
   size_t m_;
+  QueryTrace& trace_;
   std::vector<MaintainedGroup> groups_;  // ascending by distance
 };
 
 }  // namespace
 
 Result<KnwcResult> KnwcEngine::Execute(const KnwcQuery& query, const NwcOptions& options,
-                                       IoCounter* io) const {
+                                       IoCounter* io, QueryTrace* trace) const {
   const Status query_ok = query.Validate();
   if (!query_ok.ok()) return query_ok;
   if (options.use_iwp && iwp_ == nullptr) {
@@ -121,8 +136,12 @@ Result<KnwcResult> KnwcEngine::Execute(const KnwcQuery& query, const NwcOptions&
     return Status::FailedPrecondition("DEP enabled but no DensityGrid was supplied");
   }
 
-  KGroupSink sink(query.k, query.m);
-  internal::RunNwcSearch(tree_, iwp_, grid_, query.base, options, io, sink);
+  QueryTrace& tr = trace != nullptr ? *trace : NullTrace();
+  KGroupSink sink(query.k, query.m, tr);
+  {
+    TraceSpanScope root_span(tr, SpanKind::kQuery, io);
+    internal::RunNwcSearch(tree_, iwp_, grid_, query.base, options, io, sink, tr);
+  }
   return std::move(sink).TakeResult();
 }
 

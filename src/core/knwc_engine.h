@@ -5,6 +5,7 @@
 #include "common/status.h"
 #include "core/nwc_types.h"
 #include "grid/density_grid.h"
+#include "obs/query_trace.h"
 #include "rtree/iwp_index.h"
 #include "rtree/rstar_tree.h"
 
@@ -33,9 +34,11 @@ class KnwcEngine {
                       const DensityGrid* grid = nullptr)
       : tree_(tree), iwp_(iwp), grid_(grid) {}
 
-  /// Runs one kNWC query; see NwcEngine::Execute for the error contract.
-  Result<KnwcResult> Execute(const KnwcQuery& query, const NwcOptions& options,
-                             IoCounter* io) const;
+  /// Runs one kNWC query; see NwcEngine::Execute for the error contract
+  /// and the tracing semantics (`trace` additionally captures the Steps
+  /// 2-5 overlap filtering as kOverlapFilter spans).
+  Result<KnwcResult> Execute(const KnwcQuery& query, const NwcOptions& options, IoCounter* io,
+                             QueryTrace* trace = nullptr) const;
 
  private:
   const RStarTree& tree_;

@@ -38,7 +38,7 @@ class BestGroupSink : public internal::GroupSink {
 }  // namespace
 
 Result<NwcResult> NwcEngine::Execute(const NwcQuery& query, const NwcOptions& options,
-                                     IoCounter* io) const {
+                                     IoCounter* io, QueryTrace* trace) const {
   const Status query_ok = query.Validate();
   if (!query_ok.ok()) return query_ok;
   if (options.use_iwp && iwp_ == nullptr) {
@@ -48,8 +48,12 @@ Result<NwcResult> NwcEngine::Execute(const NwcQuery& query, const NwcOptions& op
     return Status::FailedPrecondition("DEP enabled but no DensityGrid was supplied");
   }
 
+  QueryTrace& tr = trace != nullptr ? *trace : NullTrace();
   BestGroupSink sink;
-  internal::RunNwcSearch(tree_, iwp_, grid_, query, options, io, sink);
+  {
+    TraceSpanScope root_span(tr, SpanKind::kQuery, io);
+    internal::RunNwcSearch(tree_, iwp_, grid_, query, options, io, sink, tr);
+  }
   return std::move(sink).TakeResult();
 }
 

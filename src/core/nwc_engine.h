@@ -5,6 +5,7 @@
 #include "common/status.h"
 #include "core/nwc_types.h"
 #include "grid/density_grid.h"
+#include "obs/query_trace.h"
 #include "rtree/iwp_index.h"
 #include "rtree/rstar_tree.h"
 
@@ -41,9 +42,12 @@ class NwcEngine {
 
   /// Runs one NWC query. Returns InvalidArgument for malformed queries and
   /// FailedPrecondition when an enabled optimization lacks its structure.
-  /// `io` (optional) accumulates the simulated I/O cost.
-  Result<NwcResult> Execute(const NwcQuery& query, const NwcOptions& options,
-                            IoCounter* io) const;
+  /// `io` (optional) accumulates the simulated I/O cost. `trace` (optional)
+  /// records the execution as hierarchical spans plus pruning counters; a
+  /// null / disabled recorder costs one branch per record site (see
+  /// obs/query_trace.h).
+  Result<NwcResult> Execute(const NwcQuery& query, const NwcOptions& options, IoCounter* io,
+                            QueryTrace* trace = nullptr) const;
 
  private:
   const RStarTree& tree_;

@@ -7,6 +7,7 @@
 #include "core/nwc_types.h"
 #include "geometry/point.h"
 #include "grid/density_grid.h"
+#include "obs/query_trace.h"
 #include "rtree/iwp_index.h"
 #include "rtree/rstar_tree.h"
 
@@ -40,9 +41,16 @@ class GroupSink {
 /// as in the paper; `iwp` may be null unless options.use_iwp, `grid` may
 /// be null unless options.use_dep (callers validate beforehand). All node
 /// visits are charged to `io` (traversal vs. window-query phases).
+///
+/// `trace` records the search as hierarchical spans: one kBrowseNode span
+/// per node expansion (with DIP/DEP check children), one kCandidate span
+/// per object popped (with SRR/DEP/window-query children), plus the
+/// structured pruning counters and the traversal-heap high-water mark.
+/// Pass NullTrace() to run untraced — the disabled recorder reduces every
+/// record call to a single branch.
 void RunNwcSearch(const RStarTree& tree, const IwpIndex* iwp, const DensityGrid* grid,
                   const NwcQuery& query, const NwcOptions& options, IoCounter* io,
-                  GroupSink& sink);
+                  GroupSink& sink, QueryTrace& trace);
 
 }  // namespace nwc::internal
 

@@ -1,0 +1,65 @@
+#include "obs/prometheus.h"
+
+#include "common/string_util.h"
+
+namespace nwc {
+
+namespace {
+
+void Counter(std::string& out, const char* name, const char* help, uint64_t value) {
+  out += StrFormat("# HELP %s %s\n# TYPE %s counter\n%s %llu\n", name, help, name, name,
+                   static_cast<unsigned long long>(value));
+}
+
+void Gauge(std::string& out, const char* name, const char* help, double value) {
+  out += StrFormat("# HELP %s %s\n# TYPE %s gauge\n%s %.6g\n", name, help, name, name, value);
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHistogram& latency) {
+  std::string out;
+  Counter(out, "nwc_queries_total", "Completed queries (ok or failed).", snapshot.queries);
+  Counter(out, "nwc_query_failures_total", "Queries that returned a non-OK status.",
+          snapshot.failures);
+  Counter(out, "nwc_query_not_found_total", "OK queries without a qualified window.",
+          snapshot.not_found);
+  Counter(out, "nwc_submit_rejections_total", "TrySubmit calls bounced by the full queue.",
+          snapshot.rejections);
+  Counter(out, "nwc_slow_queries_total", "Queries at or over the slow-trace threshold.",
+          snapshot.slow_queries);
+  out +=
+      "# HELP nwc_node_reads_total R*-tree node reads by query phase.\n"
+      "# TYPE nwc_node_reads_total counter\n";
+  out += StrFormat("nwc_node_reads_total{phase=\"traversal\"} %llu\n",
+                   static_cast<unsigned long long>(snapshot.traversal_reads));
+  out += StrFormat("nwc_node_reads_total{phase=\"window_query\"} %llu\n",
+                   static_cast<unsigned long long>(snapshot.window_query_reads));
+  Counter(out, "nwc_cache_hits_total", "Node accesses absorbed by per-worker buffer pools.",
+          snapshot.cache_hits);
+  Gauge(out, "nwc_max_queue_depth", "Queue-depth high-water mark (submit and dequeue sampled).",
+        static_cast<double>(snapshot.max_queue_depth));
+  Gauge(out, "nwc_wall_seconds", "Wall-clock seconds covered by the snapshot.",
+        snapshot.wall_seconds);
+  Gauge(out, "nwc_queries_per_second", "Wall-clock throughput over the snapshot window.",
+        snapshot.Qps());
+
+  const char* hist = "nwc_query_latency_microseconds";
+  out += StrFormat("# HELP %s Per-query wall latency.\n# TYPE %s histogram\n", hist, hist);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < latency.num_buckets(); ++i) {
+    const LatencyHistogram::Bucket bucket = latency.bucket(i);
+    if (bucket.count == 0) continue;  // elide empty buckets; counts stay cumulative
+    cumulative += bucket.count;
+    out += StrFormat("%s_bucket{le=\"%llu\"} %llu\n", hist,
+                     static_cast<unsigned long long>(bucket.upper_bound),
+                     static_cast<unsigned long long>(cumulative));
+  }
+  out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", hist,
+                   static_cast<unsigned long long>(latency.count()));
+  out += StrFormat("%s_sum %llu\n", hist, static_cast<unsigned long long>(latency.sum()));
+  out += StrFormat("%s_count %llu\n", hist, static_cast<unsigned long long>(latency.count()));
+  return out;
+}
+
+}  // namespace nwc

@@ -1,0 +1,25 @@
+#ifndef NWC_OBS_PROMETHEUS_H_
+#define NWC_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "service/latency_histogram.h"
+#include "service/service_metrics.h"
+
+namespace nwc {
+
+/// Renders a metrics snapshot plus the raw latency histogram in the
+/// Prometheus text exposition format (version 0.0.4): counters for query
+/// outcomes and per-phase node reads, gauges for queue depth and
+/// throughput, and a native `nwc_query_latency_microseconds` histogram
+/// whose cumulative `le` buckets come straight from LatencyHistogram's
+/// log-linear layout (empty buckets are elided; the cumulative counts and
+/// the `+Inf` bucket keep the series well-formed).
+///
+/// The two arguments must come from the same ServiceMetrics (Snapshot() and
+/// LatencySnapshot()) for the aggregate series and the histogram to agree.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHistogram& latency);
+
+}  // namespace nwc
+
+#endif  // NWC_OBS_PROMETHEUS_H_

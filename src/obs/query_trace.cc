@@ -1,0 +1,144 @@
+#include "obs/query_trace.h"
+
+#include <cassert>
+#include <utility>
+
+namespace nwc {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQuery:
+      return "query";
+    case SpanKind::kBrowseNode:
+      return "browse_node";
+    case SpanKind::kCandidate:
+      return "candidate";
+    case SpanKind::kSrrCheck:
+      return "srr_check";
+    case SpanKind::kDipCheck:
+      return "dip_check";
+    case SpanKind::kDepCheck:
+      return "dep_check";
+    case SpanKind::kWindowQuery:
+      return "window_query";
+    case SpanKind::kIwpProbe:
+      return "iwp_probe";
+    case SpanKind::kOverlapFilter:
+      return "overlap_filter";
+  }
+  return "unknown";
+}
+
+const char* TraceCounterName(TraceCounter counter) {
+  switch (counter) {
+    case TraceCounter::kObjectsBrowsed:
+      return "objects_browsed";
+    case TraceCounter::kNodesExpanded:
+      return "nodes_expanded";
+    case TraceCounter::kPrunedSrr:
+      return "pruned_srr";
+    case TraceCounter::kPrunedDip:
+      return "pruned_dip";
+    case TraceCounter::kPrunedDepNode:
+      return "pruned_dep_node";
+    case TraceCounter::kPrunedDepWindow:
+      return "pruned_dep_window";
+    case TraceCounter::kWindowQueries:
+      return "window_queries";
+    case TraceCounter::kWindowsEvaluated:
+      return "windows_evaluated";
+    case TraceCounter::kGroupsOffered:
+      return "groups_offered";
+    case TraceCounter::kGroupsDroppedOverlap:
+      return "groups_dropped_overlap";
+  }
+  return "unknown";
+}
+
+QueryTrace QueryTrace::Enabled() {
+  QueryTrace trace;
+  trace.enabled_ = true;
+  trace.epoch_ = std::chrono::steady_clock::now();
+  return trace;
+}
+
+QueryTrace QueryTrace::EnabledWithClock(std::function<uint64_t()> clock_ns) {
+  QueryTrace trace;
+  trace.enabled_ = true;
+  trace.clock_ns_ = std::move(clock_ns);
+  return trace;
+}
+
+uint64_t QueryTrace::NowNs() const {
+  if (clock_ns_) return clock_ns_();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+SpanId QueryTrace::Begin(SpanKind kind, const IoCounter* io, int64_t detail) {
+  if (!enabled_) return kNoSpan;
+  TraceSpan span;
+  span.kind = kind;
+  span.parent = open_.empty() ? kNoSpan : open_.back();
+  span.start_ns = NowNs();
+  span.detail = detail;
+  if (io != nullptr) {
+    // Stash the Begin snapshot in the delta fields; End() subtracts it.
+    span.traversal_reads = io->traversal_reads();
+    span.window_reads = io->window_query_reads();
+  }
+  const SpanId id = static_cast<SpanId>(spans_.size());
+  spans_.push_back(span);
+  open_.push_back(id);
+  return id;
+}
+
+void QueryTrace::End(SpanId id, const IoCounter* io) {
+  if (!enabled_ || id == kNoSpan) return;
+  assert(!open_.empty() && open_.back() == id && "trace spans must end LIFO");
+  open_.pop_back();
+  TraceSpan& span = spans_[id];
+  span.dur_ns = NowNs() - span.start_ns;
+  if (io != nullptr) {
+    span.traversal_reads = io->traversal_reads() - span.traversal_reads;
+    span.window_reads = io->window_query_reads() - span.window_reads;
+  } else {
+    span.traversal_reads = 0;
+    span.window_reads = 0;
+  }
+  if (span.parent != kNoSpan) {
+    TraceSpan& parent = spans_[span.parent];
+    parent.child_traversal_reads += span.traversal_reads;
+    parent.child_window_reads += span.window_reads;
+  }
+}
+
+void QueryTrace::SetDetail(SpanId id, int64_t detail) {
+  if (!enabled_ || id == kNoSpan) return;
+  spans_[id].detail = detail;
+}
+
+void QueryTrace::Count(TraceCounter counter, uint64_t delta) {
+  if (!enabled_) return;
+  counters_[static_cast<size_t>(counter)] += delta;
+}
+
+void QueryTrace::NoteHeapSize(size_t size) {
+  if (!enabled_) return;
+  if (size > heap_high_water_) heap_high_water_ = size;
+}
+
+void QueryTrace::set_label(std::string label) {
+  if (!enabled_) return;
+  label_ = std::move(label);
+}
+
+QueryTrace& NullTrace() {
+  // Disabled mutators never write, so one shared instance is safe for any
+  // number of concurrent queries.
+  static QueryTrace null_trace;
+  return null_trace;
+}
+
+}  // namespace nwc

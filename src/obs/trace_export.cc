@@ -1,0 +1,116 @@
+#include "obs/trace_export.h"
+
+#include "common/string_util.h"
+
+namespace nwc {
+
+namespace {
+
+// Microseconds with nanosecond precision, the trace-event time unit.
+std::string Micros(uint64_t ns) {
+  return StrFormat("%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                   static_cast<unsigned long long>(ns % 1000));
+}
+
+std::string CounterFields(const QueryTrace& trace) {
+  std::string out;
+  for (size_t i = 0; i < kTraceCounterCount; ++i) {
+    const auto counter = static_cast<TraceCounter>(i);
+    out += StrFormat(",\"%s\":%llu", TraceCounterName(counter),
+                     static_cast<unsigned long long>(trace.counter(counter)));
+  }
+  out += StrFormat(",\"heap_high_water\":%llu",
+                   static_cast<unsigned long long>(trace.heap_high_water()));
+  return out;
+}
+
+std::string ReadFields(const TraceSpan& span) {
+  return StrFormat(
+      "\"traversal_reads\":%llu,\"window_reads\":%llu,"
+      "\"self_traversal_reads\":%llu,\"self_window_reads\":%llu",
+      static_cast<unsigned long long>(span.traversal_reads),
+      static_cast<unsigned long long>(span.window_reads),
+      static_cast<unsigned long long>(span.self_traversal_reads()),
+      static_cast<unsigned long long>(span.self_window_reads()));
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToChromeTraceJson(const QueryTrace& trace) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (SpanId id = 0; id < trace.spans().size(); ++id) {
+    const TraceSpan& span = trace.spans()[id];
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "\n{\"name\":\"%s\",\"cat\":\"nwc\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+        "\"ts\":%s,\"dur\":%s,\"args\":{\"span\":%u,\"parent\":%lld,",
+        SpanKindName(span.kind), Micros(span.start_ns).c_str(), Micros(span.dur_ns).c_str(),
+        static_cast<unsigned>(id),
+        span.parent == kNoSpan ? -1LL : static_cast<long long>(span.parent));
+    out += ReadFields(span);
+    if (span.detail >= 0) {
+      out += StrFormat(",\"detail\":%lld", static_cast<long long>(span.detail));
+    }
+    if (span.parent == kNoSpan) out += CounterFields(trace);
+    out += "}}";
+  }
+  out += StrFormat("\n],\"otherData\":{\"label\":\"%s\"}}\n", JsonEscape(trace.label()).c_str());
+  return out;
+}
+
+std::string ToJsonl(const QueryTrace& trace) {
+  std::string out;
+  for (SpanId id = 0; id < trace.spans().size(); ++id) {
+    const TraceSpan& span = trace.spans()[id];
+    out += StrFormat("{\"span\":%u,\"parent\":%lld,\"kind\":\"%s\",\"start_us\":%s,\"dur_us\":%s,",
+                     static_cast<unsigned>(id),
+                     span.parent == kNoSpan ? -1LL : static_cast<long long>(span.parent),
+                     SpanKindName(span.kind), Micros(span.start_ns).c_str(),
+                     Micros(span.dur_ns).c_str());
+    out += ReadFields(span);
+    if (span.detail >= 0) {
+      out += StrFormat(",\"detail\":%lld", static_cast<long long>(span.detail));
+    }
+    out += "}\n";
+  }
+  out += StrFormat("{\"summary\":true,\"label\":\"%s\",\"spans\":%zu",
+                   JsonEscape(trace.label()).c_str(), trace.spans().size());
+  out += CounterFields(trace);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace nwc

@@ -1,0 +1,30 @@
+#ifndef NWC_OBS_TRACE_EXPORT_H_
+#define NWC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "obs/query_trace.h"
+
+namespace nwc {
+
+/// Renders a trace in the Chrome trace-event JSON format (an object with a
+/// "traceEvents" array of complete events), loadable as-is in Perfetto /
+/// chrome://tracing. Every span becomes one "X" event with microsecond
+/// timestamps; its args carry the per-phase node reads (inclusive and
+/// self), and the root event additionally carries the structured counters
+/// and the heap high-water mark.
+std::string ToChromeTraceJson(const QueryTrace& trace);
+
+/// Renders a trace as JSON Lines: one object per span (in Begin order)
+/// followed by one summary object ("summary": true) with the counters —
+/// the format scripted analysis greps and aggregates without a trace
+/// viewer (see EXPERIMENTS.md).
+std::string ToJsonl(const QueryTrace& trace);
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes and control characters).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace nwc
+
+#endif  // NWC_OBS_TRACE_EXPORT_H_

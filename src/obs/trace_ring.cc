@@ -1,0 +1,40 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace nwc {
+
+TraceRing::TraceRing(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  slots_.reserve(capacity_);
+}
+
+void TraceRing::Add(QueryTrace trace) {
+  auto entry = std::make_shared<const QueryTrace>(std::move(trace));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slots_.size() < capacity_) {
+    slots_.push_back(std::move(entry));
+  } else {
+    slots_[next_] = std::move(entry);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++added_;
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const QueryTrace>> out;
+  out.reserve(slots_.size());
+  // Oldest first: the slot at next_ is the oldest once the ring has wrapped.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    out.push_back(slots_[(next_ + i) % slots_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_;
+}
+
+}  // namespace nwc

@@ -1,0 +1,53 @@
+#ifndef NWC_OBS_TRACE_RING_H_
+#define NWC_OBS_TRACE_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/query_trace.h"
+
+namespace nwc {
+
+/// Bounded ring of retained query traces, newest-wins.
+///
+/// The query service pushes the trace of every query slower than its
+/// configured threshold; once the ring is full the oldest retained trace is
+/// dropped, so memory stays bounded no matter how long the service runs —
+/// what survives is always the most recent evidence.
+///
+/// Traces are stored behind shared_ptr so Snapshot() hands out stable
+/// references without copying span vectors; a snapshot stays valid after
+/// the ring has wrapped past the entry.
+///
+/// ThreadSafety: all members are safe to call concurrently (one mutex; Add
+/// happens at most once per slow query, so contention is negligible).
+class TraceRing {
+ public:
+  /// A ring retaining at most `capacity` traces (minimum 1).
+  explicit TraceRing(size_t capacity);
+
+  /// Retains a trace, evicting the oldest when full.
+  void Add(QueryTrace trace);
+
+  /// The retained traces, oldest first.
+  std::vector<std::shared_ptr<const QueryTrace>> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Traces ever added (monotonic; exceeds capacity() once wrapped).
+  uint64_t added() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const QueryTrace>> slots_;
+  size_t next_ = 0;       // slot the next Add overwrites
+  uint64_t added_ = 0;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_OBS_TRACE_RING_H_

@@ -40,8 +40,27 @@ class LatencyHistogram {
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
 
+  /// Exact sum of every recorded value (pairs with count() for Prometheus
+  /// histogram exposition).
+  uint64_t sum() const { return sum_; }
+
   /// Exact running mean (the sum is kept outside the buckets).
   double Mean() const;
+
+  /// One bucket of the layout: all recorded values v with
+  /// bucket(i-1).upper_bound < v <= upper_bound land in count.
+  struct Bucket {
+    uint64_t upper_bound = 0;  ///< inclusive upper bound of the bucket
+    uint64_t count = 0;
+  };
+
+  /// Number of buckets in the (fixed) layout.
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// The i-th bucket, ascending by upper bound. Exposed so exporters (the
+  /// Prometheus text format needs cumulative `le` buckets) can walk the raw
+  /// distribution instead of settling for three pre-picked quantiles.
+  Bucket bucket(size_t i) const { return Bucket{BucketUpperBound(i), buckets_[i]}; }
 
   /// Clears every bucket and the summary stats.
   void Reset();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/knwc_engine.h"
 #include "core/nwc_engine.h"
 
@@ -43,6 +44,9 @@ Status SessionConfig::Validate() const {
 Status ServiceConfig::Validate() const {
   if (num_threads == 0) return Status::InvalidArgument("num_threads must be >= 1");
   if (queue_capacity == 0) return Status::InvalidArgument("queue_capacity must be >= 1");
+  if (trace_slow_queries && trace_ring_capacity == 0) {
+    return Status::InvalidArgument("trace_ring_capacity must be >= 1 when tracing is enabled");
+  }
   return Status::Ok();
 }
 
@@ -79,6 +83,9 @@ QueryService::QueryService(const Session& session, const ServiceConfig& config)
       pool = std::make_unique<BufferPool>(config_.worker_pool_pages);
     }
   }
+  if (config_.trace_slow_queries) {
+    slow_traces_ = std::make_unique<TraceRing>(config_.trace_ring_capacity);
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -95,9 +102,36 @@ Status QueryService::CheckRequest(const std::optional<NwcOptions>& override_opti
   return Status::Ok();
 }
 
+namespace {
+
+/// Human-readable query description stamped on retained slow traces.
+std::string DescribeQuery(const NwcQuery& query, const NwcOptions& options) {
+  std::string scheme;
+  if (options.use_srr) scheme += "+srr";
+  if (options.use_dip) scheme += "+dip";
+  if (options.use_dep) scheme += "+dep";
+  if (options.use_iwp) scheme += "+iwp";
+  if (scheme.empty()) scheme = "plain"; else scheme.erase(0, 1);
+  return StrFormat("nwc q=(%.3f,%.3f) l=%g w=%g n=%zu scheme=%s measure=%s", query.q.x,
+                   query.q.y, query.length, query.width, query.n, scheme.c_str(),
+                   DistanceMeasureName(options.measure));
+}
+
+std::string DescribeQuery(const KnwcQuery& query, const NwcOptions& options) {
+  return StrFormat("k%s k=%zu m=%zu", DescribeQuery(query.base, options).c_str(), query.k,
+                   query.m);
+}
+
+}  // namespace
+
 template <typename Response, typename Query>
 void QueryService::Execute(size_t worker_index, const Query& query, const NwcOptions& options,
                            std::promise<Response> promise) {
+  // Dequeue-time queue-depth observation: the submit-side sample alone
+  // under-reports bursts, because submitters that would see the peak are
+  // the ones blocked on the full queue.
+  metrics_.RecordQueueDepth(pool_.QueueDepth());
+
   Response response;
   IoCounter io;
   BufferPool* worker_pool = worker_pools_[worker_index].get();
@@ -105,11 +139,16 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
     io.SetCacheProbe([worker_pool](uint32_t page) { return worker_pool->Access(page); });
   }
 
+  // This worker's recorder for this query: armed only when the service
+  // traces, so the untraced hot path records against a disabled object.
+  QueryTrace trace = slow_traces_ != nullptr ? QueryTrace::Enabled() : QueryTrace();
+  QueryTrace* trace_ptr = slow_traces_ != nullptr ? &trace : nullptr;
+
   Stopwatch timer;
   bool found = false;
   if constexpr (std::is_same_v<Response, NwcResponse>) {
     NwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
-    Result<NwcResult> result = engine.Execute(query, options, &io);
+    Result<NwcResult> result = engine.Execute(query, options, &io, trace_ptr);
     response.status = result.status();
     if (result.ok()) {
       found = result->found;
@@ -117,7 +156,7 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
     }
   } else {
     KnwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
-    Result<KnwcResult> result = engine.Execute(query, options, &io);
+    Result<KnwcResult> result = engine.Execute(query, options, &io, trace_ptr);
     response.status = result.status();
     if (result.ok()) {
       found = !result->groups.empty();
@@ -130,6 +169,12 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
   response.cache_hits = io.cache_hits();
 
   metrics_.RecordQuery(response.latency_micros, io, response.status.ok(), found);
+  if (slow_traces_ != nullptr && response.latency_micros >= config_.slow_trace_us) {
+    metrics_.RecordSlowQuery();
+    trace.set_label(StrFormat("%s latency_us=%llu", DescribeQuery(query, options).c_str(),
+                              static_cast<unsigned long long>(response.latency_micros)));
+    slow_traces_->Add(std::move(trace));
+  }
   promise.set_value(std::move(response));
 }
 

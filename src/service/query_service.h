@@ -12,6 +12,8 @@
 #include "common/status.h"
 #include "core/nwc_types.h"
 #include "grid/density_grid.h"
+#include "obs/query_trace.h"
+#include "obs/trace_ring.h"
 #include "rtree/iwp_index.h"
 #include "rtree/rstar_tree.h"
 #include "service/service_metrics.h"
@@ -86,6 +88,19 @@ struct ServiceConfig {
   /// per-worker — BufferPool's LRU state must never be shared across
   /// threads (see storage/buffer_pool.h).
   size_t worker_pool_pages = 0;
+
+  /// Master switch for per-query tracing. When true, every worker records
+  /// its query into a QueryTrace (per-query recorder, never shared), and
+  /// queries whose wall latency reaches slow_trace_us are retained in the
+  /// service's bounded trace ring for post-hoc inspection. When false (the
+  /// default), engines run against the null recorder — one branch per
+  /// record site, nothing else.
+  bool trace_slow_queries = false;
+  /// Latency threshold (microseconds) for retaining a trace; 0 retains
+  /// every traced query (useful for short diagnostic runs).
+  uint64_t slow_trace_us = 0;
+  /// Capacity of the slow-trace ring (oldest evicted first).
+  size_t trace_ring_capacity = 32;
 
   Status Validate() const;
 };
@@ -170,6 +185,18 @@ class QueryService {
   MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
   void ResetMetrics() { metrics_.Reset(); }
 
+  /// Copy of the raw latency histogram (bucket-level export; see
+  /// obs/prometheus.h).
+  LatencyHistogram SnapshotLatencyHistogram() const { return metrics_.LatencySnapshot(); }
+
+  /// Traces retained by the slow-query machinery, oldest first (empty when
+  /// config().trace_slow_queries is false).
+  std::vector<std::shared_ptr<const QueryTrace>> SlowTraces() const {
+    return slow_traces_ == nullptr
+               ? std::vector<std::shared_ptr<const QueryTrace>>{}
+               : slow_traces_->Snapshot();
+  }
+
   /// Drains accepted requests and stops the workers. Idempotent; called
   /// by the destructor. Submits after shutdown fail with
   /// FailedPrecondition responses.
@@ -196,6 +223,8 @@ class QueryService {
   // One pool per worker, indexed by the worker id ThreadPool hands to each
   // job; never shared across threads (empty when worker_pool_pages == 0).
   std::vector<std::unique_ptr<BufferPool>> worker_pools_;
+  // Slow-query traces (null when tracing is off).
+  std::unique_ptr<TraceRing> slow_traces_;
   ThreadPool pool_;
 };
 

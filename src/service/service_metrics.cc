@@ -10,9 +10,11 @@ std::string MetricsSnapshot::ToString() const {
                    static_cast<unsigned long long>(queries),
                    static_cast<unsigned long long>(failures),
                    static_cast<unsigned long long>(not_found));
-  out += StrFormat("rejections: %llu, max queue depth %llu\n",
+  out += StrFormat("rejections: %llu, max queue depth %llu, slow queries %llu\n",
                    static_cast<unsigned long long>(rejections),
-                   static_cast<unsigned long long>(max_queue_depth));
+                   static_cast<unsigned long long>(max_queue_depth),
+                   static_cast<unsigned long long>(slow_queries));
+  out += StrFormat("wall:       %.3f s (%.1f queries/sec)\n", wall_seconds, Qps());
   out += StrFormat("latency:    p50 %llu us, p95 %llu us, p99 %llu us (min %llu, mean %.1f, max %llu)\n",
                    static_cast<unsigned long long>(latency_p50_us),
                    static_cast<unsigned long long>(latency_p95_us),
@@ -24,6 +26,35 @@ std::string MetricsSnapshot::ToString() const {
                    static_cast<unsigned long long>(traversal_reads),
                    static_cast<unsigned long long>(window_query_reads),
                    static_cast<unsigned long long>(cache_hits));
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  out += StrFormat("\"queries\":%llu,\"failures\":%llu,\"not_found\":%llu,",
+                   static_cast<unsigned long long>(queries),
+                   static_cast<unsigned long long>(failures),
+                   static_cast<unsigned long long>(not_found));
+  out += StrFormat("\"rejections\":%llu,\"slow_queries\":%llu,\"max_queue_depth\":%llu,",
+                   static_cast<unsigned long long>(rejections),
+                   static_cast<unsigned long long>(slow_queries),
+                   static_cast<unsigned long long>(max_queue_depth));
+  out += StrFormat("\"wall_seconds\":%.6f,\"qps\":%.3f,", wall_seconds, Qps());
+  out += StrFormat(
+      "\"latency_us\":{\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,"
+      "\"min\":%llu,\"mean\":%.3f,\"max\":%llu},",
+      static_cast<unsigned long long>(latency_p50_us),
+      static_cast<unsigned long long>(latency_p95_us),
+      static_cast<unsigned long long>(latency_p99_us),
+      static_cast<unsigned long long>(latency_min_us), latency_mean_us,
+      static_cast<unsigned long long>(latency_max_us));
+  out += StrFormat(
+      "\"node_reads\":{\"total\":%llu,\"traversal\":%llu,\"window\":%llu,"
+      "\"cache_hits\":%llu}}",
+      static_cast<unsigned long long>(total_reads()),
+      static_cast<unsigned long long>(traversal_reads),
+      static_cast<unsigned long long>(window_query_reads),
+      static_cast<unsigned long long>(cache_hits));
   return out;
 }
 
@@ -50,6 +81,11 @@ void ServiceMetrics::RecordQueueDepth(size_t depth) {
   if (depth > max_queue_depth_) max_queue_depth_ = depth;
 }
 
+void ServiceMetrics::RecordSlowQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++slow_queries_;
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
@@ -57,7 +93,10 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snapshot.failures = failures_;
   snapshot.not_found = not_found_;
   snapshot.rejections = rejections_;
+  snapshot.slow_queries = slow_queries_;
   snapshot.max_queue_depth = max_queue_depth_;
+  snapshot.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
   snapshot.latency_p50_us = latency_.Quantile(0.50);
   snapshot.latency_p95_us = latency_.Quantile(0.95);
   snapshot.latency_p99_us = latency_.Quantile(0.99);
@@ -70,6 +109,11 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   return snapshot;
 }
 
+LatencyHistogram ServiceMetrics::LatencySnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_;
+}
+
 void ServiceMetrics::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   latency_.Reset();
@@ -78,7 +122,9 @@ void ServiceMetrics::Reset() {
   failures_ = 0;
   not_found_ = 0;
   rejections_ = 0;
+  slow_queries_ = 0;
   max_queue_depth_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
 }
 
 }  // namespace nwc

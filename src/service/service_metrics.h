@@ -1,6 +1,7 @@
 #ifndef NWC_SERVICE_SERVICE_METRICS_H_
 #define NWC_SERVICE_SERVICE_METRICS_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -17,7 +18,15 @@ struct MetricsSnapshot {
   uint64_t failures = 0;      ///< queries that returned a non-OK status
   uint64_t not_found = 0;     ///< OK queries with no qualified window / 0 groups
   uint64_t rejections = 0;    ///< TrySubmit calls bounced by the full queue
-  uint64_t max_queue_depth = 0;  ///< high-water mark observed at submit time
+  uint64_t slow_queries = 0;  ///< queries at/over the slow-trace threshold
+  /// High-water mark, observed both when a request enters the queue and
+  /// when a worker dequeues it (so bursts that arrive while every submit
+  /// blocks still register).
+  uint64_t max_queue_depth = 0;
+
+  /// Wall-clock seconds covered by this snapshot (since construction or
+  /// the last Reset).
+  double wall_seconds = 0.0;
 
   uint64_t latency_p50_us = 0;
   uint64_t latency_p95_us = 0;
@@ -33,8 +42,17 @@ struct MetricsSnapshot {
 
   uint64_t total_reads() const { return traversal_reads + window_query_reads; }
 
+  /// Wall-clock throughput over the snapshot window (0 when no time has
+  /// passed).
+  double Qps() const { return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds : 0.0; }
+
   /// Multi-line human-readable report (the serve-batch output).
   std::string ToString() const;
+
+  /// One-object JSON rendering of every field plus the derived QPS — the
+  /// machine-readable counterpart of ToString() (serve-batch
+  /// --metrics-json).
+  std::string ToJson() const;
 };
 
 /// Aggregated observability for a QueryService: a latency histogram with
@@ -57,13 +75,22 @@ class ServiceMetrics {
   /// Records one TrySubmit rejection (queue full).
   void RecordRejection();
 
-  /// Records an observed queue depth; keeps the high-water mark.
+  /// Records an observed queue depth; keeps the high-water mark. Called at
+  /// submit time *and* at dequeue time: sampling only at submit
+  /// under-reports bursts, because the submitters that would observe the
+  /// peak are exactly the ones blocked on the full queue.
   void RecordQueueDepth(size_t depth);
+
+  /// Records one query retained by the slow-trace machinery.
+  void RecordSlowQuery();
 
   /// Consistent point-in-time copy of everything above.
   MetricsSnapshot Snapshot() const;
 
-  /// Zeroes every counter and the histogram.
+  /// Copy of the raw latency histogram (for bucket-level exporters).
+  LatencyHistogram LatencySnapshot() const;
+
+  /// Zeroes every counter and the histogram; restarts the wall clock.
   void Reset();
 
  private:
@@ -74,7 +101,9 @@ class ServiceMetrics {
   uint64_t failures_ = 0;
   uint64_t not_found_ = 0;
   uint64_t rejections_ = 0;
+  uint64_t slow_queries_ = 0;
   uint64_t max_queue_depth_ = 0;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };
 
 }  // namespace nwc

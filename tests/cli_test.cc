@@ -1,9 +1,11 @@
 // End-to-end test of the nwc_tool CLI binary: generate -> build -> stats
-// -> query -> knwc, plus the error paths. The binary path is injected by
-// CMake as NWC_TOOL_PATH.
+// -> query -> knwc -> trace -> serve-batch exports, plus the error paths.
+// The binary path is injected by CMake as NWC_TOOL_PATH.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -36,6 +38,13 @@ CommandResult RunTool(const std::string& args) {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 class CliPipelineTest : public ::testing::Test {
@@ -147,6 +156,83 @@ TEST_F(CliPipelineTest, ServeBatchMatchesSingleQueryDistance) {
       << "expected '" << distance << "' in: " << served.output;
 }
 
+TEST_F(CliPipelineTest, TraceEmitsChromeJsonToStdout) {
+  const CommandResult result =
+      RunTool("trace --index=" + *tree_path_ + " --q=5000,5000 --l=400 --w=400 --n=5 "
+          "--scheme=iwp");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"traceEvents\":["), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("\"name\":\"query\""), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("\"name\":\"iwp_probe\""), std::string::npos) << result.output;
+}
+
+TEST_F(CliPipelineTest, TraceWritesFileAndPrintsSummary) {
+  const std::string out_path = TempPath("cli_trace.json");
+  const CommandResult result =
+      RunTool("trace --index=" + *tree_path_ + " --data=" + *csv_path_ +
+          " --q=5000,5000 --l=400 --w=400 --n=5 --scheme=star --out=" + out_path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // File gets the JSON; stdout gets the human summary.
+  EXPECT_NE(result.output.find("wrote chrome trace"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("span(s)"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("traversal"), std::string::npos) << result.output;
+  const std::string written = ReadFile(out_path);
+  EXPECT_NE(written.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(written.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, TraceJsonlCarriesSummaryLine) {
+  const CommandResult result =
+      RunTool("trace --index=" + *tree_path_ + " --q=5000,5000 --l=400 --w=400 --n=5 "
+          "--scheme=plain --format=jsonl");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"summary\":true"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("\"kind\":\"window_query\""), std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliPipelineTest, TraceRunsKnwcWhenKIsGiven) {
+  const CommandResult result =
+      RunTool("trace --index=" + *tree_path_ + " --q=5000,5000 --l=400 --w=400 --n=4 "
+          "--k=3 --m=1 --scheme=plus --format=jsonl");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"kind\":\"overlap_filter\""), std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliPipelineTest, ServeBatchExportsMetricsAndSlowTraces) {
+  const std::string queries_path = TempPath("cli_serve_export.txt");
+  std::FILE* file = std::fopen(queries_path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  for (int i = 0; i < 6; ++i) {
+    std::fprintf(file, "nwc %d 5000 400 400 5\n", 2000 + i * 1000);
+  }
+  std::fclose(file);
+
+  const std::string json_path = TempPath("cli_metrics.json");
+  const std::string prom_path = TempPath("cli_metrics.prom");
+  const std::string trace_dir = TempPath("cli_slow_traces");
+  const CommandResult result =
+      RunTool("serve-batch --index=" + *tree_path_ + " --queries=" + queries_path +
+          " --threads=2 --scheme=star --metrics-json=" + json_path + " --prom=" + prom_path +
+          " --trace-dir=" + trace_dir + " --slow-us=0");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("slow-query trace(s)"), std::string::npos) << result.output;
+
+  const std::string json = ReadFile(json_path);
+  EXPECT_NE(json.find("\"queries\":6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"qps\":"), std::string::npos) << json;
+  const std::string prom = ReadFile(prom_path);
+  EXPECT_NE(prom.find("nwc_queries_total 6"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("nwc_query_latency_microseconds_count 6"), std::string::npos) << prom;
+  // Every query was at/over the 0 us threshold, so all 6 traces landed in
+  // the directory as loadable Chrome JSON.
+  const std::string first_trace = ReadFile(trace_dir + "/slow_000.json");
+  EXPECT_NE(first_trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(first_trace.find("latency_us="), std::string::npos);
+  EXPECT_FALSE(ReadFile(trace_dir + "/slow_005.json").empty());
+}
+
 TEST_F(CliPipelineTest, ErrorPaths) {
   EXPECT_NE(RunTool("").exit_code, 0);
   EXPECT_NE(RunTool("frobnicate").exit_code, 0);
@@ -159,6 +245,13 @@ TEST_F(CliPipelineTest, ErrorPaths) {
       RunTool("query --index=" + *tree_path_ + " --q=1,1 --l=4 --w=4 --n=2 --scheme=dep");
   EXPECT_NE(dep.exit_code, 0);
   EXPECT_NE(dep.output.find("--data"), std::string::npos) << dep.output;
+  // trace: same input validation as query, plus the format switch.
+  EXPECT_NE(RunTool("trace --q=1,1 --l=4 --w=4 --n=2").exit_code, 0);
+  const CommandResult bad_format =
+      RunTool("trace --index=" + *tree_path_ + " --q=1,1 --l=4 --w=4 --n=2 "
+          "--scheme=plain --format=xml");
+  EXPECT_NE(bad_format.exit_code, 0);
+  EXPECT_NE(bad_format.output.find("--format"), std::string::npos) << bad_format.output;
   // serve-batch: missing/bad inputs must fail cleanly.
   EXPECT_NE(RunTool("serve-batch --index=" + *tree_path_).exit_code, 0);
   EXPECT_NE(RunTool("serve-batch --index=" + *tree_path_ + " --queries=/does/not/exist.txt")

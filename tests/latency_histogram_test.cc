@@ -122,6 +122,60 @@ TEST(LatencyHistogramTest, ResetClearsEverything) {
   EXPECT_EQ(hist.Quantile(1.0), 7u);
 }
 
+TEST(LatencyHistogramTest, BucketIterationCoversEveryRecordedValue) {
+  LatencyHistogram hist;
+  Rng rng(0xB0C4E7);
+  uint64_t expected_sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t value = rng.NextUint64(1u << 20);
+    hist.Record(value);
+    expected_sum += value;
+  }
+
+  uint64_t bucket_total = 0;
+  uint64_t previous_bound = 0;
+  for (size_t i = 0; i < hist.num_buckets(); ++i) {
+    const LatencyHistogram::Bucket bucket = hist.bucket(i);
+    if (i > 0) {
+      EXPECT_GT(bucket.upper_bound, previous_bound) << "bounds must ascend at bucket " << i;
+    }
+    previous_bound = bucket.upper_bound;
+    bucket_total += bucket.count;
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+  EXPECT_EQ(hist.sum(), expected_sum);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsContainTheirValues) {
+  LatencyHistogram hist;
+  // One value per regime: exact range, first log-linear range, far out.
+  for (const uint64_t value : {7ull, 100ull, 1000000ull}) {
+    hist.Record(value);
+    uint64_t lower = 0;
+    bool found = false;
+    for (size_t i = 0; i < hist.num_buckets() && !found; ++i) {
+      const LatencyHistogram::Bucket bucket = hist.bucket(i);
+      if (bucket.count > 0 && value > lower && value <= bucket.upper_bound) found = true;
+      lower = bucket.upper_bound;
+    }
+    EXPECT_TRUE(found) << "value " << value << " not inside its bucket's bounds";
+    hist.Reset();
+  }
+}
+
+TEST(LatencyHistogramTest, SumSurvivesMergeAndReset) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.sum(), 35u);
+  EXPECT_EQ(a.count(), 3u);
+  a.Reset();
+  EXPECT_EQ(a.sum(), 0u);
+}
+
 TEST(LatencyHistogramTest, HandlesHugeValues) {
   LatencyHistogram hist;
   const uint64_t huge = uint64_t{1} << 62;

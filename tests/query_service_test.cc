@@ -268,6 +268,94 @@ TEST(QueryServiceTest, RunBatchPreservesRequestOrder) {
   }
 }
 
+TEST(QueryServiceTest, SlowTraceRingRetainsEveryQueryAtZeroThreshold) {
+  const Session session = OpenTestSession(1000);
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.trace_slow_queries = true;
+  config.slow_trace_us = 0;  // retain everything
+  config.trace_ring_capacity = 8;
+  QueryService service(session, config);
+
+  std::vector<NwcRequest> requests;
+  for (size_t i = 0; i < 5; ++i) {
+    requests.push_back(NwcRequest{NwcQuery{Point{4000 + 500.0 * i, 5000}, 300, 300, 4}, {}});
+  }
+  const std::vector<NwcResponse> responses = service.RunNwcBatch(requests);
+  for (const NwcResponse& response : responses) ASSERT_TRUE(response.status.ok());
+
+  const auto traces = service.SlowTraces();
+  ASSERT_EQ(traces.size(), 5u);
+  EXPECT_EQ(service.SnapshotMetrics().slow_queries, 5u);
+  for (const auto& trace : traces) {
+    ASSERT_NE(trace, nullptr);
+    EXPECT_TRUE(trace->complete());
+    ASSERT_FALSE(trace->spans().empty());
+    EXPECT_EQ(trace->spans().front().kind, SpanKind::kQuery);
+    // The retained label names the query and its latency.
+    EXPECT_NE(trace->label().find("nwc q=("), std::string::npos) << trace->label();
+    EXPECT_NE(trace->label().find("latency_us="), std::string::npos) << trace->label();
+    // Span accounting survived the trip through the service: root
+    // inclusive reads match the response-level totals the worker reported.
+    uint64_t self_total = 0;
+    for (const TraceSpan& span : trace->spans()) self_total += span.self_reads();
+    EXPECT_EQ(self_total,
+              trace->spans().front().traversal_reads + trace->spans().front().window_reads);
+  }
+}
+
+TEST(QueryServiceTest, SlowTraceRingIsBoundedAndKeepsNewest) {
+  const Session session = OpenTestSession(1000);
+  ServiceConfig config;
+  config.num_threads = 1;  // deterministic retention order
+  config.trace_slow_queries = true;
+  config.slow_trace_us = 0;
+  config.trace_ring_capacity = 3;
+  QueryService service(session, config);
+
+  for (size_t i = 0; i < 7; ++i) {
+    const NwcResponse response =
+        service.SubmitNwc(NwcRequest{NwcQuery{Point{5000, 5000}, 200, 200, 3}, {}}).get();
+    ASSERT_TRUE(response.status.ok());
+  }
+  EXPECT_EQ(service.SlowTraces().size(), 3u);
+  EXPECT_EQ(service.SnapshotMetrics().slow_queries, 7u);
+}
+
+TEST(QueryServiceTest, HighThresholdRetainsNothingButServesNormally) {
+  const Session session = OpenTestSession(1000);
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.trace_slow_queries = true;
+  config.slow_trace_us = 60UL * 1000 * 1000;  // a minute: nothing qualifies
+  QueryService service(session, config);
+
+  const NwcResponse response =
+      service.SubmitNwc(NwcRequest{NwcQuery{Point{5000, 5000}, 300, 300, 4}, {}}).get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(service.SlowTraces().empty());
+  EXPECT_EQ(service.SnapshotMetrics().slow_queries, 0u);
+}
+
+TEST(QueryServiceTest, TracingDisabledByDefaultAndSlowTracesEmpty) {
+  const Session session = OpenTestSession(1000);
+  QueryService service(session, ServiceConfig{.num_threads = 2});
+  EXPECT_FALSE(service.config().trace_slow_queries);
+  const NwcResponse response =
+      service.SubmitNwc(NwcRequest{NwcQuery{Point{5000, 5000}, 300, 300, 4}, {}}).get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(service.SlowTraces().empty());
+}
+
+TEST(QueryServiceTest, TracingConfigValidationRejectsZeroRing) {
+  ServiceConfig config;
+  config.trace_slow_queries = true;
+  config.trace_ring_capacity = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.trace_ring_capacity = 1;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 TEST(QueryServiceTest, EmptyTreeSessionServesNotFound) {
   Result<Session> session = Session::Open(RStarTree(RTreeOptions{}), SessionConfig{});
   ASSERT_TRUE(session.ok()) << session.status();

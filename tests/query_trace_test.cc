@@ -1,0 +1,168 @@
+#include "obs/query_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/io_stats.h"
+#include "obs/trace_ring.h"
+
+namespace nwc {
+namespace {
+
+TEST(QueryTraceTest, DefaultConstructedIsDisabledAndRecordsNothing) {
+  QueryTrace trace;
+  EXPECT_FALSE(trace.enabled());
+
+  IoCounter io;
+  const SpanId id = trace.Begin(SpanKind::kQuery, &io);
+  EXPECT_EQ(id, kNoSpan);
+  io.OnNodeAccess(IoPhase::kTraversal);
+  trace.End(id, &io);
+  trace.Count(TraceCounter::kObjectsBrowsed);
+  trace.NoteHeapSize(42);
+  trace.SetDetail(id, 7);
+
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_EQ(trace.counter(TraceCounter::kObjectsBrowsed), 0u);
+  EXPECT_EQ(trace.heap_high_water(), 0u);
+  EXPECT_TRUE(trace.complete());
+}
+
+TEST(QueryTraceTest, NullTraceIsSharedDisabledInstance) {
+  QueryTrace& null1 = NullTrace();
+  QueryTrace& null2 = NullTrace();
+  EXPECT_EQ(&null1, &null2);
+  EXPECT_FALSE(null1.enabled());
+}
+
+TEST(QueryTraceTest, SpansNestAndParentAutomatically) {
+  QueryTrace trace = QueryTrace::Enabled();
+  EXPECT_TRUE(trace.enabled());
+
+  const SpanId root = trace.Begin(SpanKind::kQuery, nullptr);
+  const SpanId browse = trace.Begin(SpanKind::kBrowseNode, nullptr, /*detail=*/5);
+  const SpanId check = trace.Begin(SpanKind::kDipCheck, nullptr);
+  trace.End(check, nullptr);
+  trace.End(browse, nullptr);
+  const SpanId candidate = trace.Begin(SpanKind::kCandidate, nullptr, /*detail=*/99);
+  trace.End(candidate, nullptr);
+  trace.End(root, nullptr);
+
+  ASSERT_EQ(trace.spans().size(), 4u);
+  EXPECT_TRUE(trace.complete());
+  EXPECT_EQ(trace.spans()[root].parent, kNoSpan);
+  EXPECT_EQ(trace.spans()[browse].parent, root);
+  EXPECT_EQ(trace.spans()[check].parent, browse);
+  EXPECT_EQ(trace.spans()[candidate].parent, root);
+  EXPECT_EQ(trace.spans()[browse].detail, 5);
+  EXPECT_EQ(trace.spans()[candidate].detail, 99);
+  EXPECT_EQ(trace.spans()[check].detail, -1);
+}
+
+TEST(QueryTraceTest, SpansSnapshotIoDeltasPerPhase) {
+  QueryTrace trace = QueryTrace::Enabled();
+  IoCounter io;
+  io.OnNodeAccess(IoPhase::kTraversal);  // before the trace: excluded
+
+  const SpanId root = trace.Begin(SpanKind::kQuery, &io);
+  io.OnNodeAccess(IoPhase::kTraversal);
+  const SpanId child = trace.Begin(SpanKind::kWindowQuery, &io);
+  io.OnNodeAccess(IoPhase::kWindowQuery);
+  io.OnNodeAccess(IoPhase::kWindowQuery);
+  trace.End(child, &io);
+  io.OnNodeAccess(IoPhase::kTraversal);
+  trace.End(root, &io);
+
+  const TraceSpan& root_span = trace.spans()[root];
+  const TraceSpan& child_span = trace.spans()[child];
+  EXPECT_EQ(root_span.traversal_reads, 2u);
+  EXPECT_EQ(root_span.window_reads, 2u);
+  EXPECT_EQ(child_span.traversal_reads, 0u);
+  EXPECT_EQ(child_span.window_reads, 2u);
+  // Self counts subtract the direct children.
+  EXPECT_EQ(root_span.self_traversal_reads(), 2u);
+  EXPECT_EQ(root_span.self_window_reads(), 0u);
+  EXPECT_EQ(child_span.self_window_reads(), 2u);
+  EXPECT_EQ(root_span.self_reads() + child_span.self_reads(), 4u);
+}
+
+TEST(QueryTraceTest, CountersAccumulateDeltas) {
+  QueryTrace trace = QueryTrace::Enabled();
+  trace.Count(TraceCounter::kPrunedSrr);
+  trace.Count(TraceCounter::kPrunedSrr);
+  trace.Count(TraceCounter::kWindowQueries, 5);
+  EXPECT_EQ(trace.counter(TraceCounter::kPrunedSrr), 2u);
+  EXPECT_EQ(trace.counter(TraceCounter::kWindowQueries), 5u);
+  EXPECT_EQ(trace.counter(TraceCounter::kPrunedDip), 0u);
+}
+
+TEST(QueryTraceTest, HeapHighWaterKeepsMaximum) {
+  QueryTrace trace = QueryTrace::Enabled();
+  trace.NoteHeapSize(3);
+  trace.NoteHeapSize(17);
+  trace.NoteHeapSize(9);
+  EXPECT_EQ(trace.heap_high_water(), 17u);
+}
+
+TEST(QueryTraceTest, InjectedClockDrivesTimestamps) {
+  uint64_t now = 100;
+  QueryTrace trace = QueryTrace::EnabledWithClock([&now] { return now; });
+
+  const SpanId root = trace.Begin(SpanKind::kQuery, nullptr);
+  now = 250;
+  const SpanId child = trace.Begin(SpanKind::kBrowseNode, nullptr);
+  now = 400;
+  trace.End(child, nullptr);
+  now = 1000;
+  trace.End(root, nullptr);
+
+  EXPECT_EQ(trace.spans()[root].start_ns, 100u);
+  EXPECT_EQ(trace.spans()[root].dur_ns, 900u);
+  EXPECT_EQ(trace.spans()[child].start_ns, 250u);
+  EXPECT_EQ(trace.spans()[child].dur_ns, 150u);
+}
+
+TEST(QueryTraceTest, ScopeClosesSpanOnEveryExitPath) {
+  QueryTrace trace = QueryTrace::Enabled();
+  {
+    TraceSpanScope root(trace, SpanKind::kQuery, nullptr);
+    { TraceSpanScope inner(trace, SpanKind::kSrrCheck, nullptr); }
+    EXPECT_FALSE(trace.complete());
+  }
+  EXPECT_TRUE(trace.complete());
+  ASSERT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.spans()[1].parent, 0u);
+}
+
+TEST(QueryTraceTest, LabelRoundTrips) {
+  QueryTrace trace = QueryTrace::Enabled();
+  trace.set_label("nwc q=(1,2)");
+  EXPECT_EQ(trace.label(), "nwc q=(1,2)");
+}
+
+TEST(TraceRingTest, KeepsNewestAndEvictsOldest) {
+  TraceRing ring(2);
+  for (int i = 0; i < 3; ++i) {
+    QueryTrace trace = QueryTrace::Enabled();
+    trace.set_label("trace_" + std::to_string(i));
+    ring.Add(std::move(trace));
+  }
+  EXPECT_EQ(ring.added(), 3u);
+  const auto traces = ring.Snapshot();
+  ASSERT_EQ(traces.size(), 2u);
+  // Oldest first; trace_0 was evicted.
+  EXPECT_EQ(traces[0]->label(), "trace_1");
+  EXPECT_EQ(traces[1]->label(), "trace_2");
+}
+
+TEST(TraceRingTest, SnapshotOfPartiallyFilledRing) {
+  TraceRing ring(8);
+  QueryTrace trace = QueryTrace::Enabled();
+  trace.set_label("only");
+  ring.Add(std::move(trace));
+  const auto traces = ring.Snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0]->label(), "only");
+}
+
+}  // namespace
+}  // namespace nwc

@@ -106,6 +106,68 @@ TEST(ServiceMetricsTest, ToStringMentionsEverySection) {
   EXPECT_NE(report.find("latency:"), std::string::npos);
   EXPECT_NE(report.find("node reads:"), std::string::npos);
   EXPECT_NE(report.find("rejections:"), std::string::npos);
+  EXPECT_NE(report.find("slow queries"), std::string::npos);
+  EXPECT_NE(report.find("wall:"), std::string::npos);
+}
+
+TEST(ServiceMetricsTest, SlowQueriesCountAndResetWithEverythingElse) {
+  ServiceMetrics metrics;
+  metrics.RecordSlowQuery();
+  metrics.RecordSlowQuery();
+  EXPECT_EQ(metrics.Snapshot().slow_queries, 2u);
+  metrics.Reset();
+  EXPECT_EQ(metrics.Snapshot().slow_queries, 0u);
+}
+
+TEST(ServiceMetricsTest, SnapshotCarriesWallClockAndQps) {
+  ServiceMetrics metrics;
+  metrics.RecordQuery(10, CounterWith(0, 0), true, true);
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_GT(snapshot.wall_seconds, 0.0);
+  EXPECT_GT(snapshot.Qps(), 0.0);
+  // QPS is derived: queries / wall_seconds.
+  EXPECT_NEAR(snapshot.Qps(), static_cast<double>(snapshot.queries) / snapshot.wall_seconds,
+              1e-9);
+  // A hand-built snapshot with no elapsed time reports zero, not NaN/inf.
+  MetricsSnapshot zero;
+  zero.queries = 5;
+  EXPECT_DOUBLE_EQ(zero.Qps(), 0.0);
+}
+
+TEST(ServiceMetricsTest, LatencySnapshotMatchesAggregates) {
+  ServiceMetrics metrics;
+  metrics.RecordQuery(10, CounterWith(0, 0), true, true);
+  metrics.RecordQuery(30, CounterWith(0, 0), true, true);
+  const LatencyHistogram latency = metrics.LatencySnapshot();
+  EXPECT_EQ(latency.count(), 2u);
+  EXPECT_EQ(latency.sum(), 40u);
+  EXPECT_EQ(latency.min(), 10u);
+  EXPECT_EQ(latency.max(), 30u);
+}
+
+TEST(ServiceMetricsTest, ToJsonRendersEverySectionAsValidKeyValues) {
+  ServiceMetrics metrics;
+  metrics.RecordQuery(100, CounterWith(3, 5), /*ok=*/true, /*found=*/true);
+  metrics.RecordQuery(200, CounterWith(2, 7), /*ok=*/true, /*found=*/false);
+  metrics.RecordRejection();
+  metrics.RecordSlowQuery();
+  metrics.RecordQueueDepth(4);
+  const std::string json = metrics.Snapshot().ToJson();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"queries\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"failures\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"not_found\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rejections\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slow_queries\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_queue_depth\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_seconds\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"qps\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"traversal\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"window\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total\":17"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
 }
 
 }  // namespace

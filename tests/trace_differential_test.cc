@@ -1,0 +1,201 @@
+// Differential check between the trace recorder and the IoCounter: for
+// every optimization preset, the span tree's per-phase read attribution
+// must sum *exactly* to the query's I/O totals — no read unattributed, no
+// read double-counted. This is the invariant that makes trace-driven cost
+// breakdowns trustworthy (a profiler whose numbers don't add up is worse
+// than none).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io_stats.h"
+#include "common/rng.h"
+#include "core/knwc_engine.h"
+#include "core/nwc_engine.h"
+#include "grid/density_grid.h"
+#include "obs/query_trace.h"
+#include "rtree/bulk_load.h"
+#include "rtree/iwp_index.h"
+
+namespace nwc {
+namespace {
+
+std::vector<DataObject> RandomObjects(Rng& rng, size_t count) {
+  std::vector<DataObject> objects;
+  objects.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(DataObject{static_cast<ObjectId>(i),
+                                 Point{rng.NextDouble(0, 200), rng.NextDouble(0, 200)}});
+  }
+  return objects;
+}
+
+struct Fixture {
+  RStarTree tree;
+  IwpIndex iwp;
+  DensityGrid grid;
+};
+
+Fixture MakeFixture(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  const std::vector<DataObject> objects = RandomObjects(rng, count);
+  RTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  RStarTree tree = BulkLoadStr(objects, options);
+  IwpIndex iwp = IwpIndex::Build(tree);
+  DensityGrid grid(Rect{0, 0, 200, 200}, 20.0, objects);
+  return Fixture{std::move(tree), std::move(iwp), std::move(grid)};
+}
+
+std::vector<NwcOptions> AllPresets() {
+  return {NwcOptions::Plain(), NwcOptions::Srr(), NwcOptions::Dip(), NwcOptions::Dep(),
+          NwcOptions::Iwp(),   NwcOptions::Plus(), NwcOptions::Star()};
+}
+
+// The four invariants tying the span tree to the counter. `label` names
+// the preset in failure messages.
+void CheckTraceAccounting(const QueryTrace& trace, const IoCounter& io,
+                          const std::string& label) {
+  ASSERT_TRUE(trace.complete()) << label;
+  ASSERT_FALSE(trace.spans().empty()) << label;
+
+  // 1. The root span covers the whole execution, so its inclusive reads
+  //    are the query totals.
+  const TraceSpan& root = trace.spans().front();
+  ASSERT_EQ(root.kind, SpanKind::kQuery) << label;
+  EXPECT_EQ(root.traversal_reads, io.traversal_reads()) << label;
+  EXPECT_EQ(root.window_reads, io.window_query_reads()) << label;
+
+  // 2. Self counts partition the totals: every read belongs to exactly
+  //    one span.
+  uint64_t self_traversal = 0;
+  uint64_t self_window = 0;
+  // 3. All traversal I/O happens inside node-expansion spans...
+  uint64_t browse_self_traversal = 0;
+  // 4. ...and all window I/O inside window-query / IWP-probe spans.
+  uint64_t window_span_window = 0;
+  for (const TraceSpan& span : trace.spans()) {
+    self_traversal += span.self_traversal_reads();
+    self_window += span.self_window_reads();
+    if (span.kind == SpanKind::kBrowseNode) {
+      browse_self_traversal += span.self_traversal_reads();
+    }
+    if (span.kind == SpanKind::kWindowQuery || span.kind == SpanKind::kIwpProbe) {
+      window_span_window += span.window_reads;
+    }
+  }
+  EXPECT_EQ(self_traversal, io.traversal_reads()) << label;
+  EXPECT_EQ(self_window, io.window_query_reads()) << label;
+  EXPECT_EQ(browse_self_traversal, io.traversal_reads()) << label;
+  EXPECT_EQ(window_span_window, io.window_query_reads()) << label;
+}
+
+std::string PresetLabel(const NwcOptions& options) {
+  std::string label;
+  if (options.use_srr) label += "+srr";
+  if (options.use_dip) label += "+dip";
+  if (options.use_dep) label += "+dep";
+  if (options.use_iwp) label += "+iwp";
+  return label.empty() ? "plain" : label;
+}
+
+TEST(TraceDifferentialTest, NwcSpanReadsSumToIoTotalsForEveryPreset) {
+  const Fixture fixture = MakeFixture(0x7ACE, 400);
+  NwcEngine engine(fixture.tree, &fixture.iwp, &fixture.grid);
+  Rng rng(0x7ACE + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NwcQuery query{Point{rng.NextDouble(0, 200), rng.NextDouble(0, 200)},
+                         rng.NextDouble(10, 40), rng.NextDouble(10, 40),
+                         2 + rng.NextUint64(5)};
+    for (const NwcOptions& options : AllPresets()) {
+      IoCounter io;
+      QueryTrace trace = QueryTrace::Enabled();
+      const Result<NwcResult> result = engine.Execute(query, options, &io, &trace);
+      ASSERT_TRUE(result.ok());
+      CheckTraceAccounting(trace, io,
+                           "nwc trial " + std::to_string(trial) + " " + PresetLabel(options));
+    }
+  }
+}
+
+TEST(TraceDifferentialTest, KnwcSpanReadsSumToIoTotalsForEveryPreset) {
+  const Fixture fixture = MakeFixture(0xCAFE, 400);
+  KnwcEngine engine(fixture.tree, &fixture.iwp, &fixture.grid);
+  Rng rng(0xCAFE + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.NextUint64(5);
+    const KnwcQuery query{NwcQuery{Point{rng.NextDouble(0, 200), rng.NextDouble(0, 200)},
+                                   rng.NextDouble(10, 40), rng.NextDouble(10, 40), n},
+                          1 + rng.NextUint64(4), rng.NextUint64(n - 1)};
+    for (const NwcOptions& options : AllPresets()) {
+      IoCounter io;
+      QueryTrace trace = QueryTrace::Enabled();
+      const Result<KnwcResult> result = engine.Execute(query, options, &io, &trace);
+      ASSERT_TRUE(result.ok());
+      CheckTraceAccounting(trace, io,
+                           "knwc trial " + std::to_string(trial) + " " + PresetLabel(options));
+    }
+  }
+}
+
+// The disabled path must leave the engines' results and I/O untouched —
+// tracing is an observer, never a participant.
+TEST(TraceDifferentialTest, TracingDoesNotChangeResultsOrIo) {
+  const Fixture fixture = MakeFixture(0xBEEF, 300);
+  NwcEngine engine(fixture.tree, &fixture.iwp, &fixture.grid);
+  const NwcQuery query{Point{100, 100}, 30, 30, 4};
+  for (const NwcOptions& options : AllPresets()) {
+    IoCounter io_plain;
+    const Result<NwcResult> plain = engine.Execute(query, options, &io_plain);
+    IoCounter io_traced;
+    QueryTrace trace = QueryTrace::Enabled();
+    const Result<NwcResult> traced = engine.Execute(query, options, &io_traced, &trace);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(traced.ok());
+    EXPECT_EQ(plain->found, traced->found);
+    if (plain->found) {
+      EXPECT_DOUBLE_EQ(plain->distance, traced->distance);
+    }
+    EXPECT_EQ(io_plain.traversal_reads(), io_traced.traversal_reads());
+    EXPECT_EQ(io_plain.window_query_reads(), io_traced.window_query_reads());
+  }
+}
+
+// Trace counters line up with engine behavior: every window query issued
+// is a window-query (or IWP-probe) span, every node expansion a browse
+// span.
+TEST(TraceDifferentialTest, CountersMatchSpanCensus) {
+  const Fixture fixture = MakeFixture(0xF00D, 300);
+  NwcEngine engine(fixture.tree, &fixture.iwp, &fixture.grid);
+  const NwcQuery query{Point{80, 120}, 35, 35, 5};
+  for (const NwcOptions& options : AllPresets()) {
+    IoCounter io;
+    QueryTrace trace = QueryTrace::Enabled();
+    ASSERT_TRUE(engine.Execute(query, options, &io, &trace).ok());
+    uint64_t browse_spans = 0;
+    uint64_t window_spans = 0;
+    uint64_t candidate_spans = 0;
+    for (const TraceSpan& span : trace.spans()) {
+      if (span.kind == SpanKind::kBrowseNode) ++browse_spans;
+      if (span.kind == SpanKind::kWindowQuery || span.kind == SpanKind::kIwpProbe) {
+        ++window_spans;
+      }
+      if (span.kind == SpanKind::kCandidate) ++candidate_spans;
+    }
+    const std::string label = PresetLabel(options);
+    // Pruned nodes still open a browse span (that's where the DIP/DEP
+    // check lives) but never pay the read, so they count as pruned, not
+    // expanded.
+    EXPECT_EQ(browse_spans, trace.counter(TraceCounter::kNodesExpanded) +
+                                trace.counter(TraceCounter::kPrunedDip) +
+                                trace.counter(TraceCounter::kPrunedDepNode))
+        << label;
+    EXPECT_EQ(window_spans, trace.counter(TraceCounter::kWindowQueries)) << label;
+    EXPECT_EQ(candidate_spans, trace.counter(TraceCounter::kObjectsBrowsed)) << label;
+  }
+}
+
+}  // namespace
+}  // namespace nwc

@@ -17,22 +17,40 @@
 //       Print index statistics.
 //   serve-batch --index=F.nwctree --queries=F.txt [--threads=4] [--queue=256]
 //            [--scheme=...] [--measure=...] [--pool-pages=0] [--print]
+//            [--metrics-json=F.json] [--prom=F.prom]
+//            [--trace-dir=DIR] [--slow-us=N] [--trace-ring=32]
 //       Replay a query file through the concurrent QueryService across N
 //       worker threads and print a metrics report (throughput, latency
 //       quantiles, merged per-phase I/O). The query file holds one query
 //       per line — "nwc X Y L W N" or "knwc X Y L W N K M" — with '#'
 //       comments; the density grid / IWP index needed by the scheme are
 //       built from the loaded tree itself, so no --data file is needed.
+//       --metrics-json / --prom dump the final MetricsSnapshot as JSON /
+//       Prometheus text. --trace-dir (or --slow-us) turns on per-query
+//       tracing: queries at or over --slow-us microseconds (0 = all) are
+//       retained in a --trace-ring-capacity ring and written to DIR as
+//       Chrome trace-event JSON, one file per query.
+//   trace    --index=F.nwctree --q=X,Y --l=L --w=W --n=N [--k=K --m=M]
+//            [--scheme=...] [--measure=...] [--data=F.csv]
+//            [--format=<chrome|jsonl>] [--out=F.json]
+//       Run one NWC (or, with --k, kNWC) query with tracing enabled and
+//       emit the trace: Chrome trace-event JSON (open in Perfetto /
+//       chrome://tracing) or JSONL for scripts. Without --out the trace
+//       goes to stdout; with --out a human summary (spans, pruning
+//       counters, per-phase reads) is printed instead.
 //
 // Example session:
 //   nwc_tool generate --kind=ca --out=/tmp/ca.csv
 //   nwc_tool build --data=/tmp/ca.csv --out=/tmp/ca.nwctree --str
 //   nwc_tool query --index=/tmp/ca.nwctree --data=/tmp/ca.csv
 //       --q=5000,5000 --l=64 --w=64 --n=8 --scheme=star
+//   nwc_tool trace --index=/tmp/ca.nwctree --data=/tmp/ca.csv
+//       --q=5000,5000 --l=64 --w=64 --n=8 --scheme=star --out=/tmp/q.json
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -44,6 +62,9 @@
 #include "datasets/dataset.h"
 #include "datasets/generators.h"
 #include "grid/density_grid.h"
+#include "obs/prometheus.h"
+#include "obs/query_trace.h"
+#include "obs/trace_export.h"
 #include "rtree/bulk_load.h"
 #include "rtree/iwp_index.h"
 #include "rtree/serialize.h"
@@ -271,6 +292,78 @@ int CmdKnwc(const Args& args) {
   return 0;
 }
 
+// Human summary of a recorded trace: where the reads went, what each
+// technique pruned, how deep the heap got. Printed when the JSON itself
+// goes to a file.
+void PrintTraceSummary(const QueryTrace& trace, const IoCounter& io) {
+  std::printf("trace: %zu span(s), heap high-water %llu\n", trace.spans().size(),
+              static_cast<unsigned long long>(trace.heap_high_water()));
+  std::printf("reads: %llu traversal + %llu window = %llu total\n",
+              static_cast<unsigned long long>(io.traversal_reads()),
+              static_cast<unsigned long long>(io.window_query_reads()),
+              static_cast<unsigned long long>(io.query_total()));
+  for (size_t i = 0; i < kTraceCounterCount; ++i) {
+    const TraceCounter counter = static_cast<TraceCounter>(i);
+    if (trace.counter(counter) == 0) continue;
+    std::printf("  %-22s %llu\n", TraceCounterName(counter),
+                static_cast<unsigned long long>(trace.counter(counter)));
+  }
+}
+
+int EmitTrace(const Args& args, const QueryTrace& trace, const IoCounter& io) {
+  const std::string format = args.Get("format", "chrome");
+  std::string rendered;
+  if (format == "chrome") {
+    rendered = ToChromeTraceJson(trace);
+  } else if (format == "jsonl") {
+    rendered = ToJsonl(trace);
+  } else {
+    return Fail("unknown --format " + format + " (expected chrome or jsonl)");
+  }
+  const std::string out = args.Get("out");
+  if (out.empty()) {
+    std::printf("%s", rendered.c_str());
+    return 0;
+  }
+  std::ofstream file(out, std::ios::trunc);
+  if (!file) return Fail("cannot open " + out + " for writing");
+  file << rendered;
+  if (!file.good()) return Fail("failed writing trace to " + out);
+  file.close();
+  std::printf("wrote %s trace (%zu bytes) to %s\n", format.c_str(), rendered.size(),
+              out.c_str());
+  PrintTraceSummary(trace, io);
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  const Result<NwcOptions> options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+  const Result<Point> q = ParsePoint(args.Get("q", ""));
+  if (!q.ok()) return Fail(q.status().ToString());
+  Result<LoadedIndex> index = LoadIndexFor(args, *options);
+  if (!index.ok()) return Fail(index.status().ToString());
+
+  const NwcQuery base{*q, args.GetDouble("l", 8.0), args.GetDouble("w", 8.0),
+                      static_cast<size_t>(args.GetLong("n", 8))};
+  IoCounter io;
+  QueryTrace trace = QueryTrace::Enabled();
+  if (args.Has("k")) {
+    const KnwcQuery query{base, static_cast<size_t>(args.GetLong("k", 4)),
+                          static_cast<size_t>(args.GetLong("m", 2))};
+    KnwcEngine engine(index->tree, index->iwp.get(), index->grid.get());
+    const Result<KnwcResult> result = engine.Execute(query, *options, &io, &trace);
+    if (!result.ok()) return Fail(result.status().ToString());
+    trace.set_label("knwc q=(" + args.Get("q") + ") scheme=" + args.Get("scheme", "star"));
+  } else {
+    NwcEngine engine(index->tree, index->iwp.get(), index->grid.get());
+    const Result<NwcResult> result = engine.Execute(base, *options, &io, &trace);
+    if (!result.ok()) return Fail(result.status().ToString());
+    trace.set_label("nwc q=(" + args.Get("q") + ") scheme=" + args.Get("scheme", "star"));
+  }
+  return EmitTrace(args, trace, io);
+}
+
 // One parsed line of a serve-batch query file.
 struct BatchEntry {
   bool is_knwc = false;
@@ -343,6 +436,10 @@ int CmdServeBatch(const Args& args) {
   service_config.queue_capacity = static_cast<size_t>(args.GetLong("queue", 256));
   service_config.default_options = *options;
   service_config.worker_pool_pages = static_cast<size_t>(args.GetLong("pool-pages", 0));
+  // Asking for a trace directory or a slow threshold implies tracing.
+  service_config.trace_slow_queries = args.Has("trace-dir") || args.Has("slow-us");
+  service_config.slow_trace_us = static_cast<uint64_t>(args.GetLong("slow-us", 0));
+  service_config.trace_ring_capacity = static_cast<size_t>(args.GetLong("trace-ring", 32));
   const Status valid = service_config.Validate();
   if (!valid.ok()) return Fail(valid.ToString());
 
@@ -411,6 +508,44 @@ int CmdServeBatch(const Args& args) {
   std::printf("wall time:  %.3f s (%.1f queries/sec)\n", seconds,
               seconds > 0.0 ? static_cast<double>(snapshot.queries) / seconds : 0.0);
   std::printf("%s", snapshot.ToString().c_str());
+
+  const std::string metrics_json = args.Get("metrics-json");
+  if (!metrics_json.empty()) {
+    std::ofstream file(metrics_json, std::ios::trunc);
+    if (!file) return Fail("cannot open " + metrics_json + " for writing");
+    file << snapshot.ToJson() << "\n";
+    if (!file.good()) return Fail("failed writing " + metrics_json);
+    std::printf("wrote metrics JSON to %s\n", metrics_json.c_str());
+  }
+  const std::string prom = args.Get("prom");
+  if (!prom.empty()) {
+    std::ofstream file(prom, std::ios::trunc);
+    if (!file) return Fail("cannot open " + prom + " for writing");
+    file << ToPrometheusText(snapshot, service.SnapshotLatencyHistogram());
+    if (!file.good()) return Fail("failed writing " + prom);
+    std::printf("wrote Prometheus metrics to %s\n", prom.c_str());
+  }
+  const std::string trace_dir = args.Get("trace-dir");
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) return Fail("cannot create " + trace_dir + ": " + ec.message());
+    const auto traces = service.SlowTraces();
+    size_t written = 0;
+    for (const auto& trace : traces) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "slow_%03zu.json", written);
+      const std::string path = (std::filesystem::path(trace_dir) / name).string();
+      std::ofstream file(path, std::ios::trunc);
+      if (!file) return Fail("cannot open " + path + " for writing");
+      file << ToChromeTraceJson(*trace);
+      if (!file.good()) return Fail("failed writing " + path);
+      ++written;
+    }
+    std::printf("wrote %zu slow-query trace(s) (>= %llu us) to %s\n", written,
+                static_cast<unsigned long long>(service_config.slow_trace_us),
+                trace_dir.c_str());
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -437,7 +572,8 @@ int CmdStats(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: nwc_tool <generate|build|query|knwc|stats|serve-batch> [--key=value ...]\n"
+               "usage: nwc_tool <generate|build|query|knwc|trace|stats|serve-batch>"
+               " [--key=value ...]\n"
                "see the header of tools/nwc_tool.cc for the full reference\n");
   return 2;
 }
@@ -450,6 +586,7 @@ int Run(int argc, char** argv) {
   if (command == "build") return CmdBuild(args);
   if (command == "query") return CmdQuery(args);
   if (command == "knwc") return CmdKnwc(args);
+  if (command == "trace") return CmdTrace(args);
   if (command == "stats") return CmdStats(args);
   if (command == "serve-batch") return CmdServeBatch(args);
   return Usage();
