@@ -18,6 +18,12 @@
 // the ring). Disabled tracing is one branch per record site and must not
 // move throughput measurably; the armed figure bounds what "trace every
 // slow query" costs in the worst case (threshold 0 = every query is slow).
+//
+// A robustness-overhead section does the same for the query control: no
+// deadline (disarmed control, one branch per checkpoint) vs a 1-second
+// deadline no query ever hits (armed control: a steady_clock read per
+// checkpoint). The disarmed figure must stay within noise of the tracing
+// baseline; the armed figure is the price of "every query has a deadline".
 
 #include <cstddef>
 #include <iterator>
@@ -129,5 +135,37 @@ int main() {
                      StrFormat("%zu", service.SlowTraces().size())});
   }
   overhead.Print();
+
+  // Robustness overhead: NWC* at 4 threads, no deadline (disarmed
+  // controls) vs a 1-second deadline that no query reaches (armed
+  // controls paying a clock read per checkpoint).
+  TablePrinter robustness("Robustness overhead - NWC*, 4 threads",
+                          {"deadline", "qps", "p50_us", "p95_us", "deadline_exceeded"});
+  for (const bool armed : {false, true}) {
+    ServiceConfig config;
+    config.num_threads = 4;
+    config.queue_capacity = 2 * query_count + 1;
+    config.default_options = NwcOptions::Star();
+    config.default_deadline_micros = armed ? 1000000 : 0;
+    QueryService service(*session, config);
+
+    Stopwatch wall;
+    const std::vector<NwcResponse> responses = service.RunNwcBatch(requests);
+    const double seconds = wall.ElapsedSeconds();
+    for (const NwcResponse& response : responses) {
+      CheckOk(response.status, "throughput_service deadline query");
+    }
+    const MetricsSnapshot metrics = service.SnapshotMetrics();
+    const double qps = seconds > 0.0 ? static_cast<double>(responses.size()) / seconds : 0.0;
+    Progress("deadline=%s: %.1f q/s, p50=%llu p95=%llu us", armed ? "1s" : "off", qps,
+             static_cast<unsigned long long>(metrics.latency_p50_us),
+             static_cast<unsigned long long>(metrics.latency_p95_us));
+    robustness.AddRow(
+        {armed ? "1 s (armed, never hit)" : "off", StrFormat("%.1f", qps),
+         StrFormat("%llu", static_cast<unsigned long long>(metrics.latency_p50_us)),
+         StrFormat("%llu", static_cast<unsigned long long>(metrics.latency_p95_us)),
+         StrFormat("%llu", static_cast<unsigned long long>(metrics.deadline_exceeded))});
+  }
+  robustness.Print();
   return 0;
 }

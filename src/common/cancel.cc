@@ -1,0 +1,34 @@
+#include "common/cancel.h"
+
+namespace nwc {
+
+bool QueryControl::ShouldStopArmed() {
+  if (stopped_) return true;
+  if (cancel_cell_ != nullptr &&
+      cancel_cell_->load(std::memory_order_relaxed) != expected_epoch_) {
+    stopped_ = true;
+    status_ = Status::Cancelled("query cancelled");
+    return true;
+  }
+  if (has_clock_deadline_) {
+    if (clock_ns_ && clock_ns_() >= clock_deadline_ns_) {
+      stopped_ = true;
+      status_ = Status::DeadlineExceeded("query deadline exceeded");
+      return true;
+    }
+  } else if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    stopped_ = true;
+    status_ = Status::DeadlineExceeded("query deadline exceeded");
+    return true;
+  }
+  return false;
+}
+
+QueryControl& NullControl() {
+  // Never armed, so ShouldStop() never writes — one shared instance is safe
+  // for any number of concurrent queries.
+  static QueryControl null_control;
+  return null_control;
+}
+
+}  // namespace nwc

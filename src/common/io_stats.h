@@ -60,6 +60,7 @@ class IoCounter {
         break;
     }
     if (trace_enabled_) trace_.push_back(page);
+    if (read_probe_) read_probe_(page);
   }
 
   /// Installs a cache probe, typically `BufferPool::Access` bound to a
@@ -71,6 +72,15 @@ class IoCounter {
 
   /// Accesses absorbed by the cache probe.
   uint64_t cache_hits() const { return cache_hits_; }
+
+  /// Installs a read probe invoked with the page id of every access that
+  /// was actually counted as a read (cache-probe hits never reach it —
+  /// a buffered page costs no disk access, so it cannot fail). This is the
+  /// fault-injection seam: the query service binds a FaultInjector here and
+  /// routes injected failures into the query's QueryControl, where the
+  /// search loops observe them as a typed IoError (see storage/
+  /// fault_injector.h and common/cancel.h).
+  void SetReadProbe(std::function<void(uint32_t)> probe) { read_probe_ = std::move(probe); }
 
   /// Placeholder page id recorded when the caller did not supply one.
   static constexpr uint32_t kUnknownPage = 0xFFFFFFFFu;
@@ -121,6 +131,7 @@ class IoCounter {
   bool trace_enabled_ = false;
   std::vector<uint32_t> trace_;
   std::function<bool(uint32_t)> cache_probe_;
+  std::function<void(uint32_t)> read_probe_;
 };
 
 }  // namespace nwc

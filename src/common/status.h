@@ -19,6 +19,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -60,6 +63,15 @@ class Status {
   }
   static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
   static Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True when the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }

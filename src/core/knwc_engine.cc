@@ -126,7 +126,8 @@ class KGroupSink : public internal::GroupSink {
 }  // namespace
 
 Result<KnwcResult> KnwcEngine::Execute(const KnwcQuery& query, const NwcOptions& options,
-                                       IoCounter* io, QueryTrace* trace) const {
+                                       IoCounter* io, QueryTrace* trace,
+                                       QueryControl* control) const {
   const Status query_ok = query.Validate();
   if (!query_ok.ok()) return query_ok;
   if (options.use_iwp && iwp_ == nullptr) {
@@ -135,13 +136,16 @@ Result<KnwcResult> KnwcEngine::Execute(const KnwcQuery& query, const NwcOptions&
   if (options.use_dep && grid_ == nullptr) {
     return Status::FailedPrecondition("DEP enabled but no DensityGrid was supplied");
   }
+  if (control != nullptr && control->ShouldStop()) return control->status();
 
   QueryTrace& tr = trace != nullptr ? *trace : NullTrace();
+  QueryControl& ctl = control != nullptr ? *control : NullControl();
   KGroupSink sink(query.k, query.m, tr);
   {
     TraceSpanScope root_span(tr, SpanKind::kQuery, io);
-    internal::RunNwcSearch(tree_, iwp_, grid_, query.base, options, io, sink, tr);
+    internal::RunNwcSearch(tree_, iwp_, grid_, query.base, options, io, sink, tr, ctl);
   }
+  if (control != nullptr && control->stopped()) return control->status();
   return std::move(sink).TakeResult();
 }
 

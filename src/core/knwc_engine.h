@@ -1,6 +1,7 @@
 #ifndef NWC_CORE_KNWC_ENGINE_H_
 #define NWC_CORE_KNWC_ENGINE_H_
 
+#include "common/cancel.h"
 #include "common/io_stats.h"
 #include "common/status.h"
 #include "core/nwc_types.h"
@@ -34,11 +35,12 @@ class KnwcEngine {
                       const DensityGrid* grid = nullptr)
       : tree_(tree), iwp_(iwp), grid_(grid) {}
 
-  /// Runs one kNWC query; see NwcEngine::Execute for the error contract
-  /// and the tracing semantics (`trace` additionally captures the Steps
-  /// 2-5 overlap filtering as kOverlapFilter spans).
+  /// Runs one kNWC query; see NwcEngine::Execute for the error contract,
+  /// the tracing semantics (`trace` additionally captures the Steps 2-5
+  /// overlap filtering as kOverlapFilter spans), and the cooperative
+  /// deadline/cancel/fault contract of `control`.
   Result<KnwcResult> Execute(const KnwcQuery& query, const NwcOptions& options, IoCounter* io,
-                             QueryTrace* trace = nullptr) const;
+                             QueryTrace* trace = nullptr, QueryControl* control = nullptr) const;
 
  private:
   const RStarTree& tree_;

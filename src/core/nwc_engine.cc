@@ -38,7 +38,8 @@ class BestGroupSink : public internal::GroupSink {
 }  // namespace
 
 Result<NwcResult> NwcEngine::Execute(const NwcQuery& query, const NwcOptions& options,
-                                     IoCounter* io, QueryTrace* trace) const {
+                                     IoCounter* io, QueryTrace* trace,
+                                     QueryControl* control) const {
   const Status query_ok = query.Validate();
   if (!query_ok.ok()) return query_ok;
   if (options.use_iwp && iwp_ == nullptr) {
@@ -47,13 +48,18 @@ Result<NwcResult> NwcEngine::Execute(const NwcQuery& query, const NwcOptions& op
   if (options.use_dep && grid_ == nullptr) {
     return Status::FailedPrecondition("DEP enabled but no DensityGrid was supplied");
   }
+  if (control != nullptr && control->ShouldStop()) return control->status();
 
   QueryTrace& tr = trace != nullptr ? *trace : NullTrace();
+  QueryControl& ctl = control != nullptr ? *control : NullControl();
   BestGroupSink sink;
   {
     TraceSpanScope root_span(tr, SpanKind::kQuery, io);
-    internal::RunNwcSearch(tree_, iwp_, grid_, query, options, io, sink, tr);
+    internal::RunNwcSearch(tree_, iwp_, grid_, query, options, io, sink, tr, ctl);
   }
+  // A stopped control means the search ended early: the sink's contents
+  // are partial, so the stop status is the whole answer.
+  if (control != nullptr && control->stopped()) return control->status();
   return std::move(sink).TakeResult();
 }
 

@@ -1,6 +1,7 @@
 #ifndef NWC_CORE_NWC_ENGINE_H_
 #define NWC_CORE_NWC_ENGINE_H_
 
+#include "common/cancel.h"
 #include "common/io_stats.h"
 #include "common/status.h"
 #include "core/nwc_types.h"
@@ -46,8 +47,13 @@ class NwcEngine {
   /// records the execution as hierarchical spans plus pruning counters; a
   /// null / disabled recorder costs one branch per record site (see
   /// obs/query_trace.h).
+  ///
+  /// `control` (optional) arms cooperative deadline/cancel/fault handling:
+  /// when the control stops mid-search, Execute discards any partial result
+  /// and returns the control's status (DeadlineExceeded, Cancelled, or the
+  /// reported IoError) — a stopped query never yields a truncated answer.
   Result<NwcResult> Execute(const NwcQuery& query, const NwcOptions& options, IoCounter* io,
-                            QueryTrace* trace = nullptr) const;
+                            QueryTrace* trace = nullptr, QueryControl* control = nullptr) const;
 
  private:
   const RStarTree& tree_;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/io_stats.h"
 #include "core/nwc_types.h"
 #include "geometry/point.h"
@@ -48,9 +49,17 @@ class GroupSink {
 /// structured pruning counters and the traversal-heap high-water mark.
 /// Pass NullTrace() to run untraced — the disabled recorder reduces every
 /// record call to a single branch.
+///
+/// `control` makes the search cooperative: it is polled at every queue pop
+/// and inside the window-query walks, and the loop exits as soon as it
+/// reports a stop (deadline, external cancel, or a fault routed in via
+/// ReportFault). A stopped search leaves the sink holding whatever partial
+/// state it had — callers must check control.stopped() and surface the
+/// control's status instead of the sink's result. Pass NullControl() to run
+/// unguarded (one branch per checkpoint, like NullTrace()).
 void RunNwcSearch(const RStarTree& tree, const IwpIndex* iwp, const DensityGrid* grid,
                   const NwcQuery& query, const NwcOptions& options, IoCounter* io,
-                  GroupSink& sink, QueryTrace& trace);
+                  GroupSink& sink, QueryTrace& trace, QueryControl& control);
 
 }  // namespace nwc::internal
 

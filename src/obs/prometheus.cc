@@ -28,6 +28,15 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHisto
           snapshot.rejections);
   Counter(out, "nwc_slow_queries_total", "Queries at or over the slow-trace threshold.",
           snapshot.slow_queries);
+  Counter(out, "nwc_query_cancelled_total", "Queries stopped by cancellation.",
+          snapshot.cancelled);
+  Counter(out, "nwc_query_deadline_exceeded_total", "Queries stopped by their deadline.",
+          snapshot.deadline_exceeded);
+  Counter(out, "nwc_query_io_errors_total", "Queries failed by (injected) I/O faults.",
+          snapshot.io_errors);
+  Counter(out, "nwc_load_shed_total", "Requests shed at submit past the queue watermark.",
+          snapshot.shed);
+  Counter(out, "nwc_query_retries_total", "Transient-fault retry attempts.", snapshot.retries);
   out +=
       "# HELP nwc_node_reads_total R*-tree node reads by query phase.\n"
       "# TYPE nwc_node_reads_total counter\n";

@@ -25,6 +25,8 @@ const char* SpanKindName(SpanKind kind) {
       return "iwp_probe";
     case SpanKind::kOverlapFilter:
       return "overlap_filter";
+    case SpanKind::kAbort:
+      return "abort";
   }
   return "unknown";
 }
@@ -51,6 +53,10 @@ const char* TraceCounterName(TraceCounter counter) {
       return "groups_offered";
     case TraceCounter::kGroupsDroppedOverlap:
       return "groups_dropped_overlap";
+    case TraceCounter::kFaultsInjected:
+      return "faults_injected";
+    case TraceCounter::kAborted:
+      return "aborted";
   }
   return "unknown";
 }

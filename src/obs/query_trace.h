@@ -27,6 +27,8 @@ enum class SpanKind : uint8_t {
   kWindowQuery,    ///< root-based window query for SR'_p
   kIwpProbe,       ///< IWP start-node resolution + window query (Algorithm 3)
   kOverlapFilter,  ///< kNWC group-list maintenance, Steps 2-5 (Sec. 3.4)
+  kAbort,          ///< search stopped early (deadline/cancel/fault); detail
+                   ///< carries the StatusCode that stopped it
 };
 
 /// Stable display name ("query", "browse_node", ...), used by exporters.
@@ -47,8 +49,10 @@ enum class TraceCounter : uint8_t {
   kWindowsEvaluated,      ///< candidate windows scanned for a group
   kGroupsOffered,         ///< qualified groups offered to the sink
   kGroupsDroppedOverlap,  ///< kNWC groups rejected/evicted by the m-overlap rule
+  kFaultsInjected,        ///< injected I/O faults observed by this query
+  kAborted,               ///< 1 when the search stopped before completion
 };
-inline constexpr size_t kTraceCounterCount = 10;
+inline constexpr size_t kTraceCounterCount = 12;
 
 /// Stable snake_case name ("objects_browsed", ...), used by exporters.
 const char* TraceCounterName(TraceCounter counter);

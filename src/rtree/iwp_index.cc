@@ -135,9 +135,9 @@ std::vector<NodeId> IwpIndex::ResolveStartNodes(NodeId leaf, const Rect& window)
 }
 
 std::vector<DataObject> IwpIndex::WindowQuery(const RStarTree& tree, NodeId leaf,
-                                              const Rect& window, IoCounter* io,
-                                              IoPhase phase) const {
-  return WindowQueryFrom(tree, ResolveStartNodes(leaf, window), window, io, phase);
+                                              const Rect& window, IoCounter* io, IoPhase phase,
+                                              QueryControl* control) const {
+  return WindowQueryFrom(tree, ResolveStartNodes(leaf, window), window, io, phase, control);
 }
 
 }  // namespace nwc

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/io_stats.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
@@ -63,8 +64,8 @@ class IwpIndex {
   /// embedded in that node's page. Every node traversed by the window
   /// query itself charges one read, exactly as a root-based query would.
   std::vector<DataObject> WindowQuery(const RStarTree& tree, NodeId leaf, const Rect& window,
-                                      IoCounter* io,
-                                      IoPhase phase = IoPhase::kWindowQuery) const;
+                                      IoCounter* io, IoPhase phase = IoPhase::kWindowQuery,
+                                      QueryControl* control = nullptr) const;
 
   /// Resolves the start nodes Algorithm 3 would search from (exposed for
   /// tests and for the storage/ablation analysis).

@@ -8,9 +8,12 @@ namespace nwc {
 namespace {
 
 // Shared DFS for window queries. `emit` is called for each matching object.
+// The control (if any) is polled before each node access so a stopped query
+// never pays for another page read; the walk then unwinds without emitting.
 template <typename Emit>
 void WindowWalk(const RStarTree& tree, NodeId start, const Rect& window, IoCounter* io,
-                IoPhase phase, const Emit& emit) {
+                IoPhase phase, QueryControl* control, const Emit& emit) {
+  if (control != nullptr && control->ShouldStop()) return;
   const RTreeNode& n = tree.AccessNode(start, io, phase);
   if (n.is_leaf()) {
     for (const DataObject& obj : n.objects) {
@@ -20,7 +23,7 @@ void WindowWalk(const RStarTree& tree, NodeId start, const Rect& window, IoCount
   }
   for (const ChildEntry& entry : n.children) {
     if (entry.mbr.Intersects(window)) {
-      WindowWalk(tree, entry.child, window, io, phase, emit);
+      WindowWalk(tree, entry.child, window, io, phase, control, emit);
     }
   }
 }
@@ -28,27 +31,30 @@ void WindowWalk(const RStarTree& tree, NodeId start, const Rect& window, IoCount
 }  // namespace
 
 std::vector<DataObject> WindowQuery(const RStarTree& tree, const Rect& window, IoCounter* io,
-                                    IoPhase phase) {
+                                    IoPhase phase, QueryControl* control) {
   std::vector<DataObject> result;
-  WindowWalk(tree, tree.root(), window, io, phase,
+  WindowWalk(tree, tree.root(), window, io, phase, control,
              [&result](const DataObject& obj) { result.push_back(obj); });
   return result;
 }
 
 std::vector<DataObject> WindowQueryFrom(const RStarTree& tree,
                                         const std::vector<NodeId>& start_nodes,
-                                        const Rect& window, IoCounter* io, IoPhase phase) {
+                                        const Rect& window, IoCounter* io, IoPhase phase,
+                                        QueryControl* control) {
   std::vector<DataObject> result;
   for (const NodeId start : start_nodes) {
-    WindowWalk(tree, start, window, io, phase,
+    WindowWalk(tree, start, window, io, phase, control,
                [&result](const DataObject& obj) { result.push_back(obj); });
   }
   return result;
 }
 
-size_t WindowCount(const RStarTree& tree, const Rect& window, IoCounter* io, IoPhase phase) {
+size_t WindowCount(const RStarTree& tree, const Rect& window, IoCounter* io, IoPhase phase,
+                   QueryControl* control) {
   size_t count = 0;
-  WindowWalk(tree, tree.root(), window, io, phase, [&count](const DataObject&) { ++count; });
+  WindowWalk(tree, tree.root(), window, io, phase, control,
+             [&count](const DataObject&) { ++count; });
   return count;
 }
 

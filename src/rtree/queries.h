@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/io_stats.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
@@ -14,8 +15,16 @@ namespace nwc {
 /// Returns all objects whose position lies inside `window` (boundary
 /// inclusive), via depth-first traversal from the root. Every visited node
 /// (including the root) charges one page read to `io` in `phase`.
+///
+/// When `control` is non-null the walk polls it before each node access and
+/// abandons the traversal once the control reports a stop (deadline, cancel,
+/// or injected fault). A stopped walk returns a *truncated* hit set; callers
+/// must consult the control's status before treating the result as complete
+/// (the NWC engines surface the stop as a non-OK query status, so truncated
+/// hits never leak into an ok answer).
 std::vector<DataObject> WindowQuery(const RStarTree& tree, const Rect& window, IoCounter* io,
-                                    IoPhase phase = IoPhase::kWindowQuery);
+                                    IoPhase phase = IoPhase::kWindowQuery,
+                                    QueryControl* control = nullptr);
 
 /// Window query that starts from an explicit set of subtree roots instead
 /// of the tree root; the IWP technique (Algorithm 3) uses this with the
@@ -24,12 +33,13 @@ std::vector<DataObject> WindowQuery(const RStarTree& tree, const Rect& window, I
 std::vector<DataObject> WindowQueryFrom(const RStarTree& tree,
                                         const std::vector<NodeId>& start_nodes,
                                         const Rect& window, IoCounter* io,
-                                        IoPhase phase = IoPhase::kWindowQuery);
+                                        IoPhase phase = IoPhase::kWindowQuery,
+                                        QueryControl* control = nullptr);
 
 /// Counts the objects inside `window` without materializing them; same
 /// traversal and I/O accounting as WindowQuery.
 size_t WindowCount(const RStarTree& tree, const Rect& window, IoCounter* io,
-                   IoPhase phase = IoPhase::kWindowQuery);
+                   IoPhase phase = IoPhase::kWindowQuery, QueryControl* control = nullptr);
 
 /// Returns the `k` objects nearest to `q`, ascending by distance (fewer
 /// when the tree holds fewer than `k`). Best-first search (Hjaltason &

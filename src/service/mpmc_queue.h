@@ -70,6 +70,19 @@ class MpmcQueue {
 
   /// Closes the queue: subsequent pushes fail, blocked producers and
   /// consumers wake up, consumers drain what was already accepted.
+  ///
+  /// Shutdown-under-saturation audit (no lost wakeup): producers blocked
+  /// in Push() wait on the predicate `closed_ || size < capacity`, and
+  /// Close() flips `closed_` *under the same mutex* before notify_all on
+  /// both condvars — so a producer cannot check the predicate, miss the
+  /// close, and then sleep through the notification (the store and the
+  /// wait are serialized by mu_). Every blocked producer therefore wakes,
+  /// re-evaluates, and returns false. The related benign case: Pop()'s
+  /// not_full_.notify_one can be "stolen" when a TryPush grabs the freed
+  /// slot before the woken producer reacquires the lock; the producer
+  /// re-checks the predicate and re-waits, and the next Pop (or Close)
+  /// notifies again, so progress is never lost. Regression coverage:
+  /// MpmcQueueTest.CloseWakesProducersBlockedOnSaturatedQueue.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);

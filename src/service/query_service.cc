@@ -1,10 +1,13 @@
 #include "service/query_service.h"
 
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/knwc_engine.h"
@@ -47,6 +50,12 @@ Status ServiceConfig::Validate() const {
   if (trace_slow_queries && trace_ring_capacity == 0) {
     return Status::InvalidArgument("trace_ring_capacity must be >= 1 when tracing is enabled");
   }
+  if (shed_queue_depth > queue_capacity) {
+    return Status::InvalidArgument("shed_queue_depth cannot exceed queue_capacity");
+  }
+  if (max_retries < 0) return Status::InvalidArgument("max_retries must be >= 0");
+  const Status plan_ok = fault_plan.Validate();
+  if (!plan_ok.ok()) return plan_ok;
   return Status::Ok();
 }
 
@@ -83,6 +92,14 @@ QueryService::QueryService(const Session& session, const ServiceConfig& config)
       pool = std::make_unique<BufferPool>(config_.worker_pool_pages);
     }
   }
+  if (config_.fault_plan.enabled()) {
+    worker_injectors_.resize(worker_pools_.size());
+    for (size_t i = 0; i < worker_injectors_.size(); ++i) {
+      FaultPlan plan = config_.fault_plan;
+      plan.seed += i;  // decorrelate Bernoulli streams across workers
+      worker_injectors_[i] = std::make_unique<FaultInjector>(plan);
+    }
+  }
   if (config_.trace_slow_queries) {
     slow_traces_ = std::make_unique<TraceRing>(config_.trace_ring_capacity);
   }
@@ -100,6 +117,18 @@ Status QueryService::CheckRequest(const std::optional<NwcOptions>& override_opti
         "session lacks the IWP index / density grid required by the requested scheme");
   }
   return Status::Ok();
+}
+
+QueryService::RequestTiming QueryService::MakeTiming(uint64_t request_deadline_micros) const {
+  RequestTiming timing;
+  const uint64_t micros =
+      request_deadline_micros != 0 ? request_deadline_micros : config_.default_deadline_micros;
+  if (micros != 0) {
+    timing.has_deadline = true;
+    timing.deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(micros);
+  }
+  timing.epoch = cancel_epoch_.load(std::memory_order_relaxed);
+  return timing;
 }
 
 namespace {
@@ -126,56 +155,94 @@ std::string DescribeQuery(const KnwcQuery& query, const NwcOptions& options) {
 
 template <typename Response, typename Query>
 void QueryService::Execute(size_t worker_index, const Query& query, const NwcOptions& options,
-                           std::promise<Response> promise) {
+                           const RequestTiming& timing, std::promise<Response> promise) {
   // Dequeue-time queue-depth observation: the submit-side sample alone
   // under-reports bursts, because submitters that would see the peak are
   // the ones blocked on the full queue.
   metrics_.RecordQueueDepth(pool_.QueueDepth());
 
   Response response;
-  IoCounter io;
+  IoCounter total_io;  // merged across attempts for metrics/response
   BufferPool* worker_pool = worker_pools_[worker_index].get();
-  if (worker_pool != nullptr) {
-    io.SetCacheProbe([worker_pool](uint32_t page) { return worker_pool->Access(page); });
-  }
-
-  // This worker's recorder for this query: armed only when the service
-  // traces, so the untraced hot path records against a disabled object.
-  QueryTrace trace = slow_traces_ != nullptr ? QueryTrace::Enabled() : QueryTrace();
-  QueryTrace* trace_ptr = slow_traces_ != nullptr ? &trace : nullptr;
+  FaultInjector* injector =
+      worker_injectors_.empty() ? nullptr : worker_injectors_[worker_index].get();
 
   Stopwatch timer;
   bool found = false;
-  if constexpr (std::is_same_v<Response, NwcResponse>) {
-    NwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
-    Result<NwcResult> result = engine.Execute(query, options, &io, trace_ptr);
-    response.status = result.status();
-    if (result.ok()) {
-      found = result->found;
-      response.result = std::move(result).value();
+  int attempt = 0;
+  while (true) {
+    // Per-attempt state: a fresh counter so a failed attempt's I/O still
+    // rolls up, a fresh control so a transient fault doesn't poison the
+    // retry, and a fresh trace so the retained trace describes the final
+    // attempt. The absolute deadline and cancel epoch from submit time
+    // carry across attempts — retries never extend the budget.
+    IoCounter io;
+    if (worker_pool != nullptr) {
+      io.SetCacheProbe([worker_pool](uint32_t page) { return worker_pool->Access(page); });
     }
-  } else {
-    KnwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
-    Result<KnwcResult> result = engine.Execute(query, options, &io, trace_ptr);
-    response.status = result.status();
-    if (result.ok()) {
-      found = !result->groups.empty();
-      response.result = std::move(result).value();
+    QueryTrace trace = slow_traces_ != nullptr ? QueryTrace::Enabled() : QueryTrace();
+    QueryTrace* trace_ptr = slow_traces_ != nullptr ? &trace : nullptr;
+    QueryControl control;
+    if (timing.has_deadline) control.SetDeadline(timing.deadline);
+    control.SetCancelCell(&cancel_epoch_, timing.epoch);
+    if (injector != nullptr) {
+      QueryControl* ctl = &control;
+      QueryTrace& tr = trace;
+      io.SetReadProbe([injector, ctl, &tr](uint32_t page) {
+        Status fault = injector->OnRead(page);
+        if (!fault.ok()) {
+          tr.Count(TraceCounter::kFaultsInjected);
+          ctl->ReportFault(std::move(fault));
+        }
+      });
     }
-  }
-  response.latency_micros = timer.ElapsedMicros();
-  response.traversal_reads = io.traversal_reads();
-  response.window_query_reads = io.window_query_reads();
-  response.cache_hits = io.cache_hits();
 
-  metrics_.RecordQuery(response.latency_micros, io, response.status.ok(), found);
-  if (slow_traces_ != nullptr && response.latency_micros >= config_.slow_trace_us) {
-    metrics_.RecordSlowQuery();
-    trace.set_label(StrFormat("%s latency_us=%llu", DescribeQuery(query, options).c_str(),
-                              static_cast<unsigned long long>(response.latency_micros)));
-    slow_traces_->Add(std::move(trace));
+    if constexpr (std::is_same_v<Response, NwcResponse>) {
+      NwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
+      Result<NwcResult> result = engine.Execute(query, options, &io, trace_ptr, &control);
+      response.status = result.status();
+      if (result.ok()) {
+        found = result->found;
+        response.result = std::move(result).value();
+      }
+    } else {
+      KnwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
+      Result<KnwcResult> result = engine.Execute(query, options, &io, trace_ptr, &control);
+      response.status = result.status();
+      if (result.ok()) {
+        found = !result->groups.empty();
+        response.result = std::move(result).value();
+      }
+    }
+    total_io.Add(io);
+
+    // Bounded retry for transient I/O faults — never past the deadline.
+    if (response.status.code() == StatusCode::kIoError && attempt < config_.max_retries &&
+        !(timing.has_deadline && std::chrono::steady_clock::now() >= timing.deadline)) {
+      metrics_.RecordRetry();
+      if (config_.retry_backoff_micros > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config_.retry_backoff_micros << attempt));
+      }
+      ++attempt;
+      continue;
+    }
+
+    response.latency_micros = timer.ElapsedMicros();
+    response.traversal_reads = total_io.traversal_reads();
+    response.window_query_reads = total_io.window_query_reads();
+    response.cache_hits = total_io.cache_hits();
+
+    metrics_.RecordQuery(response.latency_micros, total_io, response.status.code(), found);
+    if (slow_traces_ != nullptr && response.latency_micros >= config_.slow_trace_us) {
+      metrics_.RecordSlowQuery();
+      trace.set_label(StrFormat("%s latency_us=%llu", DescribeQuery(query, options).c_str(),
+                                static_cast<unsigned long long>(response.latency_micros)));
+      slow_traces_->Add(std::move(trace));
+    }
+    promise.set_value(std::move(response));
+    return;
   }
-  promise.set_value(std::move(response));
 }
 
 namespace {
@@ -199,10 +266,19 @@ std::future<NwcResponse> QueryService::SubmitNwc(NwcRequest request) {
     promise->set_value(FailedResponse<NwcResponse>(status));
     return future;
   }
+  // Load shedding: past the watermark, failing fast beats blocking the
+  // caller on a queue that is already drowning.
+  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
+    metrics_.RecordShed();
+    promise->set_value(FailedResponse<NwcResponse>(
+        Status::Unavailable("request shed: queue past the shed watermark")));
+    return future;
+  }
+  const RequestTiming timing = MakeTiming(request.deadline_micros);
   metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
-  const bool accepted =
-      pool_.Submit([this, query = request.query, options, promise](size_t worker) mutable {
-        Execute<NwcResponse>(worker, query, options, std::move(*promise));
+  const bool accepted = pool_.Submit(
+      [this, query = request.query, options, timing, promise](size_t worker) mutable {
+        Execute<NwcResponse>(worker, query, options, timing, std::move(*promise));
       });
   if (!accepted) {
     promise->set_value(FailedResponse<NwcResponse>(
@@ -220,10 +296,17 @@ std::future<KnwcResponse> QueryService::SubmitKnwc(KnwcRequest request) {
     promise->set_value(FailedResponse<KnwcResponse>(status));
     return future;
   }
+  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
+    metrics_.RecordShed();
+    promise->set_value(FailedResponse<KnwcResponse>(
+        Status::Unavailable("request shed: queue past the shed watermark")));
+    return future;
+  }
+  const RequestTiming timing = MakeTiming(request.deadline_micros);
   metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
-  const bool accepted =
-      pool_.Submit([this, query = request.query, options, promise](size_t worker) mutable {
-        Execute<KnwcResponse>(worker, query, options, std::move(*promise));
+  const bool accepted = pool_.Submit(
+      [this, query = request.query, options, timing, promise](size_t worker) mutable {
+        Execute<KnwcResponse>(worker, query, options, timing, std::move(*promise));
       });
   if (!accepted) {
     promise->set_value(FailedResponse<KnwcResponse>(
@@ -242,9 +325,10 @@ bool QueryService::TrySubmitNwc(NwcRequest request, std::future<NwcResponse>* ou
     *out = std::move(future);
     return true;
   }
-  const bool accepted =
-      pool_.TrySubmit([this, query = request.query, options, promise](size_t worker) mutable {
-        Execute<NwcResponse>(worker, query, options, std::move(*promise));
+  const RequestTiming timing = MakeTiming(request.deadline_micros);
+  const bool accepted = pool_.TrySubmit(
+      [this, query = request.query, options, timing, promise](size_t worker) mutable {
+        Execute<NwcResponse>(worker, query, options, timing, std::move(*promise));
       });
   if (!accepted) {
     metrics_.RecordRejection();
@@ -265,9 +349,10 @@ bool QueryService::TrySubmitKnwc(KnwcRequest request, std::future<KnwcResponse>*
     *out = std::move(future);
     return true;
   }
-  const bool accepted =
-      pool_.TrySubmit([this, query = request.query, options, promise](size_t worker) mutable {
-        Execute<KnwcResponse>(worker, query, options, std::move(*promise));
+  const RequestTiming timing = MakeTiming(request.deadline_micros);
+  const bool accepted = pool_.TrySubmit(
+      [this, query = request.query, options, timing, promise](size_t worker) mutable {
+        Execute<KnwcResponse>(worker, query, options, timing, std::move(*promise));
       });
   if (!accepted) {
     metrics_.RecordRejection();

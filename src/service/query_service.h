@@ -1,6 +1,8 @@
 #ifndef NWC_SERVICE_QUERY_SERVICE_H_
 #define NWC_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -19,6 +21,7 @@
 #include "service/service_metrics.h"
 #include "service/thread_pool.h"
 #include "storage/buffer_pool.h"
+#include "storage/fault_injector.h"
 
 namespace nwc {
 
@@ -102,20 +105,44 @@ struct ServiceConfig {
   /// Capacity of the slow-trace ring (oldest evicted first).
   size_t trace_ring_capacity = 32;
 
+  /// Deadline applied to requests that carry none, measured from *submit*
+  /// time so queue wait counts against it; 0 means no default deadline.
+  uint64_t default_deadline_micros = 0;
+  /// Load shedding: blocking submits observing a queue at or past this
+  /// depth fail immediately with Unavailable instead of blocking (the
+  /// non-blocking TrySubmits already fail fast at full capacity); 0
+  /// disables shedding.
+  size_t shed_queue_depth = 0;
+  /// Transient-fault handling: a query failing with IoError is re-executed
+  /// up to this many extra times (exponential backoff below) before the
+  /// error is surfaced. 0 disables retry.
+  int max_retries = 0;
+  /// Backoff before the first retry; doubles per attempt.
+  uint64_t retry_backoff_micros = 100;
+  /// Deterministic fault-injection schedule (tests / resilience drills):
+  /// each worker gets a private FaultInjector running this plan (Bernoulli
+  /// seeds are decorrelated per worker by adding the worker index). The
+  /// default (kNone) leaves the read path untouched.
+  FaultPlan fault_plan = FaultPlan::None();
+
   Status Validate() const;
 };
 
 /// One NWC request: the query plus an optional per-request option
 /// override (scheme + measure); absent means the service default.
+/// `deadline_micros` bounds the request's total time from submit (queue
+/// wait included); 0 applies the service's default_deadline_micros.
 struct NwcRequest {
   NwcQuery query;
   std::optional<NwcOptions> options;
+  uint64_t deadline_micros = 0;
 };
 
 /// One kNWC request; see NwcRequest.
 struct KnwcRequest {
   KnwcQuery query;
   std::optional<NwcOptions> options;
+  uint64_t deadline_micros = 0;
 };
 
 /// Outcome of one NWC request. `result` is meaningful only when
@@ -181,6 +208,13 @@ class QueryService {
   std::vector<NwcResponse> RunNwcBatch(const std::vector<NwcRequest>& requests);
   std::vector<KnwcResponse> RunKnwcBatch(const std::vector<KnwcRequest>& requests);
 
+  /// Cancels every request currently queued or executing: each observes
+  /// the epoch bump at its next checkpoint and completes with a Cancelled
+  /// response (queued requests cancel when a worker picks them up — no
+  /// future is ever abandoned). Requests submitted *after* this call run
+  /// normally.
+  void CancelAll() { cancel_epoch_.fetch_add(1, std::memory_order_relaxed); }
+
   /// Aggregated per-query metrics since construction / the last reset.
   MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
   void ResetMetrics() { metrics_.Reset(); }
@@ -206,16 +240,29 @@ class QueryService {
   const ServiceConfig& config() const { return config_; }
 
  private:
+  /// Deadline and cancel context captured at submit time, so queue wait
+  /// counts against the deadline and CancelAll reaches queued requests.
+  struct RequestTiming {
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    uint64_t epoch = 0;
+  };
+
   /// Resolves the effective options and checks the session supports them.
   Status CheckRequest(const std::optional<NwcOptions>& override_options,
                       NwcOptions* effective) const;
 
-  /// Runs one query on a worker: binds the per-worker pool (if any) to a
-  /// fresh IoCounter, executes, fills the response fields common to both
-  /// query kinds.
+  /// Captures the request's absolute deadline (request override or service
+  /// default) and the current cancel epoch.
+  RequestTiming MakeTiming(uint64_t request_deadline_micros) const;
+
+  /// Runs one query on a worker: binds the per-worker pool and fault
+  /// injector (if any) to a fresh IoCounter, arms a QueryControl from
+  /// `timing`, executes — retrying transient I/O faults per the config —
+  /// and fills the response fields common to both query kinds.
   template <typename Response, typename Query>
   void Execute(size_t worker_index, const Query& query, const NwcOptions& options,
-               std::promise<Response> promise);
+               const RequestTiming& timing, std::promise<Response> promise);
 
   const Session& session_;
   ServiceConfig config_;
@@ -223,8 +270,14 @@ class QueryService {
   // One pool per worker, indexed by the worker id ThreadPool hands to each
   // job; never shared across threads (empty when worker_pool_pages == 0).
   std::vector<std::unique_ptr<BufferPool>> worker_pools_;
+  // One fault injector per worker (empty when fault_plan is kNone);
+  // per-worker for the same reason as the buffer pools.
+  std::vector<std::unique_ptr<FaultInjector>> worker_injectors_;
   // Slow-query traces (null when tracing is off).
   std::unique_ptr<TraceRing> slow_traces_;
+  // CancelAll's epoch cell: requests capture the value at submit and stop
+  // once it moves on.
+  std::atomic<uint64_t> cancel_epoch_{0};
   ThreadPool pool_;
 };
 

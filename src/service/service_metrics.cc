@@ -14,6 +14,12 @@ std::string MetricsSnapshot::ToString() const {
                    static_cast<unsigned long long>(rejections),
                    static_cast<unsigned long long>(max_queue_depth),
                    static_cast<unsigned long long>(slow_queries));
+  out += StrFormat(
+      "robustness: %llu cancelled, %llu deadline, %llu io errors, %llu shed, %llu retries\n",
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(io_errors), static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(retries));
   out += StrFormat("wall:       %.3f s (%.1f queries/sec)\n", wall_seconds, Qps());
   out += StrFormat("latency:    p50 %llu us, p95 %llu us, p99 %llu us (min %llu, mean %.1f, max %llu)\n",
                    static_cast<unsigned long long>(latency_p50_us),
@@ -39,6 +45,13 @@ std::string MetricsSnapshot::ToJson() const {
                    static_cast<unsigned long long>(rejections),
                    static_cast<unsigned long long>(slow_queries),
                    static_cast<unsigned long long>(max_queue_depth));
+  out += StrFormat(
+      "\"cancelled\":%llu,\"deadline_exceeded\":%llu,\"io_errors\":%llu,"
+      "\"shed\":%llu,\"retries\":%llu,",
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(io_errors), static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(retries));
   out += StrFormat("\"wall_seconds\":%.6f,\"qps\":%.3f,", wall_seconds, Qps());
   out += StrFormat(
       "\"latency_us\":{\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,"
@@ -58,14 +71,27 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
-void ServiceMetrics::RecordQuery(uint64_t latency_micros, const IoCounter& io, bool ok,
+void ServiceMetrics::RecordQuery(uint64_t latency_micros, const IoCounter& io, StatusCode code,
                                  bool found) {
   std::lock_guard<std::mutex> lock(mu_);
   latency_.Record(latency_micros);
   io_.Add(io);
   ++queries_;
-  if (!ok) {
+  if (code != StatusCode::kOk) {
     ++failures_;
+    switch (code) {
+      case StatusCode::kCancelled:
+        ++cancelled_;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++deadline_exceeded_;
+        break;
+      case StatusCode::kIoError:
+        ++io_errors_;
+        break;
+      default:
+        break;
+    }
   } else if (!found) {
     ++not_found_;
   }
@@ -74,6 +100,16 @@ void ServiceMetrics::RecordQuery(uint64_t latency_micros, const IoCounter& io, b
 void ServiceMetrics::RecordRejection() {
   std::lock_guard<std::mutex> lock(mu_);
   ++rejections_;
+}
+
+void ServiceMetrics::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++shed_;
+}
+
+void ServiceMetrics::RecordRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++retries_;
 }
 
 void ServiceMetrics::RecordQueueDepth(size_t depth) {
@@ -94,6 +130,11 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snapshot.not_found = not_found_;
   snapshot.rejections = rejections_;
   snapshot.slow_queries = slow_queries_;
+  snapshot.cancelled = cancelled_;
+  snapshot.deadline_exceeded = deadline_exceeded_;
+  snapshot.io_errors = io_errors_;
+  snapshot.shed = shed_;
+  snapshot.retries = retries_;
   snapshot.max_queue_depth = max_queue_depth_;
   snapshot.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
@@ -123,6 +164,11 @@ void ServiceMetrics::Reset() {
   not_found_ = 0;
   rejections_ = 0;
   slow_queries_ = 0;
+  cancelled_ = 0;
+  deadline_exceeded_ = 0;
+  io_errors_ = 0;
+  shed_ = 0;
+  retries_ = 0;
   max_queue_depth_ = 0;
   epoch_ = std::chrono::steady_clock::now();
 }

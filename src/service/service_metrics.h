@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/io_stats.h"
+#include "common/status.h"
 #include "service/latency_histogram.h"
 
 namespace nwc {
@@ -19,6 +20,18 @@ struct MetricsSnapshot {
   uint64_t not_found = 0;     ///< OK queries with no qualified window / 0 groups
   uint64_t rejections = 0;    ///< TrySubmit calls bounced by the full queue
   uint64_t slow_queries = 0;  ///< queries at/over the slow-trace threshold
+  /// Failure breakdown by cause (each failed query increments exactly one
+  /// of these, or none for other codes; cancelled + deadline_exceeded +
+  /// io_errors <= failures always holds).
+  uint64_t cancelled = 0;          ///< queries stopped by CancelAll
+  uint64_t deadline_exceeded = 0;  ///< queries stopped by their deadline
+  uint64_t io_errors = 0;          ///< queries failed by (injected) I/O faults
+  /// Queries shed at submit time because the queue was past the
+  /// shed watermark (like rejections, these never ran).
+  uint64_t shed = 0;
+  /// Transient-fault retry attempts (each retried execution adds one; the
+  /// query itself still counts once in `queries`).
+  uint64_t retries = 0;
   /// High-water mark, observed both when a request enters the queue and
   /// when a worker dequeues it (so bursts that arrive while every submit
   /// blocks still register).
@@ -41,6 +54,9 @@ struct MetricsSnapshot {
   uint64_t cache_hits = 0;
 
   uint64_t total_reads() const { return traversal_reads + window_query_reads; }
+
+  /// Queries that completed with an OK status.
+  uint64_t ok() const { return queries - failures; }
 
   /// Wall-clock throughput over the snapshot window (0 when no time has
   /// passed).
@@ -67,13 +83,21 @@ class ServiceMetrics {
   ServiceMetrics() = default;
 
   /// Records one completed query: its wall latency, its per-query I/O
-  /// counter (merged into the roll-up), and its outcome. `ok` is the
-  /// engine status; `found` whether a result was produced (ignored when
-  /// !ok).
-  void RecordQuery(uint64_t latency_micros, const IoCounter& io, bool ok, bool found);
+  /// counter (merged into the roll-up), and its outcome. `code` is the
+  /// final status code (after any retries); kCancelled /
+  /// kDeadlineExceeded / kIoError additionally bump the per-cause
+  /// breakdown. `found` is whether a result was produced (ignored for
+  /// non-OK codes).
+  void RecordQuery(uint64_t latency_micros, const IoCounter& io, StatusCode code, bool found);
 
   /// Records one TrySubmit rejection (queue full).
   void RecordRejection();
+
+  /// Records one request shed at submit time (queue past the watermark).
+  void RecordShed();
+
+  /// Records one transient-fault retry attempt.
+  void RecordRetry();
 
   /// Records an observed queue depth; keeps the high-water mark. Called at
   /// submit time *and* at dequeue time: sampling only at submit
@@ -102,6 +126,11 @@ class ServiceMetrics {
   uint64_t not_found_ = 0;
   uint64_t rejections_ = 0;
   uint64_t slow_queries_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t io_errors_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t retries_ = 0;
   uint64_t max_queue_depth_ = 0;
   std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };

@@ -1,5 +1,8 @@
 #include "common/io_stats.h"
 
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace nwc {
@@ -134,6 +137,39 @@ TEST(IoCounterTest, CacheProbeSkipsUnknownPages) {
   io.OnNodeAccess(IoPhase::kTraversal);  // unknown page: always a read
   EXPECT_EQ(io.traversal_reads(), 1u);
   EXPECT_EQ(io.cache_hits(), 0u);
+}
+
+TEST(IoCounterTest, ReadProbeSeesEveryCountedRead) {
+  // The fault-injection hook: the probe fires once per *counted* read, in
+  // order, with the page id the read touched.
+  IoCounter io;
+  std::vector<uint32_t> probed;
+  io.SetReadProbe([&probed](uint32_t page) { probed.push_back(page); });
+  io.OnNodeAccess(IoPhase::kTraversal, 3);
+  io.OnNodeAccess(IoPhase::kWindowQuery, 9);
+  io.OnNodeAccess(IoPhase::kMaintenance);  // unknown page still probes
+  ASSERT_EQ(probed.size(), 3u);
+  EXPECT_EQ(probed[0], 3u);
+  EXPECT_EQ(probed[1], 9u);
+  EXPECT_EQ(probed[2], IoCounter::kUnknownPage);
+}
+
+TEST(IoCounterTest, ReadProbeSkipsCacheHits) {
+  // Buffer-pool hits are not reads under the paper's metric, so they must
+  // be invisible to fault injection: a cached page can never fault.
+  IoCounter io;
+  size_t probes = 0;
+  io.SetCacheProbe([](uint32_t page) { return page == 7; });
+  io.SetReadProbe([&probes](uint32_t) { ++probes; });
+  io.OnNodeAccess(IoPhase::kTraversal, 7);  // hit: no probe
+  io.OnNodeAccess(IoPhase::kTraversal, 8);  // miss: probe
+  EXPECT_EQ(probes, 1u);
+  EXPECT_EQ(io.cache_hits(), 1u);
+  EXPECT_EQ(io.traversal_reads(), 1u);
+
+  io.SetReadProbe(nullptr);  // detachable
+  io.OnNodeAccess(IoPhase::kTraversal, 9);
+  EXPECT_EQ(probes, 1u);
 }
 
 TEST(IoCounterTest, TraceRecordsHitsToo) {

@@ -90,6 +90,36 @@ TEST(MpmcQueueTest, BlockedProducerResumesWhenSlotFrees) {
   EXPECT_EQ(out, 2);
 }
 
+TEST(MpmcQueueTest, CloseWakesProducersBlockedOnSaturatedQueue) {
+  // Shutdown-under-saturation regression (see the audit note on Close()):
+  // several producers blocked on a full queue must all wake and observe
+  // the close — a lost wakeup would hang this test's joins forever.
+  constexpr int kProducers = 4;
+  MpmcQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(0));  // saturate: every later Push blocks
+
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &rejected, p] {
+      if (!queue.Push(p + 1)) rejected.fetch_add(1);
+    });
+  }
+  // Let every producer reach the condvar wait before closing. (A late
+  // arrival that misses the sleep still sees closed_ under the mutex and
+  // fails without waiting, so this is a scheduling nudge, not a hazard.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  queue.Close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers) << "every blocked producer must wake and fail";
+
+  // The item accepted before the close still drains.
+  int out = -1;
+  EXPECT_TRUE(queue.Pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_FALSE(queue.Pop(out));
+}
+
 TEST(MpmcQueueTest, ConcurrentProducersConsumersLoseNothing) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 4;

@@ -1,0 +1,217 @@
+// Oracle-backed robustness property: under deterministic fault injection a
+// query either completes with the *exact* brute-force answer or fails with
+// a clean typed error — never a silently wrong or truncated result. This
+// is the central safety contract of the cancellation layer: a stopped
+// search must not surface partial window hits as success.
+//
+// The sweep crosses seeded random instances x four optimization presets
+// (Plain, NWC+, IWP, NWC*) x a catalog of fault schedules (every-Nth,
+// once-at-K, Bernoulli at two rates, latency spikes, and the none plan as
+// a sanity leg) for well over 1000 NWC combinations plus a kNWC leg. Every
+// assertion message carries the trial seed, preset, and plan spec, so any
+// failure replays from the log alone (see EXPERIMENTS.md).
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/io_stats.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/brute_force.h"
+#include "core/knwc_engine.h"
+#include "core/nwc_engine.h"
+#include "grid/density_grid.h"
+#include "rtree/bulk_load.h"
+#include "rtree/iwp_index.h"
+#include "storage/fault_injector.h"
+
+namespace nwc {
+namespace {
+
+struct Instance {
+  std::vector<DataObject> objects;
+  NwcQuery query;
+};
+
+Instance RandomInstance(Rng& rng) {
+  Instance instance;
+  const size_t count = 10 + rng.NextUint64(30);
+  for (size_t i = 0; i < count; ++i) {
+    instance.objects.push_back(DataObject{
+        static_cast<ObjectId>(i), Point{rng.NextDouble(0, 40), rng.NextDouble(0, 40)}});
+  }
+  instance.query.q = Point{rng.NextDouble(-10, 50), rng.NextDouble(-10, 50)};
+  instance.query.length = rng.NextDouble(3, 15);
+  instance.query.width = rng.NextDouble(3, 15);
+  instance.query.n = 2 + rng.NextUint64(3);
+  return instance;
+}
+
+RStarTree SmallTree(const std::vector<DataObject>& objects) {
+  RTreeOptions options;
+  options.max_entries = 4;
+  options.min_entries = 1;
+  return BulkLoadStr(objects, options);
+}
+
+// The fault catalog: aggressive (every read / first read), sparse, random
+// at two rates, latency-only, and none. Bernoulli seeds are offset per
+// trial so schedules decorrelate across instances.
+std::vector<FaultPlan> FaultCatalog(uint64_t trial_seed) {
+  return {FaultPlan::None(),
+          FaultPlan::EveryNth(1),
+          FaultPlan::EveryNth(3),
+          FaultPlan::EveryNth(11),
+          FaultPlan::OnceAt(1),
+          FaultPlan::OnceAt(4),
+          FaultPlan::OnceAt(25),
+          FaultPlan::Bernoulli(0.05, trial_seed),
+          FaultPlan::Bernoulli(0.4, trial_seed + 1),
+          FaultPlan::LatencySpike(16, 0)};
+}
+
+const NwcOptions kPresets[] = {NwcOptions::Plain(), NwcOptions::Plus(), NwcOptions::Iwp(),
+                               NwcOptions::Star()};
+const char* const kPresetNames[] = {"plain", "plus", "iwp", "star"};
+
+// Runs `fn(io, control)` with a fresh injector wired the way QueryService
+// wires it: counted reads feed the injector, injected faults feed the
+// control. Returns the number of faults injected.
+template <typename Fn>
+uint64_t RunInjected(const FaultPlan& plan, Fn&& fn) {
+  FaultInjector injector(plan);
+  IoCounter io;
+  QueryControl control;
+  io.SetReadProbe([&injector, &control](uint32_t page) {
+    Status fault = injector.OnRead(page);
+    if (!fault.ok()) control.ReportFault(std::move(fault));
+  });
+  fn(io, control);
+  return injector.faults_injected();
+}
+
+TEST(RobustnessPropertyTest, NwcNeverReturnsSilentlyWrongResultsUnderFaults) {
+  constexpr uint64_t kBaseSeed = 0xFA017;
+  size_t combos = 0;
+  size_t ok_runs = 0;
+  size_t faulted_runs = 0;
+
+  for (uint64_t trial = 0; trial < 30; ++trial) {
+    const uint64_t seed = kBaseSeed + trial;
+    Rng rng(seed);
+    const Instance instance = RandomInstance(rng);
+    const RStarTree tree = SmallTree(instance.objects);
+    const IwpIndex iwp = IwpIndex::Build(tree);
+    const DensityGrid grid(Rect{0, 0, 40, 40}, 5.0, instance.objects);
+    NwcEngine engine(tree, &iwp, &grid);
+
+    const NwcResult expected =
+        BruteForceNwc(instance.objects, instance.query, NwcOptions{}.measure);
+
+    for (size_t p = 0; p < std::size(kPresets); ++p) {
+      for (const FaultPlan& plan : FaultCatalog(seed)) {
+        const std::string where = "seed=" + std::to_string(seed) + " preset=" +
+                                  kPresetNames[p] + " plan=" + plan.ToSpec();
+        Result<NwcResult> result = Status::Internal("not run");
+        const uint64_t faults = RunInjected(plan, [&](IoCounter& io, QueryControl& control) {
+          result = engine.Execute(instance.query, kPresets[p], &io, nullptr, &control);
+        });
+        ++combos;
+
+        if (result.ok()) {
+          ++ok_runs;
+          // The whole point: an OK answer is the *exact* oracle answer.
+          ASSERT_EQ(faults, 0u) << where << ": ok result despite injected fault";
+          ASSERT_EQ(result->found, expected.found) << where;
+          if (expected.found) {
+            ASSERT_NEAR(result->distance, expected.distance, 1e-9) << where;
+            ASSERT_EQ(result->objects.size(), instance.query.n) << where;
+          }
+          const Status consistent = CheckNwcResultConsistency(
+              *result, instance.objects, instance.query, kPresets[p].measure);
+          ASSERT_TRUE(consistent.ok()) << where << ": " << consistent.ToString();
+        } else {
+          ++faulted_runs;
+          // A failed run surfaces the injected fault as a clean typed
+          // error — nothing else can fail in this sweep.
+          ASSERT_EQ(result.status().code(), StatusCode::kIoError) << where << ": "
+                                                                  << result.status();
+          ASSERT_GT(faults, 0u) << where << ": error without an injected fault";
+        }
+      }
+    }
+  }
+
+  EXPECT_GE(combos, 1000u) << "acceptance floor: >= 1000 query/fault combos";
+  EXPECT_GT(ok_runs, 0u) << "sweep must exercise the success path";
+  EXPECT_GT(faulted_runs, 0u) << "sweep must exercise the fault path";
+}
+
+TEST(RobustnessPropertyTest, KnwcNeverReturnsSilentlyWrongResultsUnderFaults) {
+  constexpr uint64_t kBaseSeed = 0xFA117;
+  size_t combos = 0;
+  size_t ok_runs = 0;
+  size_t faulted_runs = 0;
+
+  for (uint64_t trial = 0; trial < 15; ++trial) {
+    const uint64_t seed = kBaseSeed + trial;
+    Rng rng(seed);
+    const Instance instance = RandomInstance(rng);
+    // m = n-1 with the max measure: the engine's maintenance provably
+    // matches the greedy brute force (see core/brute_force.h).
+    KnwcQuery query{instance.query, 2 + rng.NextUint64(3), instance.query.n - 1};
+
+    const RStarTree tree = SmallTree(instance.objects);
+    const IwpIndex iwp = IwpIndex::Build(tree);
+    const DensityGrid grid(Rect{0, 0, 40, 40}, 5.0, instance.objects);
+    KnwcEngine engine(tree, &iwp, &grid);
+
+    const KnwcResult expected =
+        BruteForceKnwc(instance.objects, query, DistanceMeasure::kMax);
+
+    for (size_t p = 0; p < std::size(kPresets); ++p) {
+      NwcOptions options = kPresets[p];
+      options.measure = DistanceMeasure::kMax;
+      for (const FaultPlan& plan : FaultCatalog(seed)) {
+        const std::string where = "seed=" + std::to_string(seed) + " preset=" +
+                                  kPresetNames[p] + " plan=" + plan.ToSpec();
+        Result<KnwcResult> result = Status::Internal("not run");
+        const uint64_t faults = RunInjected(plan, [&](IoCounter& io, QueryControl& control) {
+          result = engine.Execute(query, options, &io, nullptr, &control);
+        });
+        ++combos;
+
+        if (result.ok()) {
+          ++ok_runs;
+          ASSERT_EQ(faults, 0u) << where << ": ok result despite injected fault";
+          ASSERT_EQ(result->groups.size(), expected.groups.size()) << where;
+          for (size_t g = 0; g < expected.groups.size(); ++g) {
+            ASSERT_NEAR(result->groups[g].distance, expected.groups[g].distance, 1e-9)
+                << where << " group " << g;
+          }
+          const Status consistent =
+              CheckKnwcResultConsistency(*result, instance.objects, query, options.measure);
+          ASSERT_TRUE(consistent.ok()) << where << ": " << consistent.ToString();
+        } else {
+          ++faulted_runs;
+          ASSERT_EQ(result.status().code(), StatusCode::kIoError) << where << ": "
+                                                                  << result.status();
+          ASSERT_GT(faults, 0u) << where << ": error without an injected fault";
+        }
+      }
+    }
+  }
+
+  EXPECT_GE(combos, 200u);
+  EXPECT_GT(ok_runs, 0u);
+  EXPECT_GT(faulted_runs, 0u);
+}
+
+}  // namespace
+}  // namespace nwc

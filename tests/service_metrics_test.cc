@@ -21,9 +21,9 @@ __attribute__((noinline)) IoCounter CounterWith(size_t traversal, size_t window)
 
 TEST(ServiceMetricsTest, RollsUpPhaseCountsAcrossQueries) {
   ServiceMetrics metrics;
-  metrics.RecordQuery(100, CounterWith(3, 5), /*ok=*/true, /*found=*/true);
-  metrics.RecordQuery(200, CounterWith(2, 7), /*ok=*/true, /*found=*/false);
-  metrics.RecordQuery(300, CounterWith(1, 1), /*ok=*/false, /*found=*/false);
+  metrics.RecordQuery(100, CounterWith(3, 5), StatusCode::kOk, /*found=*/true);
+  metrics.RecordQuery(200, CounterWith(2, 7), StatusCode::kOk, /*found=*/false);
+  metrics.RecordQuery(300, CounterWith(1, 1), StatusCode::kInternal, /*found=*/false);
 
   const MetricsSnapshot snapshot = metrics.Snapshot();
   EXPECT_EQ(snapshot.queries, 3u);
@@ -52,7 +52,7 @@ TEST(ServiceMetricsTest, TracksRejectionsAndQueueHighWaterMark) {
 
 TEST(ServiceMetricsTest, ResetZeroesEverything) {
   ServiceMetrics metrics;
-  metrics.RecordQuery(123, CounterWith(4, 4), true, true);
+  metrics.RecordQuery(123, CounterWith(4, 4), StatusCode::kOk, true);
   metrics.RecordRejection();
   metrics.RecordQueueDepth(7);
   metrics.Reset();
@@ -67,8 +67,8 @@ TEST(ServiceMetricsTest, ResetZeroesEverything) {
 
 TEST(ServiceMetricsTest, QuantilesComeFromTheHistogram) {
   ServiceMetrics metrics;
-  for (int i = 0; i < 99; ++i) metrics.RecordQuery(10, CounterWith(0, 0), true, true);
-  metrics.RecordQuery(100000, CounterWith(0, 0), true, true);
+  for (int i = 0; i < 99; ++i) metrics.RecordQuery(10, CounterWith(0, 0), StatusCode::kOk, true);
+  metrics.RecordQuery(100000, CounterWith(0, 0), StatusCode::kOk, true);
   const MetricsSnapshot snapshot = metrics.Snapshot();
   EXPECT_EQ(snapshot.latency_p50_us, 10u);
   EXPECT_EQ(snapshot.latency_p95_us, 10u);
@@ -84,7 +84,7 @@ TEST(ServiceMetricsTest, ConcurrentRecordingLosesNothing) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < kPerThread; ++i) {
-        metrics.RecordQuery(50, CounterWith(1, 2), true, true);
+        metrics.RecordQuery(50, CounterWith(1, 2), StatusCode::kOk, true);
         metrics.RecordQueueDepth(static_cast<size_t>(i % 17));
       }
     });
@@ -100,7 +100,7 @@ TEST(ServiceMetricsTest, ConcurrentRecordingLosesNothing) {
 
 TEST(ServiceMetricsTest, ToStringMentionsEverySection) {
   ServiceMetrics metrics;
-  metrics.RecordQuery(42, CounterWith(2, 3), true, true);
+  metrics.RecordQuery(42, CounterWith(2, 3), StatusCode::kOk, true);
   const std::string report = metrics.Snapshot().ToString();
   EXPECT_NE(report.find("queries:"), std::string::npos);
   EXPECT_NE(report.find("latency:"), std::string::npos);
@@ -121,7 +121,7 @@ TEST(ServiceMetricsTest, SlowQueriesCountAndResetWithEverythingElse) {
 
 TEST(ServiceMetricsTest, SnapshotCarriesWallClockAndQps) {
   ServiceMetrics metrics;
-  metrics.RecordQuery(10, CounterWith(0, 0), true, true);
+  metrics.RecordQuery(10, CounterWith(0, 0), StatusCode::kOk, true);
   const MetricsSnapshot snapshot = metrics.Snapshot();
   EXPECT_GT(snapshot.wall_seconds, 0.0);
   EXPECT_GT(snapshot.Qps(), 0.0);
@@ -136,8 +136,8 @@ TEST(ServiceMetricsTest, SnapshotCarriesWallClockAndQps) {
 
 TEST(ServiceMetricsTest, LatencySnapshotMatchesAggregates) {
   ServiceMetrics metrics;
-  metrics.RecordQuery(10, CounterWith(0, 0), true, true);
-  metrics.RecordQuery(30, CounterWith(0, 0), true, true);
+  metrics.RecordQuery(10, CounterWith(0, 0), StatusCode::kOk, true);
+  metrics.RecordQuery(30, CounterWith(0, 0), StatusCode::kOk, true);
   const LatencyHistogram latency = metrics.LatencySnapshot();
   EXPECT_EQ(latency.count(), 2u);
   EXPECT_EQ(latency.sum(), 40u);
@@ -145,10 +145,47 @@ TEST(ServiceMetricsTest, LatencySnapshotMatchesAggregates) {
   EXPECT_EQ(latency.max(), 30u);
 }
 
+TEST(ServiceMetricsTest, RobustnessBreakdownCountsByFinalStatus) {
+  ServiceMetrics metrics;
+  metrics.RecordQuery(10, CounterWith(1, 0), StatusCode::kOk, /*found=*/true);
+  metrics.RecordQuery(10, CounterWith(1, 0), StatusCode::kCancelled, /*found=*/false);
+  metrics.RecordQuery(10, CounterWith(1, 0), StatusCode::kCancelled, /*found=*/false);
+  metrics.RecordQuery(10, CounterWith(1, 0), StatusCode::kDeadlineExceeded, /*found=*/false);
+  metrics.RecordQuery(10, CounterWith(1, 0), StatusCode::kIoError, /*found=*/false);
+  metrics.RecordShed();
+  metrics.RecordRetry();
+  metrics.RecordRetry();
+  metrics.RecordRetry();
+
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.queries, 5u);
+  EXPECT_EQ(snapshot.ok(), 1u);
+  EXPECT_EQ(snapshot.cancelled, 2u);
+  EXPECT_EQ(snapshot.deadline_exceeded, 1u);
+  EXPECT_EQ(snapshot.io_errors, 1u);
+  EXPECT_EQ(snapshot.failures, snapshot.cancelled + snapshot.deadline_exceeded +
+                                   snapshot.io_errors);
+  EXPECT_EQ(snapshot.shed, 1u);
+  EXPECT_EQ(snapshot.retries, 3u);
+  // Shed requests never execute, so they are outside the query count.
+  EXPECT_EQ(snapshot.ok() + snapshot.failures, snapshot.queries);
+
+  const std::string report = snapshot.ToString();
+  EXPECT_NE(report.find("robustness:"), std::string::npos) << report;
+
+  metrics.Reset();
+  const MetricsSnapshot zero = metrics.Snapshot();
+  EXPECT_EQ(zero.cancelled, 0u);
+  EXPECT_EQ(zero.deadline_exceeded, 0u);
+  EXPECT_EQ(zero.io_errors, 0u);
+  EXPECT_EQ(zero.shed, 0u);
+  EXPECT_EQ(zero.retries, 0u);
+}
+
 TEST(ServiceMetricsTest, ToJsonRendersEverySectionAsValidKeyValues) {
   ServiceMetrics metrics;
-  metrics.RecordQuery(100, CounterWith(3, 5), /*ok=*/true, /*found=*/true);
-  metrics.RecordQuery(200, CounterWith(2, 7), /*ok=*/true, /*found=*/false);
+  metrics.RecordQuery(100, CounterWith(3, 5), StatusCode::kOk, /*found=*/true);
+  metrics.RecordQuery(200, CounterWith(2, 7), StatusCode::kOk, /*found=*/false);
   metrics.RecordRejection();
   metrics.RecordSlowQuery();
   metrics.RecordQueueDepth(4);
@@ -162,6 +199,11 @@ TEST(ServiceMetricsTest, ToJsonRendersEverySectionAsValidKeyValues) {
   EXPECT_NE(json.find("\"rejections\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"slow_queries\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"max_queue_depth\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cancelled\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"deadline_exceeded\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"io_errors\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shed\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"retries\":0"), std::string::npos) << json;
   EXPECT_NE(json.find("\"wall_seconds\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"qps\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"traversal\":5"), std::string::npos) << json;

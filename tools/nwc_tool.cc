@@ -19,6 +19,8 @@
 //            [--scheme=...] [--measure=...] [--pool-pages=0] [--print]
 //            [--metrics-json=F.json] [--prom=F.prom]
 //            [--trace-dir=DIR] [--slow-us=N] [--trace-ring=32]
+//            [--deadline-us=N] [--inject-faults=SPEC] [--shed-watermark=N]
+//            [--retries=N] [--retry-backoff-us=100]
 //       Replay a query file through the concurrent QueryService across N
 //       worker threads and print a metrics report (throughput, latency
 //       quantiles, merged per-phase I/O). The query file holds one query
@@ -30,6 +32,13 @@
 //       tracing: queries at or over --slow-us microseconds (0 = all) are
 //       retained in a --trace-ring-capacity ring and written to DIR as
 //       Chrome trace-event JSON, one file per query.
+//       Robustness knobs: --deadline-us bounds each query from submit
+//       (DeadlineExceeded past it); --inject-faults runs a deterministic
+//       fault schedule against the page reads ("every:N", "once:K",
+//       "bernoulli:P[:SEED]", "spike:N:MICROS" — see storage/
+//       fault_injector.h); --shed-watermark sheds blocking submits past
+//       that queue depth; --retries / --retry-backoff-us retry transient
+//       I/O faults with exponential backoff.
 //   trace    --index=F.nwctree --q=X,Y --l=L --w=W --n=N [--k=K --m=M]
 //            [--scheme=...] [--measure=...] [--data=F.csv]
 //            [--format=<chrome|jsonl>] [--out=F.json]
@@ -440,6 +449,16 @@ int CmdServeBatch(const Args& args) {
   service_config.trace_slow_queries = args.Has("trace-dir") || args.Has("slow-us");
   service_config.slow_trace_us = static_cast<uint64_t>(args.GetLong("slow-us", 0));
   service_config.trace_ring_capacity = static_cast<size_t>(args.GetLong("trace-ring", 32));
+  service_config.default_deadline_micros = static_cast<uint64_t>(args.GetLong("deadline-us", 0));
+  service_config.shed_queue_depth = static_cast<size_t>(args.GetLong("shed-watermark", 0));
+  service_config.max_retries = static_cast<int>(args.GetLong("retries", 0));
+  service_config.retry_backoff_micros =
+      static_cast<uint64_t>(args.GetLong("retry-backoff-us", 100));
+  if (args.Has("inject-faults")) {
+    Result<FaultPlan> plan = ParseFaultPlan(args.Get("inject-faults"));
+    if (!plan.ok()) return Fail(plan.status().ToString());
+    service_config.fault_plan = *plan;
+  }
   const Status valid = service_config.Validate();
   if (!valid.ok()) return Fail(valid.ToString());
 
