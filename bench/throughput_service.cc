@@ -24,19 +24,104 @@
 // deadline no query ever hits (armed control: a steady_clock read per
 // checkpoint). The disarmed figure must stay within noise of the tracing
 // baseline; the armed figure is the price of "every query has a deadline".
+//
+// A caching section replays an 80/20-skewed workload (20% of a query pool
+// receives 80% of the draws — the shape of real repeat traffic) uncached,
+// through a 64 MiB result cache, and through the cache + SubmitNwcBatch
+// planner, reporting qps, speedup over uncached, and the cache hit rate.
+//
+// `--smoke` runs a small fixed gate instead (used by CI): best-of-3 qps
+// uncached vs cached-all-miss on distinct queries. An all-miss workload
+// pays the cache's full probe+insert overhead with zero benefit, so it
+// bounds the regression the cache can inflict on uncached-style traffic;
+// the gate fails (exit 1) when that overhead exceeds 10%.
 
 #include <cstddef>
+#include <cstring>
 #include <iterator>
 
 #include "bench/bench_common.h"
 #include "bench_util/table_printer.h"
+#include "common/rng.h"
 #include "common/string_util.h"
 #include "rtree/bulk_load.h"
 #include "service/query_service.h"
 
-int main() {
-  using namespace nwc;
-  using namespace nwc::bench;
+namespace {
+
+using namespace nwc;
+using namespace nwc::bench;
+
+// Best qps over `reps` runs of `requests` through a fresh service per rep
+// (fresh so a result cache starts cold every time and an all-miss workload
+// stays all-miss).
+double BestQps(const Session& session, const ServiceConfig& config,
+               const std::vector<NwcRequest>& requests, int reps) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    QueryService service(session, config);
+    Stopwatch wall;
+    const std::vector<NwcResponse> responses = service.RunNwcBatch(requests);
+    const double seconds = wall.ElapsedSeconds();
+    for (const NwcResponse& response : responses) {
+      CheckOk(response.status, "throughput_service smoke query");
+    }
+    const double qps =
+        seconds > 0.0 ? static_cast<double>(responses.size()) / seconds : 0.0;
+    if (qps > best) best = qps;
+  }
+  return best;
+}
+
+// CI gate: the result-cache code path must not tax uncached-style traffic.
+int RunSmoke() {
+  std::printf("throughput_service --smoke: uncached vs cached-all-miss gate\n");
+  Dataset dataset = MakeCaLike(kDatasetSeed, 20000);
+  Result<Session> session =
+      Session::Open(BulkLoadStr(dataset.objects, RTreeOptions{}),
+                    SessionConfig{.build_iwp = true, .build_grid = true,
+                                  .grid_cell_size = 25.0, .grid_space = dataset.space});
+  CheckOk(session.status(), "Session::Open");
+
+  // 200 distinct queries: through a cache every one is a probe + miss +
+  // insert, the cache's worst case.
+  const std::vector<Point> points = SampleQueryPoints(dataset, 200, kQuerySeed);
+  std::vector<NwcRequest> requests;
+  requests.reserve(points.size());
+  for (const Point& q : points) {
+    requests.push_back(NwcRequest{NwcQuery{q, kDefaultWindow, kDefaultWindow, kDefaultN}, {}});
+  }
+
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.queue_capacity = 2 * requests.size() + 1;
+  config.default_options = NwcOptions::Star();
+
+  const double uncached = BestQps(*session, config, requests, 3);
+  config.result_cache_bytes = 64u << 20;
+  const double cached = BestQps(*session, config, requests, 3);
+
+  const double ratio = uncached > 0.0 ? cached / uncached : 1.0;
+  std::printf("uncached:        %.1f q/s\ncached all-miss: %.1f q/s\nratio:           %.3f\n",
+              uncached, cached, ratio);
+  if (ratio < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: result-cache overhead regressed uncached qps by %.1f%% (>10%%)\n",
+                 (1.0 - ratio) * 100.0);
+    return 1;
+  }
+  std::printf("PASS: cache overhead within the 10%% budget\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+    std::fprintf(stderr, "unknown flag %s (supported: --smoke)\n", argv[i]);
+    return 2;
+  }
 
   PrintRunConfig("Service throughput: NWC queries/sec vs worker threads (CA-like)");
   const size_t query_count = QueryCountFromEnv() * 8;
@@ -167,5 +252,70 @@ int main() {
          StrFormat("%llu", static_cast<unsigned long long>(metrics.deadline_exceeded))});
   }
   robustness.Print();
+
+  // Caching under skew: an 80/20 workload (80% of draws from a hot 20% of
+  // the pool) replayed uncached, cached, and cached + batched. The cache
+  // serves repeats with zero tree reads, so qps should multiply with the
+  // hit rate; batching adds window-memo reuse on top.
+  const size_t pool_size = 50;
+  const size_t hot_size = pool_size / 5;  // hot 20%
+  const std::vector<Point> pool_points = SampleQueryPoints(dataset, pool_size, kQuerySeed + 7);
+  std::vector<NwcRequest> pool;
+  pool.reserve(pool_points.size());
+  for (const Point& q : pool_points) {
+    pool.push_back(NwcRequest{NwcQuery{q, kDefaultWindow, kDefaultWindow, kDefaultN}, {}});
+  }
+  std::vector<NwcRequest> skewed;
+  Rng skew_rng(kQuerySeed + 11);
+  const size_t draws = 4 * query_count;  // several passes over the pool
+  for (size_t i = 0; i < draws; ++i) {
+    const bool hot = skew_rng.NextDouble(0.0, 1.0) < 0.8;
+    const size_t index = hot ? skew_rng.NextUint64(hot_size)
+                             : hot_size + skew_rng.NextUint64(pool_size - hot_size);
+    skewed.push_back(pool[index]);
+  }
+
+  TablePrinter caching("Result cache on 80/20 skew - NWC*, 4 threads",
+                       {"mode", "qps", "speedup", "hit rate", "memo hits"});
+  double uncached_qps = 0.0;
+  for (const int mode : {0, 1, 2}) {  // 0 uncached, 1 cached, 2 cached+batched
+    ServiceConfig config;
+    config.num_threads = 4;
+    config.queue_capacity = 2 * skewed.size() + 1;
+    config.default_options = NwcOptions::Star();
+    if (mode > 0) config.result_cache_bytes = 64u << 20;
+    QueryService service(*session, config);
+
+    Stopwatch wall;
+    if (mode == 2) {
+      std::vector<std::future<NwcResponse>> futures = service.SubmitNwcBatch(skewed);
+      for (auto& future : futures) {
+        CheckOk(future.get().status, "throughput_service skew query");
+      }
+    } else {
+      const std::vector<NwcResponse> responses = service.RunNwcBatch(skewed);
+      for (const NwcResponse& response : responses) {
+        CheckOk(response.status, "throughput_service skew query");
+      }
+    }
+    const double seconds = wall.ElapsedSeconds();
+    service.Shutdown();  // finalize per-group memo metrics before reading
+
+    const MetricsSnapshot metrics = service.SnapshotMetrics();
+    const double qps = seconds > 0.0 ? static_cast<double>(skewed.size()) / seconds : 0.0;
+    if (mode == 0) uncached_qps = qps;
+    const uint64_t probes = metrics.result_cache_hits + metrics.result_cache_misses;
+    const double hit_rate =
+        probes > 0 ? static_cast<double>(metrics.result_cache_hits) / probes : 0.0;
+    const char* label = mode == 0 ? "uncached" : mode == 1 ? "cached 64MB" : "cached+batched";
+    Progress("%s: %.1f q/s (%.2fx), hit rate %.0f%%, memo hits %llu", label, qps,
+             uncached_qps > 0.0 ? qps / uncached_qps : 0.0, hit_rate * 100.0,
+             static_cast<unsigned long long>(metrics.window_memo_hits));
+    caching.AddRow({label, StrFormat("%.1f", qps),
+                    StrFormat("%.2fx", uncached_qps > 0.0 ? qps / uncached_qps : 0.0),
+                    StrFormat("%.0f%%", hit_rate * 100.0),
+                    StrFormat("%llu", static_cast<unsigned long long>(metrics.window_memo_hits))});
+  }
+  caching.Print();
   return 0;
 }

@@ -46,6 +46,18 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHisto
                    static_cast<unsigned long long>(snapshot.window_query_reads));
   Counter(out, "nwc_cache_hits_total", "Node accesses absorbed by per-worker buffer pools.",
           snapshot.cache_hits);
+  Counter(out, "nwc_result_cache_hits_total", "Queries answered from the result cache.",
+          snapshot.result_cache_hits);
+  Counter(out, "nwc_result_cache_misses_total", "Result-cache probes that missed.",
+          snapshot.result_cache_misses);
+  Counter(out, "nwc_result_cache_evictions_total",
+          "Result-cache entries evicted under byte pressure.", snapshot.result_cache_evictions);
+  Counter(out, "nwc_window_memo_hits_total",
+          "Window queries answered from a batch's window-query memo.", snapshot.window_memo_hits);
+  Gauge(out, "nwc_result_cache_entries", "Results currently held by the result cache.",
+        static_cast<double>(snapshot.result_cache_entries));
+  Gauge(out, "nwc_result_cache_bytes", "Approximate bytes held by the result cache.",
+        static_cast<double>(snapshot.result_cache_bytes));
   Gauge(out, "nwc_max_queue_depth", "Queue-depth high-water mark (submit and dequeue sampled).",
         static_cast<double>(snapshot.max_queue_depth));
   Gauge(out, "nwc_wall_seconds", "Wall-clock seconds covered by the snapshot.",

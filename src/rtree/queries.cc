@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace nwc {
 
@@ -29,6 +30,44 @@ void WindowWalk(const RStarTree& tree, NodeId start, const Rect& window, IoCount
 }
 
 }  // namespace
+
+size_t WindowQueryMemo::KeyHash::operator()(const Key& key) const {
+  // FNV-1a over the scope id and the window's coordinate bit patterns.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xFFu;
+      hash *= 1099511628211ull;
+    }
+  };
+  auto bits = [](double value) {
+    uint64_t out = 0;
+    static_assert(sizeof(out) == sizeof(value));
+    std::memcpy(&out, &value, sizeof(out));
+    return out;
+  };
+  mix(static_cast<uint64_t>(key.scope));
+  mix(bits(key.window.min_x));
+  mix(bits(key.window.min_y));
+  mix(bits(key.window.max_x));
+  mix(bits(key.window.max_y));
+  return static_cast<size_t>(hash);
+}
+
+const std::vector<DataObject>* WindowQueryMemo::Find(NodeId scope, const Rect& window) {
+  auto it = entries_.find(Key{scope, window});
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void WindowQueryMemo::Insert(NodeId scope, const Rect& window, std::vector<DataObject> hits) {
+  if (entries_.size() >= max_entries_) return;
+  entries_.emplace(Key{scope, window}, std::move(hits));
+}
 
 std::vector<DataObject> WindowQuery(const RStarTree& tree, const Rect& window, IoCounter* io,
                                     IoPhase phase, QueryControl* control) {

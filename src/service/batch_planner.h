@@ -1,0 +1,51 @@
+#ifndef NWC_SERVICE_BATCH_PLANNER_H_
+#define NWC_SERVICE_BATCH_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/nwc_types.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace nwc {
+
+/// One request of a batch as the planner sees it: where it probes and
+/// which execution options it runs under. The planner never looks at the
+/// window extents — grouping is about tree locality, and every query
+/// against the same tree shares the same hot upper levels regardless of
+/// window size.
+struct BatchItem {
+  Point q;
+  NwcOptions options;
+};
+
+/// Z-order (Morton) key of `q` within `space`: each coordinate is
+/// normalized to a 16-bit integer grid over the space and the two are
+/// bit-interleaved (x in the even bits). Points outside `space` clamp to
+/// its boundary; a degenerate (zero-extent) axis maps to 0. Sorting by
+/// this key places spatially close query points next to each other, which
+/// is what makes consecutive batched queries re-touch the same R*-tree
+/// pages in the worker's buffer pool.
+uint64_t ZOrderKey(const Point& q, const Rect& space);
+
+/// Partitions `items` (by index) into execution groups:
+///
+///  1. items with identical options (scheme bits + distance measure) are
+///     grouped together — a group runs on one worker sharing one
+///     window-query memo, and mixing schemes would interleave unrelated
+///     tree access patterns;
+///  2. within a group, indices are sorted by ZOrderKey of `q` (ties keep
+///     submission order, so planning is deterministic);
+///  3. groups longer than `max_group_size` are chunked, so one giant batch
+///     still spreads across workers. `max_group_size` 0 means unbounded.
+///
+/// Every input index appears in exactly one group; groups preserve the
+/// first-seen order of their options so planning output is stable.
+std::vector<std::vector<size_t>> PlanBatchGroups(const std::vector<BatchItem>& items,
+                                                 const Rect& space, size_t max_group_size);
+
+}  // namespace nwc
+
+#endif  // NWC_SERVICE_BATCH_PLANNER_H_

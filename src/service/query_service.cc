@@ -1,5 +1,6 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -12,6 +13,7 @@
 #include "common/string_util.h"
 #include "core/knwc_engine.h"
 #include "core/nwc_engine.h"
+#include "service/batch_planner.h"
 
 namespace nwc {
 namespace {
@@ -54,9 +56,23 @@ Status ServiceConfig::Validate() const {
     return Status::InvalidArgument("shed_queue_depth cannot exceed queue_capacity");
   }
   if (max_retries < 0) return Status::InvalidArgument("max_retries must be >= 0");
+  if (result_cache_bytes > 0 && result_cache_shards == 0) {
+    return Status::InvalidArgument("result_cache_shards must be >= 1 when the cache is enabled");
+  }
   const Status plan_ok = fault_plan.Validate();
   if (!plan_ok.ok()) return plan_ok;
   return Status::Ok();
+}
+
+uint64_t RetryBackoffMicros(uint64_t base_micros, int attempt) {
+  if (base_micros == 0) return 0;
+  if (base_micros >= kMaxRetryBackoffMicros) return kMaxRetryBackoffMicros;
+  if (attempt <= 0) return base_micros;
+  if (attempt >= 63) return kMaxRetryBackoffMicros;
+  // base * 2^attempt would pass the cap exactly when base > cap >> attempt;
+  // testing before shifting keeps the shift itself overflow-free.
+  if (base_micros > (kMaxRetryBackoffMicros >> attempt)) return kMaxRetryBackoffMicros;
+  return base_micros << attempt;
 }
 
 Result<Session> Session::Open(RStarTree tree, const SessionConfig& config) {
@@ -102,6 +118,10 @@ QueryService::QueryService(const Session& session, const ServiceConfig& config)
   }
   if (config_.trace_slow_queries) {
     slow_traces_ = std::make_unique<TraceRing>(config_.trace_ring_capacity);
+  }
+  if (config_.result_cache_bytes > 0) {
+    result_cache_ =
+        std::make_unique<ResultCache>(config_.result_cache_bytes, config_.result_cache_shards);
   }
 }
 
@@ -151,11 +171,31 @@ std::string DescribeQuery(const KnwcQuery& query, const NwcOptions& options) {
                    query.m);
 }
 
+// Kind dispatch for the result cache: one Execute template serves both
+// query kinds, these overloads route to the matching cache methods.
+bool CacheLookup(ResultCache& cache, const NwcQuery& query, const NwcOptions& options,
+                 NwcResult* out) {
+  return cache.LookupNwc(query, options, out);
+}
+bool CacheLookup(ResultCache& cache, const KnwcQuery& query, const NwcOptions& options,
+                 KnwcResult* out) {
+  return cache.LookupKnwc(query, options, out);
+}
+void CacheInsert(ResultCache& cache, const NwcQuery& query, const NwcOptions& options,
+                 const NwcResult& result) {
+  cache.InsertNwc(query, options, result);
+}
+void CacheInsert(ResultCache& cache, const KnwcQuery& query, const NwcOptions& options,
+                 const KnwcResult& result) {
+  cache.InsertKnwc(query, options, result);
+}
+
 }  // namespace
 
 template <typename Response, typename Query>
 void QueryService::Execute(size_t worker_index, const Query& query, const NwcOptions& options,
-                           const RequestTiming& timing, std::promise<Response> promise) {
+                           const RequestTiming& timing, std::promise<Response> promise,
+                           WindowQueryMemo* memo) {
   // Dequeue-time queue-depth observation: the submit-side sample alone
   // under-reports bursts, because submitters that would see the peak are
   // the ones blocked on the full queue.
@@ -197,35 +237,74 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
       });
     }
 
-    if constexpr (std::is_same_v<Response, NwcResponse>) {
-      NwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
-      Result<NwcResult> result = engine.Execute(query, options, &io, trace_ptr, &control);
-      response.status = result.status();
-      if (result.ok()) {
-        found = result->found;
-        response.result = std::move(result).value();
+    // Result-cache probe — strictly after the control is armed, so a
+    // request that is already past its deadline (or cancelled) takes the
+    // engine's early-stop path below instead of being served from cache:
+    // deadline accounting always wins over a hit. Probing only on the
+    // first attempt keeps the cache's miss counter one-per-query.
+    bool cache_hit = false;
+    if (attempt == 0 && result_cache_ != nullptr && !control.ShouldStop() &&
+        CacheLookup(*result_cache_, query, options, &response.result)) {
+      cache_hit = true;
+      response.status = Status::Ok();
+      response.result_cache_hit = true;
+      if constexpr (std::is_same_v<Response, NwcResponse>) {
+        found = response.result.found;
+      } else {
+        found = !response.result.groups.empty();
       }
-    } else {
-      KnwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
-      Result<KnwcResult> result = engine.Execute(query, options, &io, trace_ptr, &control);
-      response.status = result.status();
-      if (result.ok()) {
-        found = !result->groups.empty();
-        response.result = std::move(result).value();
+      trace.Count(TraceCounter::kResultCacheHits);
+      // An (instant) root span keeps retained hit traces well-formed.
+      TraceSpanScope root_span(trace, SpanKind::kQuery, &io);
+    }
+
+    if (!cache_hit) {
+      if constexpr (std::is_same_v<Response, NwcResponse>) {
+        NwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
+        Result<NwcResult> result = engine.Execute(query, options, &io, trace_ptr, &control, memo);
+        response.status = result.status();
+        if (result.ok()) {
+          found = result->found;
+          response.result = std::move(result).value();
+        }
+      } else {
+        KnwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
+        Result<KnwcResult> result = engine.Execute(query, options, &io, trace_ptr, &control, memo);
+        response.status = result.status();
+        if (result.ok()) {
+          found = !result->groups.empty();
+          response.result = std::move(result).value();
+        }
       }
     }
     total_io.Add(io);
 
     // Bounded retry for transient I/O faults — never past the deadline.
+    const auto retry_now = std::chrono::steady_clock::now();
     if (response.status.code() == StatusCode::kIoError && attempt < config_.max_retries &&
-        !(timing.has_deadline && std::chrono::steady_clock::now() >= timing.deadline)) {
+        !(timing.has_deadline && retry_now >= timing.deadline)) {
       metrics_.RecordRetry();
-      if (config_.retry_backoff_micros > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(config_.retry_backoff_micros << attempt));
+      uint64_t backoff_micros = RetryBackoffMicros(config_.retry_backoff_micros, attempt);
+      if (timing.has_deadline) {
+        // Never sleep past the request's own deadline: a huge configured
+        // backoff must not turn a bounded request into an unbounded wait.
+        const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+                                   timing.deadline - retry_now)
+                                   .count();
+        backoff_micros = std::min(backoff_micros, static_cast<uint64_t>(remaining));
+      }
+      if (backoff_micros > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
       }
       ++attempt;
       continue;
+    }
+
+    // Completed queries (and only they) populate the cache: a stopped or
+    // faulted query would poison it with partial answers, and re-inserting
+    // on a hit would churn the LRU for nothing.
+    if (result_cache_ != nullptr && !cache_hit && response.status.ok()) {
+      CacheInsert(*result_cache_, query, options, response.result);
     }
 
     response.latency_micros = timer.ElapsedMicros();
@@ -381,6 +460,117 @@ std::vector<KnwcResponse> QueryService::RunKnwcBatch(const std::vector<KnwcReque
   responses.reserve(requests.size());
   for (auto& future : futures) responses.push_back(future.get());
   return responses;
+}
+
+namespace {
+
+// The point a request probes at — what batch planning sorts by.
+const Point& QueryPoint(const NwcQuery& query) { return query.q; }
+const Point& QueryPoint(const KnwcQuery& query) { return query.base.q; }
+
+}  // namespace
+
+template <typename Response, typename Request>
+std::vector<std::future<Response>> QueryService::SubmitBatchImpl(
+    const std::vector<Request>& requests) {
+  using Query = std::decay_t<decltype(std::declval<Request>().query)>;
+
+  // Everything a group job needs, owned jointly by the jobs of this batch.
+  // Slots of requests that failed CheckRequest keep a consumed promise and
+  // are simply never planned.
+  struct BatchState {
+    std::vector<Query> queries;
+    std::vector<NwcOptions> options;
+    std::vector<RequestTiming> timings;
+    std::vector<std::promise<Response>> promises;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->queries.reserve(requests.size());
+  state->options.resize(requests.size());
+  state->timings.resize(requests.size());
+  state->promises.resize(requests.size());
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  std::vector<BatchItem> plan_items;
+  plan_items.reserve(requests.size());
+  std::vector<size_t> plan_to_request;
+  plan_to_request.reserve(requests.size());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    state->queries.push_back(requests[i].query);
+    futures.push_back(state->promises[i].get_future());
+    const Status status = CheckRequest(requests[i].options, &state->options[i]);
+    if (!status.ok()) {
+      state->promises[i].set_value(FailedResponse<Response>(status));
+      continue;
+    }
+    // Deadlines start now: queue wait and earlier group members count.
+    state->timings[i] = MakeTiming(requests[i].deadline_micros);
+    plan_items.push_back(BatchItem{QueryPoint(requests[i].query), state->options[i]});
+    plan_to_request.push_back(i);
+  }
+
+  const std::vector<std::vector<size_t>> groups =
+      PlanBatchGroups(plan_items, session_.tree().bounds(), config_.batch_group_size);
+
+  for (const std::vector<size_t>& group : groups) {
+    std::vector<size_t> request_indices;
+    request_indices.reserve(group.size());
+    for (const size_t plan_index : group) {
+      request_indices.push_back(plan_to_request[plan_index]);
+    }
+    metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
+    // Captured by copy: the rejection path below still needs the indices.
+    const bool accepted =
+        pool_.Submit([this, state, indices = request_indices](size_t worker) {
+          // One memo per group: repeated window walks within the group are
+          // answered from memory, and the Z-order visit order keeps the
+          // worker's buffer pool warm across consecutive queries.
+          WindowQueryMemo memo(config_.window_memo_entries);
+          WindowQueryMemo* memo_ptr = config_.window_memo_entries > 0 ? &memo : nullptr;
+          for (const size_t i : indices) {
+            Execute<Response>(worker, state->queries[i], state->options[i], state->timings[i],
+                              std::move(state->promises[i]), memo_ptr);
+          }
+          metrics_.RecordWindowMemoHits(memo.hits());
+        });
+    if (!accepted) {
+      for (const size_t i : request_indices) {
+        state->promises[i].set_value(
+            FailedResponse<Response>(Status::FailedPrecondition("query service is shut down")));
+      }
+    }
+  }
+  return futures;
+}
+
+std::vector<std::future<NwcResponse>> QueryService::SubmitNwcBatch(
+    const std::vector<NwcRequest>& requests) {
+  return SubmitBatchImpl<NwcResponse>(requests);
+}
+
+std::vector<std::future<KnwcResponse>> QueryService::SubmitKnwcBatch(
+    const std::vector<KnwcRequest>& requests) {
+  return SubmitBatchImpl<KnwcResponse>(requests);
+}
+
+MetricsSnapshot QueryService::SnapshotMetrics() const {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  if (result_cache_ != nullptr) {
+    const ResultCache::Stats stats = result_cache_->GetStats();
+    snapshot.result_cache_hits = stats.hits;
+    snapshot.result_cache_misses = stats.misses;
+    snapshot.result_cache_evictions = stats.evictions;
+    snapshot.result_cache_entries = stats.entries;
+    snapshot.result_cache_bytes = stats.bytes;
+  }
+  return snapshot;
+}
+
+void QueryService::ResetMetrics() {
+  metrics_.Reset();
+  if (result_cache_ != nullptr) result_cache_->ResetStats();
 }
 
 }  // namespace nwc

@@ -17,13 +17,28 @@
 #include "obs/query_trace.h"
 #include "obs/trace_ring.h"
 #include "rtree/iwp_index.h"
+#include "rtree/queries.h"
 #include "rtree/rstar_tree.h"
+#include "service/result_cache.h"
 #include "service/service_metrics.h"
 #include "service/thread_pool.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_injector.h"
 
 namespace nwc {
+
+/// Ceiling on a single retry-backoff sleep (1 s). Exponential backoff that
+/// doubles without a cap shifts past the value's width within 64 attempts
+/// and overflows into arbitrary (including zero or enormous) sleeps; every
+/// computed backoff saturates here instead.
+inline constexpr uint64_t kMaxRetryBackoffMicros = 1'000'000;
+
+/// The exponential retry backoff for `attempt` (0-based): base * 2^attempt,
+/// saturated at kMaxRetryBackoffMicros. Overflow-safe for any base and any
+/// attempt count — `base << attempt` is never evaluated when the shift
+/// would exceed the cap (the old unclamped shift was undefined behavior
+/// past 63 bits and wrapped to a bogus sleep well before that).
+uint64_t RetryBackoffMicros(uint64_t base_micros, int attempt);
 
 /// What auxiliary structures a Session builds next to the tree. The
 /// defaults cover NWC* (every optimization available); disable structures
@@ -125,6 +140,20 @@ struct ServiceConfig {
   /// default (kNone) leaves the read path untouched.
   FaultPlan fault_plan = FaultPlan::None();
 
+  /// Byte budget of the sharded result cache serving exact repeat queries;
+  /// 0 (the default) runs uncached. Only OK responses are ever inserted.
+  size_t result_cache_bytes = 0;
+  /// Shard count of the result cache (>= 1); more shards cut lock
+  /// contention between workers hitting the cache concurrently.
+  size_t result_cache_shards = 8;
+  /// Largest number of requests a SubmitNwcBatch/SubmitKnwcBatch group
+  /// executes on one worker (0 = unbounded). Smaller groups spread a batch
+  /// across workers; larger groups share more window-query memo state.
+  size_t batch_group_size = 16;
+  /// Entry bound of the per-group window-query memo used by the batch
+  /// APIs; 0 disables memoization within batches.
+  size_t window_memo_entries = 4096;
+
   Status Validate() const;
 };
 
@@ -155,6 +184,9 @@ struct NwcResponse {
   uint64_t traversal_reads = 0;
   uint64_t window_query_reads = 0;
   uint64_t cache_hits = 0;
+  /// True when the response was served from the result cache (all read
+  /// counters are then 0 — a hit performs no tree I/O).
+  bool result_cache_hit = false;
 };
 
 /// Outcome of one kNWC request; see NwcResponse.
@@ -165,6 +197,7 @@ struct KnwcResponse {
   uint64_t traversal_reads = 0;
   uint64_t window_query_reads = 0;
   uint64_t cache_hits = 0;
+  bool result_cache_hit = false;
 };
 
 /// Concurrent query execution over one immutable Session.
@@ -208,6 +241,22 @@ class QueryService {
   std::vector<NwcResponse> RunNwcBatch(const std::vector<NwcRequest>& requests);
   std::vector<KnwcResponse> RunKnwcBatch(const std::vector<KnwcRequest>& requests);
 
+  /// Batched submission: plans the requests into locality groups — equal
+  /// effective options together, sorted by Z-order of the query point,
+  /// chunked to config().batch_group_size — and runs each group as ONE
+  /// worker job sharing a window-query memo, so nearby queries reuse both
+  /// buffer-pool pages and completed window walks. Returns one future per
+  /// request, index-aligned with `requests`; every future is valid.
+  ///
+  /// Semantics match SubmitNwc per request: deadlines are measured from
+  /// this call (queue wait and any earlier group members count against
+  /// them), CancelAll reaches queued groups, and results are bit-identical
+  /// to individual submission. Unlike the single-request submits, the
+  /// batch is never load-shed (it is one job per group, not a queue
+  /// flood); it still blocks on queue backpressure.
+  std::vector<std::future<NwcResponse>> SubmitNwcBatch(const std::vector<NwcRequest>& requests);
+  std::vector<std::future<KnwcResponse>> SubmitKnwcBatch(const std::vector<KnwcRequest>& requests);
+
   /// Cancels every request currently queued or executing: each observes
   /// the epoch bump at its next checkpoint and completes with a Cancelled
   /// response (queued requests cancel when a worker picks them up — no
@@ -215,9 +264,19 @@ class QueryService {
   /// normally.
   void CancelAll() { cancel_epoch_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Aggregated per-query metrics since construction / the last reset.
-  MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
-  void ResetMetrics() { metrics_.Reset(); }
+  /// Aggregated per-query metrics since construction / the last reset,
+  /// with the result-cache counters/gauges overlaid from the cache itself.
+  MetricsSnapshot SnapshotMetrics() const;
+  void ResetMetrics();
+
+  /// The result cache, or nullptr when result_cache_bytes == 0.
+  const ResultCache* result_cache() const { return result_cache_.get(); }
+
+  /// Invalidates every cached result (generation bump). Call when the
+  /// backing Session is being swapped for one over different data.
+  void InvalidateResultCache() {
+    if (result_cache_ != nullptr) result_cache_->Invalidate();
+  }
 
   /// Copy of the raw latency histogram (bucket-level export; see
   /// obs/prometheus.h).
@@ -258,11 +317,19 @@ class QueryService {
 
   /// Runs one query on a worker: binds the per-worker pool and fault
   /// injector (if any) to a fresh IoCounter, arms a QueryControl from
-  /// `timing`, executes — retrying transient I/O faults per the config —
-  /// and fills the response fields common to both query kinds.
+  /// `timing`, probes the result cache (deadline/cancel checked first, so
+  /// an expired request is never served from cache), executes on a miss —
+  /// retrying transient I/O faults per the config — and fills the response
+  /// fields common to both query kinds. Only OK responses populate the
+  /// cache. `memo` (batch path) shares window walks within a group.
   template <typename Response, typename Query>
   void Execute(size_t worker_index, const Query& query, const NwcOptions& options,
-               const RequestTiming& timing, std::promise<Response> promise);
+               const RequestTiming& timing, std::promise<Response> promise,
+               WindowQueryMemo* memo = nullptr);
+
+  /// Shared implementation of SubmitNwcBatch/SubmitKnwcBatch.
+  template <typename Response, typename Request>
+  std::vector<std::future<Response>> SubmitBatchImpl(const std::vector<Request>& requests);
 
   const Session& session_;
   ServiceConfig config_;
@@ -275,6 +342,9 @@ class QueryService {
   std::vector<std::unique_ptr<FaultInjector>> worker_injectors_;
   // Slow-query traces (null when tracing is off).
   std::unique_ptr<TraceRing> slow_traces_;
+  // Sharded result cache (null when result_cache_bytes == 0). Shared by
+  // all workers; ResultCache is internally synchronized.
+  std::unique_ptr<ResultCache> result_cache_;
   // CancelAll's epoch cell: requests capture the value at submit and stop
   // once it moves on.
   std::atomic<uint64_t> cancel_epoch_{0};

@@ -32,6 +32,15 @@ std::string MetricsSnapshot::ToString() const {
                    static_cast<unsigned long long>(traversal_reads),
                    static_cast<unsigned long long>(window_query_reads),
                    static_cast<unsigned long long>(cache_hits));
+  out += StrFormat(
+      "caching:    result cache %llu hits / %llu misses / %llu evictions "
+      "(%llu entries, %llu bytes), window memo %llu hits\n",
+      static_cast<unsigned long long>(result_cache_hits),
+      static_cast<unsigned long long>(result_cache_misses),
+      static_cast<unsigned long long>(result_cache_evictions),
+      static_cast<unsigned long long>(result_cache_entries),
+      static_cast<unsigned long long>(result_cache_bytes),
+      static_cast<unsigned long long>(window_memo_hits));
   return out;
 }
 
@@ -63,11 +72,20 @@ std::string MetricsSnapshot::ToJson() const {
       static_cast<unsigned long long>(latency_max_us));
   out += StrFormat(
       "\"node_reads\":{\"total\":%llu,\"traversal\":%llu,\"window\":%llu,"
-      "\"cache_hits\":%llu}}",
+      "\"cache_hits\":%llu},",
       static_cast<unsigned long long>(total_reads()),
       static_cast<unsigned long long>(traversal_reads),
       static_cast<unsigned long long>(window_query_reads),
       static_cast<unsigned long long>(cache_hits));
+  out += StrFormat(
+      "\"result_cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+      "\"entries\":%llu,\"bytes\":%llu},\"window_memo_hits\":%llu}",
+      static_cast<unsigned long long>(result_cache_hits),
+      static_cast<unsigned long long>(result_cache_misses),
+      static_cast<unsigned long long>(result_cache_evictions),
+      static_cast<unsigned long long>(result_cache_entries),
+      static_cast<unsigned long long>(result_cache_bytes),
+      static_cast<unsigned long long>(window_memo_hits));
   return out;
 }
 
@@ -122,6 +140,11 @@ void ServiceMetrics::RecordSlowQuery() {
   ++slow_queries_;
 }
 
+void ServiceMetrics::RecordWindowMemoHits(uint64_t hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  window_memo_hits_ += hits;
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
@@ -147,6 +170,9 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   snapshot.traversal_reads = io_.traversal_reads();
   snapshot.window_query_reads = io_.window_query_reads();
   snapshot.cache_hits = io_.cache_hits();
+  snapshot.window_memo_hits = window_memo_hits_;
+  // result_cache_* stay zero here; QueryService::SnapshotMetrics overlays
+  // them from the ResultCache (the cache is its own source of truth).
   return snapshot;
 }
 
@@ -170,6 +196,7 @@ void ServiceMetrics::Reset() {
   shed_ = 0;
   retries_ = 0;
   max_queue_depth_ = 0;
+  window_memo_hits_ = 0;
   epoch_ = std::chrono::steady_clock::now();
 }
 

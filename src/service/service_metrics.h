@@ -53,14 +53,31 @@ struct MetricsSnapshot {
   uint64_t window_query_reads = 0;
   uint64_t cache_hits = 0;
 
+  /// Result-cache roll-up (all zero when the service runs uncached).
+  /// hits/misses/evictions are monotonic counters; entries/bytes are
+  /// point-in-time gauges.
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t result_cache_evictions = 0;
+  uint64_t result_cache_entries = 0;
+  uint64_t result_cache_bytes = 0;
+  /// Window queries answered from a batch's window-query memo.
+  uint64_t window_memo_hits = 0;
+
   uint64_t total_reads() const { return traversal_reads + window_query_reads; }
 
   /// Queries that completed with an OK status.
   uint64_t ok() const { return queries - failures; }
 
-  /// Wall-clock throughput over the snapshot window (0 when no time has
-  /// passed).
-  double Qps() const { return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds : 0.0; }
+  /// Wall-clock throughput over the snapshot window. Guarded: a snapshot
+  /// taken with no elapsed time (hand-built, or taken immediately after
+  /// Reset on a coarse clock) reports 0 instead of inf, and a non-finite
+  /// or negative wall_seconds also yields 0 rather than NaN — the ordered
+  /// comparison is false for NaN, so every emitter (ToString, ToJson,
+  /// Prometheus) prints a plain 0.
+  double Qps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds : 0.0;
+  }
 
   /// Multi-line human-readable report (the serve-batch output).
   std::string ToString() const;
@@ -108,6 +125,9 @@ class ServiceMetrics {
   /// Records one query retained by the slow-trace machinery.
   void RecordSlowQuery();
 
+  /// Adds window-query memo hits observed by one finished batch group.
+  void RecordWindowMemoHits(uint64_t hits);
+
   /// Consistent point-in-time copy of everything above.
   MetricsSnapshot Snapshot() const;
 
@@ -132,6 +152,7 @@ class ServiceMetrics {
   uint64_t shed_ = 0;
   uint64_t retries_ = 0;
   uint64_t max_queue_depth_ = 0;
+  uint64_t window_memo_hits_ = 0;
   std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
 };
 

@@ -1,10 +1,26 @@
 #include "storage/buffer_pool.h"
 
+#include <cassert>
+
 namespace nwc {
 
 BufferPool::BufferPool(size_t capacity_pages) : capacity_(capacity_pages) {}
 
+#ifndef NDEBUG
+void BufferPool::CheckOwner() {
+  if (owner_ == std::thread::id{}) {
+    owner_ = std::this_thread::get_id();
+    return;
+  }
+  assert(owner_ == std::this_thread::get_id() &&
+         "BufferPool accessed from a second thread: pools are per-worker, never shared");
+}
+#endif
+
 bool BufferPool::Access(PageId page) {
+#ifndef NDEBUG
+  CheckOwner();
+#endif
   if (capacity_ == 0) {
     ++misses_;
     return false;
@@ -33,6 +49,9 @@ void BufferPool::Clear() {
   index_.clear();
   hits_ = 0;
   misses_ = 0;
+#ifndef NDEBUG
+  owner_ = std::thread::id{};  // a full reset may hand the pool to a new thread
+#endif
 }
 
 double BufferPool::HitRatio() const {

@@ -5,6 +5,10 @@
 #include <list>
 #include <unordered_map>
 
+#ifndef NDEBUG
+#include <thread>
+#endif
+
 #include "storage/page.h"
 
 namespace nwc {
@@ -20,7 +24,17 @@ namespace nwc {
 /// ThreadSafety: NOT thread-safe — Access() mutates the LRU list on every
 /// call (even hits). A pool must never be shared across query-service
 /// workers; QueryService enforces this by giving each worker its own pool
-/// (or none), indexed by the worker id (see src/service/query_service.h).
+/// (or none), indexed by the worker id (see src/service/query_service.h):
+/// ThreadPool binds each worker index to exactly one thread for the pool's
+/// lifetime, so worker_pools_[worker_index] is only ever touched by that
+/// thread — on the single-submit path and on the batch path alike (a batch
+/// group job runs entirely on the worker that dequeued it).
+///
+/// Debug builds enforce the invariant directly: the first Access() binds
+/// the pool to the calling thread and every later Access() asserts the
+/// same thread, so a shared-pool misuse trips immediately instead of
+/// surfacing as silent LRU corruption. Clear() unbinds (a pool may be
+/// handed off between threads across a full reset, never concurrently).
 class BufferPool {
  public:
   /// Creates a pool holding at most `capacity_pages` pages. A capacity of 0
@@ -46,12 +60,21 @@ class BufferPool {
   double HitRatio() const;
 
  private:
+#ifndef NDEBUG
+  /// Asserts the per-thread ownership invariant (debug builds only).
+  void CheckOwner();
+#endif
+
   size_t capacity_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   // Most recently used at the front.
   std::list<PageId> lru_;
   std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+#ifndef NDEBUG
+  // Owner thread, bound by the first Access() after construction/Clear().
+  std::thread::id owner_;
+#endif
 };
 
 }  // namespace nwc

@@ -1,0 +1,153 @@
+#include "service/batch_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nwc {
+namespace {
+
+Rect UnitSpace() { return Rect{0.0, 0.0, 1024.0, 1024.0}; }
+
+TEST(ZOrderKeyTest, OriginMapsToZeroAndFarCornerToMax) {
+  const Rect space = UnitSpace();
+  EXPECT_EQ(ZOrderKey(Point{0, 0}, space), 0u);
+  const uint64_t corner = ZOrderKey(Point{1024, 1024}, space);
+  // Both 16-bit grid coordinates saturate: every interleaved bit is set.
+  EXPECT_EQ(corner, (uint64_t{1} << 32) - 1);
+}
+
+TEST(ZOrderKeyTest, OutOfRangeAndNonFinitePointsClampInsteadOfWrapping) {
+  const Rect space = UnitSpace();
+  EXPECT_EQ(ZOrderKey(Point{-500, -500}, space), ZOrderKey(Point{0, 0}, space));
+  EXPECT_EQ(ZOrderKey(Point{9999, 9999}, space), ZOrderKey(Point{1024, 1024}, space));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ZOrderKey(Point{nan, nan}, space), 0u);
+}
+
+TEST(ZOrderKeyTest, DegenerateSpaceMapsEverythingToZero) {
+  const Rect line = Rect{0.0, 5.0, 100.0, 5.0};  // zero-extent y axis
+  const uint64_t a = ZOrderKey(Point{10, 5}, line);
+  const uint64_t b = ZOrderKey(Point{90, 5}, line);
+  EXPECT_LT(a, b) << "the live axis still orders";
+  const Rect point_space = Rect{3.0, 3.0, 3.0, 3.0};
+  EXPECT_EQ(ZOrderKey(Point{3, 3}, point_space), 0u);
+}
+
+TEST(ZOrderKeyTest, MonotonicAlongTheDiagonal) {
+  // When both coordinates are nondecreasing the interleaved key is too —
+  // the property that makes a Z-order sort a locality sort.
+  const Rect space = UnitSpace();
+  uint64_t previous = 0;
+  for (int i = 0; i <= 1024; i += 32) {
+    const uint64_t key = ZOrderKey(Point{static_cast<double>(i), static_cast<double>(i)}, space);
+    EXPECT_GE(key, previous) << "diagonal step " << i;
+    previous = key;
+  }
+}
+
+TEST(ZOrderKeyTest, NearbyPointsShareHighBits) {
+  const Rect space = UnitSpace();
+  const uint64_t base = ZOrderKey(Point{100, 100}, space);
+  const uint64_t near = ZOrderKey(Point{101, 101}, space);
+  const uint64_t far = ZOrderKey(Point{900, 900}, space);
+  // A one-cell neighbour differs only in low bits; the opposite corner
+  // differs in the top bits.
+  EXPECT_LT(base ^ near, base ^ far);
+}
+
+TEST(BatchPlannerTest, EmptyInputYieldsNoGroups) {
+  EXPECT_TRUE(PlanBatchGroups({}, UnitSpace(), 16).empty());
+}
+
+TEST(BatchPlannerTest, GroupsPartitionByOptionsInFirstSeenOrder) {
+  std::vector<BatchItem> items;
+  items.push_back({Point{10, 10}, NwcOptions::Star()});   // group A
+  items.push_back({Point{20, 20}, NwcOptions::Plain()});  // group B
+  items.push_back({Point{30, 30}, NwcOptions::Star()});   // group A
+  items.push_back({Point{40, 40}, NwcOptions::Plain()});  // group B
+  NwcOptions star_max = NwcOptions::Star();
+  star_max.measure = DistanceMeasure::kMax;
+  items.push_back({Point{50, 50}, star_max});  // group C: measure splits too
+
+  const auto groups = PlanBatchGroups(items, UnitSpace(), 0);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 2}));  // Star first seen
+  EXPECT_EQ(groups[1], (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(groups[2], (std::vector<size_t>{4}));
+}
+
+TEST(BatchPlannerTest, EveryIndexAppearsExactlyOnce) {
+  Rng rng(0xBA7C4);
+  std::vector<BatchItem> items;
+  const NwcOptions presets[] = {NwcOptions::Plain(), NwcOptions::Plus(), NwcOptions::Star()};
+  for (size_t i = 0; i < 300; ++i) {
+    BatchItem item;
+    item.q = Point{rng.NextDouble(0, 1024), rng.NextDouble(0, 1024)};
+    item.options = presets[rng.NextUint64(3)];
+    items.push_back(item);
+  }
+
+  const auto groups = PlanBatchGroups(items, UnitSpace(), 16);
+  std::vector<int> seen(items.size(), 0);
+  for (const auto& group : groups) {
+    EXPECT_FALSE(group.empty());
+    EXPECT_LE(group.size(), 16u);
+    for (const size_t index : group) {
+      ASSERT_LT(index, items.size());
+      ++seen[index];
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 1) << "index " << i << " planned " << seen[i] << " times";
+  }
+}
+
+TEST(BatchPlannerTest, WithinAGroupIndicesAreZOrderSorted) {
+  Rng rng(0x50F7);
+  std::vector<BatchItem> items;
+  for (size_t i = 0; i < 100; ++i) {
+    items.push_back({Point{rng.NextDouble(0, 1024), rng.NextDouble(0, 1024)},
+                     NwcOptions::Star()});
+  }
+  const auto groups = PlanBatchGroups(items, UnitSpace(), 0);
+  ASSERT_EQ(groups.size(), 1u);
+  uint64_t previous = 0;
+  for (const size_t index : groups[0]) {
+    const uint64_t key = ZOrderKey(items[index].q, UnitSpace());
+    EXPECT_GE(key, previous) << "group not Z-order sorted at index " << index;
+    previous = key;
+  }
+}
+
+TEST(BatchPlannerTest, EqualKeysKeepSubmissionOrder) {
+  std::vector<BatchItem> items(5, BatchItem{Point{512, 512}, NwcOptions::Plain()});
+  const auto groups = PlanBatchGroups(items, UnitSpace(), 0);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BatchPlannerTest, ChunkingSplitsLargeGroupsAndZeroMeansUnbounded) {
+  std::vector<BatchItem> items;
+  for (size_t i = 0; i < 37; ++i) {
+    items.push_back({Point{static_cast<double>(i * 25 % 1024), 100}, NwcOptions::Plus()});
+  }
+
+  const auto chunked = PlanBatchGroups(items, UnitSpace(), 10);
+  ASSERT_EQ(chunked.size(), 4u);  // 10 + 10 + 10 + 7
+  EXPECT_EQ(chunked[0].size(), 10u);
+  EXPECT_EQ(chunked[3].size(), 7u);
+
+  const auto unbounded = PlanBatchGroups(items, UnitSpace(), 0);
+  ASSERT_EQ(unbounded.size(), 1u);
+  EXPECT_EQ(unbounded[0].size(), items.size());
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 namespace nwc {
@@ -75,6 +77,36 @@ TEST(BufferPoolTest, ContainsDoesNotTouchLru) {
   EXPECT_FALSE(pool.Contains(1));
   EXPECT_TRUE(pool.Contains(2));
 }
+
+#ifndef NDEBUG
+using BufferPoolDeathTest = ::testing::Test;
+
+TEST(BufferPoolDeathTest, AccessFromSecondThreadAsserts) {
+  // The documented contract (NOT thread-safe, strictly per-worker) is
+  // enforced in debug builds: the first Access() binds the owner thread
+  // and any other thread touching the pool trips the assert instead of
+  // silently corrupting the LRU list.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  BufferPool pool(4);
+  pool.Access(1);  // binds this thread as the owner
+  EXPECT_DEATH(
+      {
+        std::thread intruder([&pool] { pool.Access(2); });
+        intruder.join();
+      },
+      "BufferPool accessed from a second thread");
+}
+
+TEST(BufferPoolDeathTest, ClearRebindsOwnership) {
+  // A full reset legitimately hands a pool to a new thread.
+  BufferPool pool(4);
+  pool.Access(1);
+  pool.Clear();
+  std::thread other([&pool] { EXPECT_FALSE(pool.Access(2)); });
+  other.join();
+  EXPECT_EQ(pool.misses(), 1u);
+}
+#endif  // NDEBUG
 
 }  // namespace
 }  // namespace nwc

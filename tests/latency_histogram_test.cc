@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -174,6 +175,53 @@ TEST(LatencyHistogramTest, SumSurvivesMergeAndReset) {
   EXPECT_EQ(a.count(), 3u);
   a.Reset();
   EXPECT_EQ(a.sum(), 0u);
+}
+
+TEST(LatencyHistogramTest, ZeroAndSubMicrosecondSamplesLandInBucketZero) {
+  // Latencies are recorded in whole microseconds, so every sub-microsecond
+  // sample arrives as 0 and must land in bucket 0 (upper bound 0) rather
+  // than underflowing the log-linear index computation.
+  LatencyHistogram hist;
+  hist.Record(0);
+  hist.Record(0);
+  EXPECT_EQ(hist.bucket(0).upper_bound, 0u);
+  EXPECT_EQ(hist.bucket(0).count, 2u);
+  for (size_t i = 1; i < hist.num_buckets(); ++i) {
+    ASSERT_EQ(hist.bucket(i).count, 0u) << "zero sample leaked into bucket " << i;
+  }
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0u);
+  EXPECT_EQ(hist.Quantile(1.0), 0u);
+}
+
+TEST(LatencyHistogramTest, EveryBucketEdgeLandsInItsOwnBucket) {
+  // Boundary sweep over all buckets: a bucket's upper bound must be
+  // counted in that bucket, and the value one past the previous bound
+  // (the bucket's lowest value) must land there too. This pins the
+  // half-open bucket convention at every edge of the log-linear layout,
+  // where off-by-one index math would go wrong first.
+  LatencyHistogram bounds;  // only used to read the bucket layout
+  LatencyHistogram hist;
+  for (size_t i = 0; i < bounds.num_buckets(); ++i) {
+    const uint64_t upper = bounds.bucket(i).upper_bound;
+    hist.Record(upper);
+    ASSERT_EQ(hist.bucket(i).count, 1u) << "upper bound " << upper << " missed bucket " << i;
+    hist.Reset();
+
+    const uint64_t lowest = i == 0 ? 0 : bounds.bucket(i - 1).upper_bound + 1;
+    hist.Record(lowest);
+    ASSERT_EQ(hist.bucket(i).count, 1u) << "lowest value " << lowest << " missed bucket " << i;
+    hist.Reset();
+  }
+}
+
+TEST(LatencyHistogramTest, MaxRepresentableValueLandsInLastBucket) {
+  LatencyHistogram hist;
+  hist.Record(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(hist.bucket(hist.num_buckets() - 1).count, 1u);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.max(), std::numeric_limits<uint64_t>::max());
 }
 
 TEST(LatencyHistogramTest, HandlesHugeValues) {

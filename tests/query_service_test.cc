@@ -6,8 +6,12 @@
 
 #include "service/query_service.h"
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <iterator>
+#include <limits>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -354,6 +358,224 @@ TEST(QueryServiceTest, TracingConfigValidationRejectsZeroRing) {
   EXPECT_FALSE(config.Validate().ok());
   config.trace_ring_capacity = 1;
   EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(QueryServiceTest, RetryBackoffSaturatesInsteadOfOverflowing) {
+  // The backoff used to be `base << attempt`, which is undefined behavior
+  // once the shift reaches 64 and wraps to bogus sleeps long before the
+  // retry limit. The clamped form saturates at the 1 s ceiling for any
+  // base/attempt combination.
+  EXPECT_EQ(RetryBackoffMicros(0, 0), 0u);
+  EXPECT_EQ(RetryBackoffMicros(0, 100), 0u);
+  EXPECT_EQ(RetryBackoffMicros(100, 0), 100u);
+  EXPECT_EQ(RetryBackoffMicros(100, -1), 100u) << "negative attempts behave like attempt 0";
+  EXPECT_EQ(RetryBackoffMicros(100, 1), 200u);
+  EXPECT_EQ(RetryBackoffMicros(100, 10), 102400u);
+  // Exact crossing: 100 * 2^14 = 1638400 > 1s cap; 2^13 = 819200 is under.
+  EXPECT_EQ(RetryBackoffMicros(100, 13), 819200u);
+  EXPECT_EQ(RetryBackoffMicros(100, 14), kMaxRetryBackoffMicros);
+  // The old code's failure modes: shift counts at and past the bit width,
+  // and bases that overflow on the first doubling.
+  EXPECT_EQ(RetryBackoffMicros(100, 63), kMaxRetryBackoffMicros);
+  EXPECT_EQ(RetryBackoffMicros(100, 64), kMaxRetryBackoffMicros);
+  EXPECT_EQ(RetryBackoffMicros(100, std::numeric_limits<int>::max()), kMaxRetryBackoffMicros);
+  EXPECT_EQ(RetryBackoffMicros(std::numeric_limits<uint64_t>::max(), 0),
+            kMaxRetryBackoffMicros);
+  EXPECT_EQ(RetryBackoffMicros(std::numeric_limits<uint64_t>::max(), 1),
+            kMaxRetryBackoffMicros);
+  EXPECT_EQ(RetryBackoffMicros(kMaxRetryBackoffMicros, 0), kMaxRetryBackoffMicros);
+  EXPECT_EQ(RetryBackoffMicros(kMaxRetryBackoffMicros - 1, 0), kMaxRetryBackoffMicros - 1);
+}
+
+TEST(QueryServiceTest, MaxIntBackoffConfigFailsWithinTheDeadline) {
+  // Regression for the overflow bug's service-level symptom: with a
+  // max-int backoff config the old shifted value wrapped arbitrarily; the
+  // fixed path clamps each sleep to the cap AND to the remaining
+  // deadline, so a faulty query surfaces its error within the deadline
+  // instead of sleeping minutes.
+  const Session session = OpenTestSession(500);
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.max_retries = 2;
+  config.retry_backoff_micros = std::numeric_limits<uint64_t>::max();
+  config.fault_plan = FaultPlan::EveryNth(1);  // every read fails
+  config.default_deadline_micros = 5000;       // 5 ms budget for all retries
+  QueryService service(session, config);
+
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 300, 300, 4};
+  const auto start = std::chrono::steady_clock::now();
+  const NwcResponse response = service.SubmitNwc(request).get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // The fault surfaces as IoError; if the clamped backoff sleep consumed
+  // the whole budget first, the retry attempt reports DeadlineExceeded.
+  // Either way the query fails — it must never succeed or hang.
+  EXPECT_TRUE(response.status.code() == StatusCode::kIoError ||
+              response.status.code() == StatusCode::kDeadlineExceeded)
+      << response.status;
+  // Generous bound: the budget is 5 ms; the old wrapped sleep could be
+  // anything up to centuries. One second catches the regression without
+  // being load-sensitive.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1000);
+}
+
+TEST(QueryServiceBatchTest, SubmitBatchMatchesSequentialEnginesBitExact) {
+  const Session session = OpenTestSession();
+  ServiceConfig config;
+  config.num_threads = 4;
+  config.batch_group_size = 8;
+  QueryService service(session, config);
+
+  const std::vector<NwcRequest> nwc_requests = SeededNwcRequests(120);
+  const std::vector<KnwcRequest> knwc_requests = SeededKnwcRequests(60);
+
+  std::vector<std::future<NwcResponse>> nwc_futures = service.SubmitNwcBatch(nwc_requests);
+  std::vector<std::future<KnwcResponse>> knwc_futures = service.SubmitKnwcBatch(knwc_requests);
+  ASSERT_EQ(nwc_futures.size(), nwc_requests.size());
+  ASSERT_EQ(knwc_futures.size(), knwc_requests.size());
+
+  NwcEngine nwc_engine(session.tree(), session.iwp(), session.grid());
+  for (size_t i = 0; i < nwc_requests.size(); ++i) {
+    ASSERT_TRUE(nwc_futures[i].valid()) << "request " << i;
+    const NwcResponse response = nwc_futures[i].get();
+    const NwcOptions options = nwc_requests[i].options.value_or(config.default_options);
+    const Result<NwcResult> expected =
+        nwc_engine.Execute(nwc_requests[i].query, options, nullptr);
+    ASSERT_TRUE(expected.ok()) << "request " << i;
+    ASSERT_TRUE(response.status.ok()) << "request " << i << ": " << response.status;
+    ASSERT_EQ(response.result.found, expected->found) << "request " << i;
+    if (expected->found) {
+      EXPECT_EQ(response.result.distance, expected->distance) << "request " << i;
+      ExpectSameObjects(response.result.objects, expected->objects, i);
+    }
+  }
+
+  KnwcEngine knwc_engine(session.tree(), session.iwp(), session.grid());
+  for (size_t i = 0; i < knwc_requests.size(); ++i) {
+    ASSERT_TRUE(knwc_futures[i].valid()) << "request " << i;
+    const KnwcResponse response = knwc_futures[i].get();
+    const NwcOptions options = knwc_requests[i].options.value_or(config.default_options);
+    const Result<KnwcResult> expected =
+        knwc_engine.Execute(knwc_requests[i].query, options, nullptr);
+    ASSERT_TRUE(expected.ok()) << "request " << i;
+    ASSERT_TRUE(response.status.ok()) << "request " << i;
+    ASSERT_EQ(response.result.groups.size(), expected->groups.size()) << "request " << i;
+    for (size_t g = 0; g < expected->groups.size(); ++g) {
+      EXPECT_EQ(response.result.groups[g].distance, expected->groups[g].distance)
+          << "request " << i << " group " << g;
+      ExpectSameObjects(response.result.groups[g].objects, expected->groups[g].objects, i);
+    }
+  }
+
+  const MetricsSnapshot metrics = service.SnapshotMetrics();
+  EXPECT_EQ(metrics.queries, nwc_requests.size() + knwc_requests.size());
+  EXPECT_EQ(metrics.failures, 0u);
+}
+
+TEST(QueryServiceBatchTest, BatchGroupsShareTheWindowMemo) {
+  const Session session = OpenTestSession(2000);
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.batch_group_size = 0;  // one group per preset: maximal sharing
+  QueryService service(session, config);
+
+  // The same query repeated re-runs identical window probes; within a
+  // group the memo must absorb the repeats.
+  std::vector<NwcRequest> requests;
+  for (size_t i = 0; i < 12; ++i) {
+    requests.push_back(NwcRequest{NwcQuery{Point{5000, 5000}, 300, 300, 4}, {}});
+  }
+  std::vector<std::future<NwcResponse>> futures = service.SubmitNwcBatch(requests);
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().status.ok());
+  }
+  // The group's memo-hit total is recorded when the worker finishes the
+  // whole group, which can be momentarily after the last future resolves;
+  // drain the workers before reading the metric.
+  service.Shutdown();
+  EXPECT_GT(service.SnapshotMetrics().window_memo_hits, 0u)
+      << "identical queries in one group must reuse memoized window walks";
+}
+
+TEST(QueryServiceBatchTest, EmptyAndInvalidBatchRequestsResolveEveryFuture) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{.num_threads = 2});
+
+  EXPECT_TRUE(service.SubmitNwcBatch({}).empty());
+
+  std::vector<NwcRequest> requests;
+  requests.push_back(NwcRequest{NwcQuery{Point{5000, 5000}, 200, 200, 4}, {}});
+  requests.push_back(NwcRequest{});  // invalid: n == 0, zero window
+  requests.push_back(NwcRequest{NwcQuery{Point{4000, 4000}, 200, 200, 3}, {}});
+
+  std::vector<std::future<NwcResponse>> futures = service.SubmitNwcBatch(requests);
+  ASSERT_EQ(futures.size(), 3u);
+  EXPECT_TRUE(futures[0].get().status.ok());
+  EXPECT_EQ(futures[1].get().status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(futures[2].get().status.ok());
+}
+
+TEST(QueryServiceBatchTest, BatchAfterShutdownFailsEveryFutureGracefully) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{.num_threads = 2});
+  service.Shutdown();
+
+  std::vector<NwcRequest> requests(3, NwcRequest{NwcQuery{Point{5000, 5000}, 200, 200, 4}, {}});
+  std::vector<std::future<NwcResponse>> futures = service.SubmitNwcBatch(requests);
+  ASSERT_EQ(futures.size(), 3u);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(QueryServiceBatchTest, ConcurrentBatchesWithCacheAndPoolsStayExact) {
+  // TSan-facing stress: several client threads push overlapping batches
+  // through a cached service with per-worker buffer pools — the shared
+  // result cache, the per-group memos, and the metrics all take
+  // concurrent traffic. Results are checked against a sequential engine.
+  const Session session = OpenTestSession(2000);
+  ServiceConfig config;
+  config.num_threads = 4;
+  config.worker_pool_pages = 64;
+  config.result_cache_bytes = 4 << 20;
+  config.batch_group_size = 8;
+  QueryService service(session, config);
+
+  const std::vector<NwcRequest> requests = SeededNwcRequests(48);
+  NwcEngine engine(session.tree(), session.iwp(), session.grid());
+  std::vector<Result<NwcResult>> expected;
+  for (const NwcRequest& request : requests) {
+    expected.push_back(engine.Execute(
+        request.query, request.options.value_or(config.default_options), nullptr));
+    ASSERT_TRUE(expected.back().ok());
+  }
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        std::vector<std::future<NwcResponse>> futures = service.SubmitNwcBatch(requests);
+        for (size_t i = 0; i < futures.size(); ++i) {
+          const NwcResponse response = futures[i].get();
+          if (!response.status.ok() || response.result.found != (*expected[i]).found ||
+              (response.result.found &&
+               response.result.distance != (*expected[i]).distance)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  service.Shutdown();  // drain group jobs so per-group metrics are final
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const MetricsSnapshot metrics = service.SnapshotMetrics();
+  EXPECT_EQ(metrics.queries, static_cast<uint64_t>(kClients) * 3 * requests.size());
+  EXPECT_GT(metrics.result_cache_hits, 0u) << "repeated batches must hit the shared cache";
 }
 
 TEST(QueryServiceTest, EmptyTreeSessionServesNotFound) {

@@ -134,6 +134,59 @@ TEST(ServiceMetricsTest, SnapshotCarriesWallClockAndQps) {
   EXPECT_DOUBLE_EQ(zero.Qps(), 0.0);
 }
 
+TEST(ServiceMetricsTest, ZeroElapsedSnapshotRendersZeroQpsEverywhere) {
+  // A snapshot taken before any wall time elapses (or one built by hand,
+  // as the exporters' tests do) must render 0 qps, never "inf" or "nan",
+  // in every text emitter.
+  MetricsSnapshot zero;
+  zero.queries = 5;
+  zero.wall_seconds = 0.0;
+  ASSERT_DOUBLE_EQ(zero.Qps(), 0.0);
+
+  const std::string text = zero.ToString();
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_NE(text.find("(0.0 queries/sec)"), std::string::npos) << text;
+
+  const std::string json = zero.ToJson();
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"qps\":0.000"), std::string::npos) << json;
+}
+
+TEST(ServiceMetricsTest, CachingSectionRendersInTextAndJson) {
+  MetricsSnapshot snapshot;
+  snapshot.queries = 4;
+  snapshot.wall_seconds = 1.0;
+  snapshot.result_cache_hits = 3;
+  snapshot.result_cache_misses = 1;
+  snapshot.result_cache_evictions = 2;
+  snapshot.result_cache_entries = 7;
+  snapshot.result_cache_bytes = 4096;
+  snapshot.window_memo_hits = 9;
+
+  const std::string text = snapshot.ToString();
+  EXPECT_NE(text.find("caching:"), std::string::npos) << text;
+  EXPECT_NE(text.find("3 hits / 1 misses / 2 evictions"), std::string::npos) << text;
+  EXPECT_NE(text.find("window memo 9 hits"), std::string::npos) << text;
+
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"result_cache\":{\"hits\":3,\"misses\":1,\"evictions\":2,"
+                      "\"entries\":7,\"bytes\":4096}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"window_memo_hits\":9"), std::string::npos) << json;
+}
+
+TEST(ServiceMetricsTest, WindowMemoHitsRollUpAndReset) {
+  ServiceMetrics metrics;
+  metrics.RecordWindowMemoHits(4);
+  metrics.RecordWindowMemoHits(2);
+  EXPECT_EQ(metrics.Snapshot().window_memo_hits, 6u);
+  metrics.Reset();
+  EXPECT_EQ(metrics.Snapshot().window_memo_hits, 0u);
+}
+
 TEST(ServiceMetricsTest, LatencySnapshotMatchesAggregates) {
   ServiceMetrics metrics;
   metrics.RecordQuery(10, CounterWith(0, 0), StatusCode::kOk, true);

@@ -117,6 +117,23 @@ TEST(TraceExportTest, PrometheusTextMatchesGolden) {
   CompareToGolden("metrics.prom", ToPrometheusText(snapshot, latency));
 }
 
+TEST(TraceExportTest, PrometheusZeroElapsedSnapshotMatchesGolden) {
+  // A scrape racing service startup sees queries recorded but no elapsed
+  // wall time. The qps gauge must render 0, never "inf"/"nan" (which
+  // Prometheus would reject for the whole exposition).
+  MetricsSnapshot snapshot;
+  snapshot.queries = 5;
+  snapshot.wall_seconds = 0.0;
+
+  LatencyHistogram latency;
+  latency.Record(0);
+
+  const std::string text = ToPrometheusText(snapshot, latency);
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  CompareToGolden("metrics_zero.prom", text);
+}
+
 TEST(TraceExportTest, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
