@@ -1,0 +1,159 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nwc {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Result<int> ConnectSocket(const std::string& host, uint16_t port, int recv_buffer_bytes) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse address " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (recv_buffer_bytes > 0) {
+    // Before connect so the advertised window honors it (no autotuning).
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes, sizeof(recv_buffer_bytes));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + offset, bytes.size() - offset);
+    if (n > 0) {
+      offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+NetClient::NetClient(int fd) : fd_(fd), decoder_(1u << 24) {}
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)) {}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     int recv_buffer_bytes) {
+  Result<int> fd = ConnectSocket(host, port, recv_buffer_bytes);
+  if (!fd.ok()) return fd.status();
+  return NetClient(*fd);
+}
+
+Status NetClient::SendNwc(uint64_t request_id, const NwcRequest& request) {
+  return SendRaw(EncodeNwcRequestFrame(request_id, request));
+}
+
+Status NetClient::SendKnwc(uint64_t request_id, const KnwcRequest& request) {
+  return SendRaw(EncodeKnwcRequestFrame(request_id, request));
+}
+
+Status NetClient::SendRaw(std::string_view bytes) { return WriteAll(fd_, bytes); }
+
+Status NetClient::Receive(NetReply* out) {
+  while (true) {
+    bool has_frame = false;
+    WireFrame frame;
+    const Status status = decoder_.Poll(&has_frame, &frame);
+    if (!status.ok()) return status;
+    if (has_frame) {
+      out->type = frame.type;
+      out->request_id = frame.request_id;
+      switch (frame.type) {
+        case MsgType::kNwcResponse:
+          return DecodeNwcResponse(frame.body, &out->nwc);
+        case MsgType::kKnwcResponse:
+          return DecodeKnwcResponse(frame.body, &out->knwc);
+        case MsgType::kError:
+          return DecodeStatusBody(frame.body, &out->error);
+        case MsgType::kNwcRequest:
+        case MsgType::kKnwcRequest:
+          return Status::InvalidArgument("wire: server sent a client-only frame type");
+      }
+    }
+    char buffer[64 * 1024];
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n > 0) {
+      decoder_.Append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("connection closed");
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+}
+
+void NetClient::CloseWrite() { ::shutdown(fd_, SHUT_WR); }
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port, const std::string& path) {
+  Result<int> fd = ConnectSocket(host, port, 0);
+  if (!fd.ok()) return fd.status();
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: " + host + "\r\nConnection: close\r\n\r\n";
+  Status status = WriteAll(*fd, request);
+  if (!status.ok()) {
+    ::close(*fd);
+    return status;
+  }
+  std::string response;
+  char buffer[16 * 1024];
+  while (true) {
+    const ssize_t n = ::read(*fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      response.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const Status read_status = Errno("read");
+      ::close(*fd);
+      return read_status;
+    }
+    break;  // EOF: Connection: close semantics, the response is complete
+  }
+  ::close(*fd);
+  return response;
+}
+
+}  // namespace nwc

@@ -1,0 +1,277 @@
+#include "net/load_gen.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "net/wire.h"
+#include "service/query_service.h"
+
+namespace nwc {
+
+Status LoadGenConfig::Validate() const {
+  if (!(target_qps > 0.0)) return Status::InvalidArgument("target_qps must be positive");
+  if (connections == 0) return Status::InvalidArgument("connections must be >= 1");
+  if (pipeline_depth == 0) return Status::InvalidArgument("pipeline_depth must be >= 1");
+  if (!(duration_seconds > 0.0)) {
+    return Status::InvalidArgument("duration_seconds must be positive");
+  }
+  return Status::Ok();
+}
+
+std::string LoadGenReport::ToString() const {
+  return StrFormat(
+      "sent %llu, received %llu (%llu error(s), %llu lost) in %.3f s\n"
+      "achieved %.1f q/s; latency from due time: p50 %llu us, p95 %llu us, "
+      "p99 %llu us, max %llu us\n",
+      static_cast<unsigned long long>(sent), static_cast<unsigned long long>(received),
+      static_cast<unsigned long long>(errors), static_cast<unsigned long long>(lost),
+      wall_seconds, achieved_qps, static_cast<unsigned long long>(p50_micros),
+      static_cast<unsigned long long>(p95_micros), static_cast<unsigned long long>(p99_micros),
+      static_cast<unsigned long long>(max_micros));
+}
+
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+struct GenConnection {
+  int fd = -1;
+  FrameDecoder decoder{1u << 24};
+  std::string out;
+  size_t out_off = 0;
+  size_t in_flight = 0;
+  bool dead = false;
+
+  size_t pending_out() const { return out.size() - out_off; }
+};
+
+Result<int> ConnectNonblocking(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse address " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  // Blocking connect (a refused server should fail fast), nonblocking I/O.
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::IoError("connect " + host + ":" + std::to_string(port) +
+                                          ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+  return fd;
+}
+
+// A response frame counts as an error when it is a kError frame, its body
+// is undecodable, or its carried status is non-OK.
+bool FrameIsError(const WireFrame& frame) {
+  switch (frame.type) {
+    case MsgType::kNwcResponse: {
+      NwcResponse response;
+      return !DecodeNwcResponse(frame.body, &response).ok() || !response.status.ok();
+    }
+    case MsgType::kKnwcResponse: {
+      KnwcResponse response;
+      return !DecodeKnwcResponse(frame.body, &response).ok() || !response.status.ok();
+    }
+    default:
+      return true;
+  }
+}
+
+void FlushOut(GenConnection* conn) {
+  while (!conn->dead && conn->pending_out() > 0) {
+    const ssize_t n =
+        ::write(conn->fd, conn->out.data() + conn->out_off, conn->pending_out());
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    conn->dead = true;
+  }
+  if (conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  }
+}
+
+}  // namespace
+
+Result<LoadGenReport> RunLoadGen(const LoadGenConfig& config,
+                                 const std::vector<WorkloadEntry>& workload) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  if (workload.empty()) return Status::InvalidArgument("workload is empty");
+
+  std::vector<GenConnection> conns(config.connections);
+  for (GenConnection& conn : conns) {
+    Result<int> fd = ConnectNonblocking(config.host, config.port);
+    if (!fd.ok()) {
+      for (GenConnection& opened : conns) {
+        if (opened.fd >= 0) ::close(opened.fd);
+      }
+      return fd.status();
+    }
+    conn.fd = *fd;
+  }
+
+  // request id -> due time; latency is measured from "due", so time a
+  // request spends waiting for pipeline room is charged to the run.
+  std::unordered_map<uint64_t, uint64_t> pending;
+  std::vector<uint64_t> latencies;
+  LoadGenReport report;
+
+  const uint64_t start = NowMicros();
+  const uint64_t send_end =
+      start + static_cast<uint64_t>(config.duration_seconds * 1e6);
+  const double micros_per_request = 1e6 / config.target_qps;
+  size_t cursor = 0;       // workload index
+  size_t round_robin = 0;  // next connection to try
+
+  std::vector<pollfd> pfds(conns.size());
+  while (true) {
+    const uint64_t now = NowMicros();
+    const bool sending = now < send_end;
+
+    // Dispatch every request already due, while pipeline room exists.
+    while (sending) {
+      const uint64_t due =
+          start + static_cast<uint64_t>(static_cast<double>(report.sent) * micros_per_request);
+      if (due > now) break;
+      GenConnection* target = nullptr;
+      for (size_t i = 0; i < conns.size(); ++i) {
+        GenConnection* candidate = &conns[(round_robin + i) % conns.size()];
+        if (!candidate->dead && candidate->in_flight < config.pipeline_depth) {
+          target = candidate;
+          round_robin = (round_robin + i + 1) % conns.size();
+          break;
+        }
+      }
+      if (target == nullptr) break;  // every pipe is full; retry next tick
+
+      const WorkloadEntry& entry = workload[cursor];
+      cursor = (cursor + 1) % workload.size();
+      const uint64_t request_id = report.sent;
+      std::string frame;
+      if (entry.is_knwc) {
+        frame = EncodeKnwcRequestFrame(
+            request_id, KnwcRequest{entry.knwc, config.options, config.deadline_micros});
+      } else {
+        frame = EncodeNwcRequestFrame(
+            request_id, NwcRequest{entry.nwc, config.options, config.deadline_micros});
+      }
+      target->out += frame;
+      ++target->in_flight;
+      pending.emplace(request_id, due);
+      ++report.sent;
+      FlushOut(target);
+    }
+
+    bool any_alive = false;
+    for (size_t i = 0; i < conns.size(); ++i) {
+      pfds[i].fd = conns[i].dead ? -1 : conns[i].fd;
+      pfds[i].events = static_cast<short>(POLLIN | (conns[i].pending_out() > 0 ? POLLOUT : 0));
+      pfds[i].revents = 0;
+      if (!conns[i].dead) any_alive = true;
+    }
+    if (!any_alive) break;
+    if (!sending && pending.empty()) break;
+    if (!sending &&
+        now > send_end + static_cast<uint64_t>(config.drain_timeout_seconds * 1e6)) {
+      break;  // responses overdue past the drain budget: count them lost
+    }
+
+    // Sleep until the next due send (bounded), or briefly while draining.
+    int timeout_ms = 10;
+    if (sending) {
+      const uint64_t next_due =
+          start + static_cast<uint64_t>(static_cast<double>(report.sent) * micros_per_request);
+      timeout_ms = next_due > now ? static_cast<int>((next_due - now) / 1000) : 0;
+      if (timeout_ms > 50) timeout_ms = 50;
+    }
+    ::poll(pfds.data(), pfds.size(), timeout_ms);
+
+    for (size_t i = 0; i < conns.size(); ++i) {
+      GenConnection* conn = &conns[i];
+      if (conn->dead) continue;
+      if ((pfds[i].revents & POLLOUT) != 0) FlushOut(conn);
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char buffer[64 * 1024];
+      while (true) {
+        const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
+        if (n > 0) {
+          conn->decoder.Append(buffer, static_cast<size_t>(n));
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        conn->dead = true;  // EOF or hard error
+        break;
+      }
+      while (true) {
+        bool has_frame = false;
+        WireFrame frame;
+        if (!conn->decoder.Poll(&has_frame, &frame).ok()) {
+          conn->dead = true;
+          break;
+        }
+        if (!has_frame) break;
+        const auto it = pending.find(frame.request_id);
+        if (it != pending.end()) {
+          const uint64_t finished = NowMicros();
+          latencies.push_back(finished > it->second ? finished - it->second : 0);
+          pending.erase(it);
+          if (conn->in_flight > 0) --conn->in_flight;
+          ++report.received;
+          if (FrameIsError(frame)) ++report.errors;
+        }
+      }
+    }
+  }
+  for (GenConnection& conn : conns) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+
+  report.lost = pending.size();
+  report.wall_seconds = static_cast<double>(NowMicros() - start) / 1e6;
+  report.achieved_qps =
+      report.wall_seconds > 0.0 ? static_cast<double>(report.received) / report.wall_seconds : 0.0;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto quantile = [&latencies](double q) {
+      const size_t index = static_cast<size_t>(q * static_cast<double>(latencies.size() - 1));
+      return latencies[index];
+    };
+    report.p50_micros = quantile(0.50);
+    report.p95_micros = quantile(0.95);
+    report.p99_micros = quantile(0.99);
+    report.max_micros = latencies.back();
+  }
+  return report;
+}
+
+}  // namespace nwc

@@ -1,0 +1,68 @@
+#ifndef NWC_NET_LOAD_GEN_H_
+#define NWC_NET_LOAD_GEN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/nwc_types.h"
+#include "service/workload.h"
+
+namespace nwc {
+
+/// Parameters of one open-loop load-generation run.
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Arrival rate the generator holds regardless of server speed — the
+  /// open-loop discipline: request i is *due* at start + i/qps, and its
+  /// latency is measured from that due time, so server-side queueing
+  /// during stalls is charged to the server (no coordinated omission).
+  double target_qps = 1000.0;
+  size_t connections = 4;
+  /// In-flight cap per connection; a request due while every connection
+  /// is at the cap waits (its queue wait still counts in its latency).
+  size_t pipeline_depth = 32;
+  double duration_seconds = 2.0;
+  /// Per-request deadline forwarded to the server (0 = none).
+  uint64_t deadline_micros = 0;
+  /// Per-request option override (empty = server default).
+  std::optional<NwcOptions> options;
+  /// After sending stops, how long to wait for outstanding responses.
+  double drain_timeout_seconds = 5.0;
+
+  Status Validate() const;
+};
+
+/// What a run achieved. Latency quantiles are over successful *and*
+/// failed responses (a typed error response still answers the request);
+/// `errors` counts the non-OK ones, `lost` the requests never answered
+/// within the drain timeout.
+struct LoadGenReport {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t errors = 0;
+  uint64_t lost = 0;
+  double wall_seconds = 0.0;
+  double achieved_qps = 0.0;  // received / wall
+  uint64_t p50_micros = 0;
+  uint64_t p95_micros = 0;
+  uint64_t p99_micros = 0;
+  uint64_t max_micros = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs the open-loop generator against a server: `workload` is cycled
+/// round-robin (see LoadWorkloadFile / MakeSkewedWorkload), requests fan
+/// out over `config.connections` pipelined connections, and one poll()
+/// loop drives every socket. Returns the report, or the first hard
+/// failure (connect refused, config invalid, empty workload).
+Result<LoadGenReport> RunLoadGen(const LoadGenConfig& config,
+                                 const std::vector<WorkloadEntry>& workload);
+
+}  // namespace nwc
+
+#endif  // NWC_NET_LOAD_GEN_H_

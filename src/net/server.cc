@@ -1,0 +1,605 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "net/wire.h"
+#include "obs/prometheus.h"
+
+namespace nwc {
+
+Status NetServerConfig::Validate() const {
+  if (host.empty()) return Status::InvalidArgument("host must not be empty");
+  if (listen_backlog <= 0) return Status::InvalidArgument("listen_backlog must be >= 1");
+  if (max_frame_bytes < kFrameHeaderBytes) {
+    return Status::InvalidArgument("max_frame_bytes below the frame header size");
+  }
+  if (write_high_watermark == 0 || write_low_watermark > write_high_watermark) {
+    return Status::InvalidArgument("write watermarks must satisfy 0 < low <= high");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Reserved epoll user-data values; connection ids start past them.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeupTag = 1;
+constexpr uint64_t kFirstConnectionId = 2;
+
+/// Per-event read cap: level-triggered epoll re-arms a still-readable fd,
+/// so bounding one event's work keeps a fire-hose connection from
+/// starving the others.
+constexpr size_t kMaxReadPerEvent = 256 * 1024;
+
+/// Cap on a buffered HTTP request head; /metrics scrapes are tiny.
+constexpr size_t kMaxHttpHead = 16 * 1024;
+
+bool LooksLikeHttp(const std::string& head) {
+  static constexpr const char* kMethods[] = {"GET ", "HEAD", "POST", "PUT ", "DELE", "OPTI"};
+  for (const char* method : kMethods) {
+    if (head.compare(0, 4, method) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+class NetServer::Impl {
+ public:
+  Impl(QueryService& service, NetServerConfig config)
+      : service_(service), config_(std::move(config)) {}
+
+  ~Impl() {
+    RequestDrain();
+    Wait();
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  Status Start() {
+    const Status valid = config_.Validate();
+    if (!valid.ok()) return valid;
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return Errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("cannot parse bind address " + config_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Errno("bind " + config_.host + ":" + std::to_string(config_.port));
+    }
+    if (::listen(listen_fd_, config_.listen_backlog) != 0) return Errno("listen");
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+      return Errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) return Errno("eventfd");
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return Errno("epoll_create1");
+    if (!AddFd(listen_fd_, kListenerTag, EPOLLIN) || !AddFd(wake_fd_, kWakeupTag, EPOLLIN)) {
+      return Errno("epoll_ctl add");
+    }
+
+    loop_ = std::thread([this] { RunLoop(); });
+    return Status::Ok();
+  }
+
+  uint16_t port() const { return port_; }
+  bool draining() const { return drain_.load(std::memory_order_acquire); }
+
+  void RequestDrain() {
+    drain_.store(true, std::memory_order_release);
+    Wake();
+  }
+
+  void Wait() {
+    std::lock_guard<std::mutex> lock(join_mu_);
+    if (loop_.joinable()) loop_.join();
+  }
+
+  Stats GetStats() const {
+    Stats stats;
+    stats.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+    stats.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+    stats.frames_received = frames_received_.load(std::memory_order_relaxed);
+    stats.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+    stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    stats.backpressure_pauses = backpressure_pauses_.load(std::memory_order_relaxed);
+    stats.http_requests = http_requests_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ private:
+  enum class Mode { kUnknown, kBinary, kHttp };
+
+  /// Per-connection state. Owned by the loop thread; Close() marks it
+  /// dead and closes the fd, but the map entry survives until the end of
+  /// the loop iteration so pointers on the current call stack stay valid.
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    Mode mode = Mode::kUnknown;
+    std::string probe;        // first bytes, until the mode is known
+    FrameDecoder decoder;     // binary mode
+    std::string http_head;    // http mode
+    std::string write_buf;
+    size_t write_off = 0;
+    size_t in_flight = 0;     // requests submitted, response not yet queued
+    uint32_t registered = 0;  // epoll event mask currently installed
+    bool paused = false;      // reading stopped by the write watermark
+    bool peer_closed = false; // peer sent FIN; flush what remains
+    bool closing = false;     // close once in_flight == 0 and flushed
+    bool dead = false;        // fd closed, entry awaiting reap
+
+    explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+
+    size_t pending_write() const { return write_buf.size() - write_off; }
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;
+  };
+
+  static Status Errno(const std::string& what) {
+    return Status::IoError(what + ": " + std::strerror(errno));
+  }
+
+  bool AddFd(int fd, uint64_t tag, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  void Wake() {
+    const uint64_t one = 1;
+    // A saturated eventfd counter already guarantees a wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  // Worker-thread side: queue one encoded response and wake the loop.
+  void PushCompletion(uint64_t conn_id, std::string bytes) {
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(Completion{conn_id, std::move(bytes)});
+    }
+    Wake();
+  }
+
+  // ---- event loop ---------------------------------------------------------
+
+  void RunLoop() {
+    epoll_event events[64];
+    while (true) {
+      // Drain progress depends only on completions and closes, both of
+      // which wake the loop; the finite timeout is a safety net.
+      const int n = ::epoll_wait(epoll_fd_, events, 64, 500);
+      if (n < 0 && errno != EINTR) break;
+      for (int i = 0; i < n; ++i) {
+        const uint64_t tag = events[i].data.u64;
+        if (tag == kListenerTag) {
+          AcceptAll();
+        } else if (tag == kWakeupTag) {
+          uint64_t counter;
+          [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &counter, sizeof(counter));
+        } else {
+          OnConnectionEvent(tag, events[i].events);
+        }
+      }
+      ProcessCompletions();
+      ReapDead();
+      if (drain_.load(std::memory_order_acquire)) {
+        BeginDrainOnce();
+        ReapDead();
+        if (connections_.empty() && outstanding_.load(std::memory_order_acquire) == 0) {
+          return;
+        }
+      }
+    }
+  }
+
+  void AcceptAll() {
+    if (drain_started_) return;
+    while (true) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN, or a transient accept failure
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (config_.send_buffer_bytes > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.send_buffer_bytes,
+                     sizeof(config_.send_buffer_bytes));
+      }
+      auto conn = std::make_unique<Connection>(config_.max_frame_bytes);
+      conn->id = next_connection_id_++;
+      conn->fd = fd;
+      if (!AddFd(fd, conn->id, EPOLLIN)) {
+        ::close(fd);
+        continue;
+      }
+      conn->registered = EPOLLIN;
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      connections_.emplace(conn->id, std::move(conn));
+    }
+  }
+
+  void OnConnectionEvent(uint64_t conn_id, uint32_t events) {
+    const auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return;
+    Connection* conn = it->second.get();
+    if (conn->dead) return;
+    if ((events & EPOLLERR) != 0) {
+      Close(conn);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) Flush(conn);
+    if ((events & (EPOLLIN | EPOLLHUP)) != 0) ReadInput(conn);
+    FinishOrUpdate(conn);
+  }
+
+  bool WantRead(const Connection* conn) const {
+    return !conn->dead && !conn->paused && !conn->closing && !conn->peer_closed &&
+           !drain_started_;
+  }
+
+  void ReadInput(Connection* conn) {
+    char buffer[64 * 1024];
+    size_t total = 0;
+    while (total < kMaxReadPerEvent && WantRead(conn)) {
+      const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        total += static_cast<size_t>(n);
+        ProcessInput(conn, buffer, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        conn->peer_closed = true;  // half-close: still flush responses
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      Close(conn);
+      return;
+    }
+  }
+
+  // Routes raw bytes by connection mode.
+  void ProcessInput(Connection* conn, const char* data, size_t size) {
+    if (conn->mode == Mode::kUnknown) {
+      conn->probe.append(data, size);
+      if (conn->probe.size() < 4) return;
+      conn->mode = LooksLikeHttp(conn->probe) ? Mode::kHttp : Mode::kBinary;
+      const std::string probe = std::move(conn->probe);
+      conn->probe.clear();
+      ProcessInput(conn, probe.data(), probe.size());
+      return;
+    }
+    if (conn->mode == Mode::kHttp) {
+      ProcessHttp(conn, data, size);
+      return;
+    }
+    conn->decoder.Append(data, size);
+    while (!conn->dead && !conn->closing) {
+      bool has_frame = false;
+      WireFrame frame;
+      const Status status = conn->decoder.Poll(&has_frame, &frame);
+      if (!status.ok()) {
+        // Corrupt stream: answer with a typed error (no frame, so no
+        // request id) and close once earlier responses have flushed.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendBytes(conn, EncodeErrorFrame(0, status));
+        conn->closing = true;
+        return;
+      }
+      if (!has_frame) return;
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      HandleFrame(conn, frame);
+    }
+  }
+
+  void HandleFrame(Connection* conn, const WireFrame& frame) {
+    switch (frame.type) {
+      case MsgType::kNwcRequest: {
+        NwcRequest request;
+        const Status status = DecodeNwcRequest(frame.body, &request);
+        if (!status.ok()) {
+          ProtocolError(conn, frame.request_id, status);
+          return;
+        }
+        const Status valid = request.query.Validate();
+        if (!valid.ok()) {
+          // Wire-valid but semantically invalid: a typed response, not a
+          // connection-fatal protocol error.
+          NwcResponse response;
+          response.status = valid;
+          responses_sent_.fetch_add(1, std::memory_order_relaxed);
+          SendBytes(conn, EncodeNwcResponseFrame(frame.request_id, response));
+          return;
+        }
+        ++conn->in_flight;
+        outstanding_.fetch_add(1, std::memory_order_acq_rel);
+        const uint64_t conn_id = conn->id;
+        const uint64_t request_id = frame.request_id;
+        service_.SubmitNwcAsync(
+            std::move(request), [this, conn_id, request_id](NwcResponse response) {
+              // Worker thread: encode here so the loop only memcpys.
+              PushCompletion(conn_id, EncodeNwcResponseFrame(request_id, response));
+            });
+        return;
+      }
+      case MsgType::kKnwcRequest: {
+        KnwcRequest request;
+        const Status status = DecodeKnwcRequest(frame.body, &request);
+        if (!status.ok()) {
+          ProtocolError(conn, frame.request_id, status);
+          return;
+        }
+        const Status valid = request.query.Validate();
+        if (!valid.ok()) {
+          KnwcResponse response;
+          response.status = valid;
+          responses_sent_.fetch_add(1, std::memory_order_relaxed);
+          SendBytes(conn, EncodeKnwcResponseFrame(frame.request_id, response));
+          return;
+        }
+        ++conn->in_flight;
+        outstanding_.fetch_add(1, std::memory_order_acq_rel);
+        const uint64_t conn_id = conn->id;
+        const uint64_t request_id = frame.request_id;
+        service_.SubmitKnwcAsync(
+            std::move(request), [this, conn_id, request_id](KnwcResponse response) {
+              PushCompletion(conn_id, EncodeKnwcResponseFrame(request_id, response));
+            });
+        return;
+      }
+      case MsgType::kNwcResponse:
+      case MsgType::kKnwcResponse:
+      case MsgType::kError:
+        ProtocolError(conn, frame.request_id,
+                      Status::InvalidArgument("wire: client sent a server-only frame type"));
+        return;
+    }
+  }
+
+  // Typed protocol error: report, then close after the backlog flushes.
+  void ProtocolError(Connection* conn, uint64_t request_id, const Status& status) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendBytes(conn, EncodeErrorFrame(request_id, status));
+    conn->closing = true;
+  }
+
+  void ProcessHttp(Connection* conn, const char* data, size_t size) {
+    conn->http_head.append(data, size);
+    if (conn->http_head.size() > kMaxHttpHead) {
+      Close(conn);
+      return;
+    }
+    const size_t end = conn->http_head.find("\r\n\r\n");
+    if (end == std::string::npos) return;
+    http_requests_.fetch_add(1, std::memory_order_relaxed);
+
+    const std::string request_line = conn->http_head.substr(0, conn->http_head.find("\r\n"));
+    std::string body;
+    std::string head;
+    if (request_line.compare(0, 13, "GET /metrics ") == 0) {
+      body = ToPrometheusText(service_.SnapshotMetrics(), service_.SnapshotLatencyHistogram());
+      head = StrFormat(
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4\r\n"
+          "Content-Length: %zu\r\n"
+          "Connection: close\r\n\r\n",
+          body.size());
+    } else {
+      body = "not found\n";
+      head = StrFormat(
+          "HTTP/1.1 404 Not Found\r\n"
+          "Content-Type: text/plain\r\n"
+          "Content-Length: %zu\r\n"
+          "Connection: close\r\n\r\n",
+          body.size());
+    }
+    SendBytes(conn, head + body);
+    conn->closing = true;
+  }
+
+  // ---- output -------------------------------------------------------------
+
+  void SendBytes(Connection* conn, std::string bytes) {
+    if (conn->dead) return;
+    if (conn->write_buf.empty()) {
+      conn->write_buf = std::move(bytes);
+      conn->write_off = 0;
+    } else {
+      conn->write_buf += bytes;
+    }
+    Flush(conn);
+  }
+
+  // Writes as much as the socket accepts; may mark the connection dead
+  // (write error — responses are undeliverable).
+  void Flush(Connection* conn) {
+    if (conn->dead) return;
+    while (conn->pending_write() > 0) {
+      const ssize_t n = ::write(conn->fd, conn->write_buf.data() + conn->write_off,
+                                conn->pending_write());
+      if (n > 0) {
+        conn->write_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      Close(conn);
+      return;
+    }
+    if (conn->write_off == conn->write_buf.size()) {
+      conn->write_buf.clear();
+      conn->write_off = 0;
+    } else if (conn->write_off > (1u << 20) && conn->write_off * 2 > conn->write_buf.size()) {
+      conn->write_buf.erase(0, conn->write_off);
+      conn->write_off = 0;
+    }
+
+    // Backpressure: a peer that stops draining responses gets its reads
+    // paused past the high watermark, resumed below the low one — other
+    // connections are untouched.
+    if (!conn->paused && conn->pending_write() >= config_.write_high_watermark) {
+      conn->paused = true;
+      backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
+    } else if (conn->paused && conn->pending_write() <= config_.write_low_watermark) {
+      conn->paused = false;
+    }
+  }
+
+  // Closes a finished connection, else refreshes its epoll interest mask.
+  void FinishOrUpdate(Connection* conn) {
+    if (conn->dead) return;
+    const bool finished = (conn->closing || drain_started_ || conn->peer_closed) &&
+                          conn->in_flight == 0 && conn->pending_write() == 0;
+    if (finished) {
+      Close(conn);
+      return;
+    }
+    uint32_t want = 0;
+    if (WantRead(conn)) want |= EPOLLIN;
+    if (conn->pending_write() > 0) want |= EPOLLOUT;
+    if (want != conn->registered) {
+      epoll_event ev{};
+      ev.events = want;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+        conn->registered = want;
+      }
+    }
+  }
+
+  // Marks the connection dead and closes its fd. The map entry (and the
+  // Connection object) survives until ReapDead() so pointers held by the
+  // current call stack stay valid — the loop is single-threaded, so the
+  // end of the iteration is a safe reclamation point.
+  void Close(Connection* conn) {
+    if (conn->dead) return;
+    conn->dead = true;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conn->fd = -1;
+    connections_closed_.fetch_add(1, std::memory_order_relaxed);
+    dead_ids_.push_back(conn->id);
+  }
+
+  void ReapDead() {
+    for (const uint64_t id : dead_ids_) connections_.erase(id);
+    dead_ids_.clear();
+  }
+
+  // ---- completions / drain ------------------------------------------------
+
+  void ProcessCompletions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      batch.swap(completions_);
+    }
+    for (Completion& completion : batch) {
+      outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      const auto it = connections_.find(completion.conn_id);
+      if (it == connections_.end() || it->second->dead) continue;  // died first
+      Connection* conn = it->second.get();
+      --conn->in_flight;
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      SendBytes(conn, std::move(completion.bytes));
+      FinishOrUpdate(conn);
+    }
+  }
+
+  void BeginDrainOnce() {
+    if (drain_started_) return;
+    drain_started_ = true;
+    // Stop accepting.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    // Stop reading every connection; close the ones already idle. Safe to
+    // iterate: FinishOrUpdate defers erasure to ReapDead().
+    for (const auto& [id, conn] : connections_) {
+      if (!conn->dead) FinishOrUpdate(conn.get());
+    }
+  }
+
+  QueryService& service_;
+  NetServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_;
+  std::mutex join_mu_;
+
+  std::atomic<bool> drain_{false};
+  bool drain_started_ = false;  // loop-thread view of drain_
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+  // Callbacks handed to the service and not yet consumed by the loop; the
+  // loop exits only at zero so no callback ever outlives the server.
+  std::atomic<uint64_t> outstanding_{0};
+
+  uint64_t next_connection_id_ = kFirstConnectionId;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  std::vector<uint64_t> dead_ids_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> backpressure_pauses_{0};
+  std::atomic<uint64_t> http_requests_{0};
+};
+
+NetServer::NetServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+NetServer::~NetServer() = default;
+
+Result<std::unique_ptr<NetServer>> NetServer::Start(QueryService& service,
+                                                    NetServerConfig config) {
+  auto impl = std::make_unique<Impl>(service, std::move(config));
+  const Status status = impl->Start();
+  if (!status.ok()) return status;
+  return std::unique_ptr<NetServer>(new NetServer(std::move(impl)));
+}
+
+uint16_t NetServer::port() const { return impl_->port(); }
+void NetServer::RequestDrain() { impl_->RequestDrain(); }
+void NetServer::Wait() { impl_->Wait(); }
+bool NetServer::draining() const { return impl_->draining(); }
+NetServer::Stats NetServer::GetStats() const { return impl_->GetStats(); }
+
+}  // namespace nwc

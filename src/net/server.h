@@ -1,0 +1,109 @@
+#ifndef NWC_NET_SERVER_H_
+#define NWC_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "service/query_service.h"
+
+namespace nwc {
+
+/// Sizing and addressing for a NetServer.
+struct NetServerConfig {
+  std::string host = "127.0.0.1";  ///< bind address (dotted quad)
+  uint16_t port = 0;               ///< 0 picks an ephemeral port (see port())
+  int listen_backlog = 128;
+  /// Cap on one frame's payload length (protocol errors past it).
+  size_t max_frame_bytes = 1u << 20;
+  /// Backpressure watermarks on the per-connection write buffer: past
+  /// `high` the server stops reading that connection (its pipelined
+  /// requests stall, others keep flowing); below `low` reading resumes.
+  size_t write_high_watermark = 1u << 22;
+  size_t write_low_watermark = 1u << 20;
+  /// When nonzero, SO_SNDBUF for accepted sockets. Pinning it disables
+  /// kernel send-buffer autotuning, which otherwise absorbs megabytes on
+  /// loopback before the userspace watermarks can engage — the
+  /// backpressure tests rely on this; production configs leave it 0.
+  int send_buffer_bytes = 0;
+
+  Status Validate() const;
+};
+
+/// A single-listener epoll TCP server in front of a QueryService.
+///
+/// One event-loop thread owns every socket (level-triggered epoll,
+/// non-blocking fds) and does no query work: decoded requests are handed
+/// to the service's worker threads via SubmitNwcAsync/SubmitKnwcAsync,
+/// and each completion re-enters the loop through an eventfd-signalled
+/// queue, already encoded. Responses are therefore pipelined in
+/// completion order and matched by request id; many in-flight queries
+/// share one connection.
+///
+/// Protocol: the binary frame format of net/wire.h. A connection whose
+/// first bytes look like an HTTP request method instead gets minimal
+/// HTTP/1.1 handling: `GET /metrics` renders the service's Prometheus
+/// exposition (Content-Type: text/plain; version=0.0.4) and closes.
+///
+/// Flow control composes two layers: the service's shed watermark fails
+/// excess requests fast with a typed Unavailable response, and the write
+/// watermarks above stop reading any connection whose peer stops
+/// draining responses — without stalling other connections.
+///
+/// Graceful drain (RequestDrain, typically wired to SIGTERM): the
+/// listener closes, already-received requests run to completion (their
+/// deadlines still apply), every response is flushed, then connections
+/// close and Wait() returns. Requests half-received when drain starts
+/// are dropped with the connection.
+///
+/// ThreadSafety: Start/Wait/RequestDrain/GetStats may be called from any
+/// thread. The QueryService must outlive the server.
+class NetServer {
+ public:
+  /// Event-loop counters (all monotonic except none — gauges live in the
+  /// service metrics). Cheap to snapshot; written only by the loop.
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t frames_received = 0;
+    uint64_t responses_sent = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t backpressure_pauses = 0;
+    uint64_t http_requests = 0;
+  };
+
+  /// Binds, listens, and starts the event loop. On success the returned
+  /// server is already accepting; port() is the bound port (useful with
+  /// port 0).
+  static Result<std::unique_ptr<NetServer>> Start(QueryService& service,
+                                                  NetServerConfig config);
+
+  /// Drains (if not already draining) and joins the event loop.
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  uint16_t port() const;
+
+  /// Begins graceful drain; idempotent, async-signal-unsafe (call from a
+  /// normal thread reacting to the signal, not the handler itself).
+  void RequestDrain();
+
+  /// Blocks until the event loop exits (drain complete). May be called
+  /// concurrently by multiple threads.
+  void Wait();
+
+  bool draining() const;
+  Stats GetStats() const;
+
+ private:
+  class Impl;
+  explicit NetServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_NET_SERVER_H_

@@ -1,0 +1,125 @@
+#ifndef NWC_NET_WIRE_H_
+#define NWC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "service/query_service.h"
+
+namespace nwc {
+
+/// The nwc binary wire protocol.
+///
+/// One frame on the wire is
+///
+///     u32  payload_length   (little-endian; bytes after this field)
+///     u8   message type     (MsgType)
+///     u64  request id       (caller-chosen; echoed on the response)
+///     ...  body             (type-specific, see the codec functions)
+///
+/// so payload_length == 9 + body size. Integers are little-endian;
+/// doubles travel as their IEEE-754 bit pattern in a u64. The request id
+/// makes responses order-free: a client may pipeline any number of
+/// requests on one connection and match responses by id (the server
+/// answers in completion order, not submission order).
+///
+/// Malformed input never crashes a decoder: a frame whose length field
+/// exceeds the decoder's cap fails with OutOfRange, and every other
+/// corruption (short length, unknown type, truncated or oversized body,
+/// trailing body bytes, out-of-range enum values) fails with
+/// InvalidArgument. Servers answer a malformed frame with a kError frame
+/// and close the connection.
+
+/// Frame type tags. Values are wire format — never renumber.
+enum class MsgType : uint8_t {
+  kNwcRequest = 1,
+  kKnwcRequest = 2,
+  kNwcResponse = 3,
+  kKnwcResponse = 4,
+  /// Protocol-level failure (undecodable frame, draining server). The
+  /// body is a Status; request id 0 means "no frame could be attributed".
+  kError = 5,
+};
+
+/// True when `value` is one of the MsgType enumerators.
+bool IsValidMsgType(uint8_t value);
+
+/// Smallest legal payload (type byte + request id).
+inline constexpr size_t kFrameHeaderBytes = 9;
+
+/// One decoded frame: the type, the request id, and the raw body bytes
+/// (pass to the matching Decode* function).
+struct WireFrame {
+  MsgType type = MsgType::kError;
+  uint64_t request_id = 0;
+  std::string body;
+};
+
+/// Appends a complete frame (length prefix included) to `out`.
+void AppendFrame(std::string* out, MsgType type, uint64_t request_id, std::string_view body);
+
+/// Body codecs. Encoders append the body bytes to `*out` (pair with
+/// AppendFrame). Decoders parse exactly the whole body and fail with
+/// InvalidArgument on truncation, trailing bytes, or out-of-range enum
+/// values.
+void EncodeNwcRequest(const NwcRequest& request, std::string* out);
+Status DecodeNwcRequest(std::string_view body, NwcRequest* out);
+void EncodeKnwcRequest(const KnwcRequest& request, std::string* out);
+Status DecodeKnwcRequest(std::string_view body, KnwcRequest* out);
+void EncodeNwcResponse(const NwcResponse& response, std::string* out);
+Status DecodeNwcResponse(std::string_view body, NwcResponse* out);
+void EncodeKnwcResponse(const KnwcResponse& response, std::string* out);
+Status DecodeKnwcResponse(std::string_view body, KnwcResponse* out);
+/// kError bodies carry a bare Status.
+void EncodeStatusBody(const Status& status, std::string* out);
+Status DecodeStatusBody(std::string_view body, Status* out);
+
+/// Convenience: one fully framed request/response in a fresh string.
+std::string EncodeNwcRequestFrame(uint64_t request_id, const NwcRequest& request);
+std::string EncodeKnwcRequestFrame(uint64_t request_id, const KnwcRequest& request);
+std::string EncodeNwcResponseFrame(uint64_t request_id, const NwcResponse& response);
+std::string EncodeKnwcResponseFrame(uint64_t request_id, const KnwcResponse& response);
+std::string EncodeErrorFrame(uint64_t request_id, const Status& status);
+
+/// Incremental frame extractor: feed arbitrary byte chunks with Append()
+/// and pull complete frames with Poll(). The decoder validates the frame
+/// envelope (length bounds, type tag); body decoding is the caller's step
+/// so a server can answer an undecodable body with a typed error carrying
+/// the frame's request id.
+///
+/// After Poll() returns an error the decoder is poisoned: the stream has
+/// no trustworthy resynchronization point, so every later Poll() repeats
+/// the error and the connection must be closed.
+///
+/// ThreadSafety: none (one decoder per connection, owned by its thread).
+class FrameDecoder {
+ public:
+  /// `max_frame_bytes` caps the *payload* length field; a frame
+  /// announcing more fails with OutOfRange before any body byte arrives,
+  /// so a corrupt length can never make the decoder buffer gigabytes.
+  explicit FrameDecoder(size_t max_frame_bytes);
+
+  /// Buffers `size` bytes of stream input.
+  void Append(const void* data, size_t size);
+
+  /// Extracts the next complete frame into `*out` and returns OK with
+  /// `*has_frame` = true; returns OK with `*has_frame` = false when more
+  /// input is needed; returns the protocol error otherwise.
+  Status Poll(bool* has_frame, WireFrame* out);
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;   // prefix of buffer_ already handed out
+  Status poisoned_;       // first protocol error, sticky
+};
+
+}  // namespace nwc
+
+#endif  // NWC_NET_WIRE_H_

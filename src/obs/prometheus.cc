@@ -17,6 +17,20 @@ void Gauge(std::string& out, const char* name, const char* help, double value) {
 
 }  // namespace
 
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHistogram& latency) {
   std::string out;
   Counter(out, "nwc_queries_total", "Completed queries (ok or failed).", snapshot.queries);
@@ -40,9 +54,13 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHisto
   out +=
       "# HELP nwc_node_reads_total R*-tree node reads by query phase.\n"
       "# TYPE nwc_node_reads_total counter\n";
-  out += StrFormat("nwc_node_reads_total{phase=\"traversal\"} %llu\n",
+  // The phase names are constants today, but routing them through the
+  // escaper keeps the exposition well-formed if they ever stop being so.
+  out += StrFormat("nwc_node_reads_total{phase=\"%s\"} %llu\n",
+                   PromEscapeLabelValue("traversal").c_str(),
                    static_cast<unsigned long long>(snapshot.traversal_reads));
-  out += StrFormat("nwc_node_reads_total{phase=\"window_query\"} %llu\n",
+  out += StrFormat("nwc_node_reads_total{phase=\"%s\"} %llu\n",
+                   PromEscapeLabelValue("window_query").c_str(),
                    static_cast<unsigned long long>(snapshot.window_query_reads));
   Counter(out, "nwc_cache_hits_total", "Node accesses absorbed by per-worker buffer pools.",
           snapshot.cache_hits);

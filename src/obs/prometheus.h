@@ -20,6 +20,13 @@ namespace nwc {
 /// LatencySnapshot()) for the aggregate series and the histogram to agree.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHistogram& latency);
 
+/// Escapes a string for use inside a Prometheus label value (the part
+/// between the quotes of `name{label="..."}`): backslash, double quote,
+/// and newline become \\, \" and \n per the exposition format. Applied to
+/// every label value the exporter emits; exposed for tests and for
+/// callers composing their own series.
+std::string PromEscapeLabelValue(const std::string& value);
+
 }  // namespace nwc
 
 #endif  // NWC_OBS_PROMETHEUS_H_

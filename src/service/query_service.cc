@@ -192,10 +192,9 @@ void CacheInsert(ResultCache& cache, const KnwcQuery& query, const NwcOptions& o
 
 }  // namespace
 
-template <typename Response, typename Query>
+template <typename Response, typename Query, typename Done>
 void QueryService::Execute(size_t worker_index, const Query& query, const NwcOptions& options,
-                           const RequestTiming& timing, std::promise<Response> promise,
-                           WindowQueryMemo* memo) {
+                           const RequestTiming& timing, Done done, WindowQueryMemo* memo) {
   // Dequeue-time queue-depth observation: the submit-side sample alone
   // under-reports bursts, because submitters that would see the peak are
   // the ones blocked on the full queue.
@@ -319,7 +318,7 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
                                 static_cast<unsigned long long>(response.latency_micros)));
       slow_traces_->Add(std::move(trace));
     }
-    promise.set_value(std::move(response));
+    done(std::move(response));
     return;
   }
 }
@@ -332,6 +331,12 @@ Response FailedResponse(Status status) {
   Response response;
   response.status = std::move(status);
   return response;
+}
+
+/// Adapts a shared promise into Execute's completion callable.
+template <typename Response>
+auto FulfillPromise(std::shared_ptr<std::promise<Response>> promise) {
+  return [promise](Response response) { promise->set_value(std::move(response)); };
 }
 
 }  // namespace
@@ -357,7 +362,7 @@ std::future<NwcResponse> QueryService::SubmitNwc(NwcRequest request) {
   metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
   const bool accepted = pool_.Submit(
       [this, query = request.query, options, timing, promise](size_t worker) mutable {
-        Execute<NwcResponse>(worker, query, options, timing, std::move(*promise));
+        Execute<NwcResponse>(worker, query, options, timing, FulfillPromise(promise));
       });
   if (!accepted) {
     promise->set_value(FailedResponse<NwcResponse>(
@@ -385,7 +390,7 @@ std::future<KnwcResponse> QueryService::SubmitKnwc(KnwcRequest request) {
   metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
   const bool accepted = pool_.Submit(
       [this, query = request.query, options, timing, promise](size_t worker) mutable {
-        Execute<KnwcResponse>(worker, query, options, timing, std::move(*promise));
+        Execute<KnwcResponse>(worker, query, options, timing, FulfillPromise(promise));
       });
   if (!accepted) {
     promise->set_value(FailedResponse<KnwcResponse>(
@@ -407,7 +412,7 @@ bool QueryService::TrySubmitNwc(NwcRequest request, std::future<NwcResponse>* ou
   const RequestTiming timing = MakeTiming(request.deadline_micros);
   const bool accepted = pool_.TrySubmit(
       [this, query = request.query, options, timing, promise](size_t worker) mutable {
-        Execute<NwcResponse>(worker, query, options, timing, std::move(*promise));
+        Execute<NwcResponse>(worker, query, options, timing, FulfillPromise(promise));
       });
   if (!accepted) {
     metrics_.RecordRejection();
@@ -431,7 +436,7 @@ bool QueryService::TrySubmitKnwc(KnwcRequest request, std::future<KnwcResponse>*
   const RequestTiming timing = MakeTiming(request.deadline_micros);
   const bool accepted = pool_.TrySubmit(
       [this, query = request.query, options, timing, promise](size_t worker) mutable {
-        Execute<KnwcResponse>(worker, query, options, timing, std::move(*promise));
+        Execute<KnwcResponse>(worker, query, options, timing, FulfillPromise(promise));
       });
   if (!accepted) {
     metrics_.RecordRejection();
@@ -440,6 +445,66 @@ bool QueryService::TrySubmitKnwc(KnwcRequest request, std::future<KnwcResponse>*
   metrics_.RecordQueueDepth(pool_.QueueDepth());
   *out = std::move(future);
   return true;
+}
+
+void QueryService::SubmitNwcAsync(NwcRequest request, std::function<void(NwcResponse)> done) {
+  NwcOptions options;
+  const Status status = CheckRequest(request.options, &options);
+  if (!status.ok()) {
+    done(FailedResponse<NwcResponse>(status));
+    return;
+  }
+  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
+    metrics_.RecordShed();
+    done(FailedResponse<NwcResponse>(
+        Status::Unavailable("request shed: queue past the shed watermark")));
+    return;
+  }
+  const RequestTiming timing = MakeTiming(request.deadline_micros);
+  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
+  // shared_ptr keeps the (possibly move-only-state) callback alive for the
+  // copyable ThreadPool::Job and for the rejection path below.
+  auto shared_done = std::make_shared<std::function<void(NwcResponse)>>(std::move(done));
+  const bool accepted = pool_.Submit(
+      [this, query = request.query, options, timing, shared_done](size_t worker) {
+        Execute<NwcResponse>(worker, query, options, timing,
+                             [&shared_done](NwcResponse response) {
+                               (*shared_done)(std::move(response));
+                             });
+      });
+  if (!accepted) {
+    (*shared_done)(
+        FailedResponse<NwcResponse>(Status::FailedPrecondition("query service is shut down")));
+  }
+}
+
+void QueryService::SubmitKnwcAsync(KnwcRequest request, std::function<void(KnwcResponse)> done) {
+  NwcOptions options;
+  const Status status = CheckRequest(request.options, &options);
+  if (!status.ok()) {
+    done(FailedResponse<KnwcResponse>(status));
+    return;
+  }
+  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
+    metrics_.RecordShed();
+    done(FailedResponse<KnwcResponse>(
+        Status::Unavailable("request shed: queue past the shed watermark")));
+    return;
+  }
+  const RequestTiming timing = MakeTiming(request.deadline_micros);
+  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
+  auto shared_done = std::make_shared<std::function<void(KnwcResponse)>>(std::move(done));
+  const bool accepted = pool_.Submit(
+      [this, query = request.query, options, timing, shared_done](size_t worker) {
+        Execute<KnwcResponse>(worker, query, options, timing,
+                              [&shared_done](KnwcResponse response) {
+                                (*shared_done)(std::move(response));
+                              });
+      });
+  if (!accepted) {
+    (*shared_done)(
+        FailedResponse<KnwcResponse>(Status::FailedPrecondition("query service is shut down")));
+  }
 }
 
 std::vector<NwcResponse> QueryService::RunNwcBatch(const std::vector<NwcRequest>& requests) {
@@ -530,8 +595,12 @@ std::vector<std::future<Response>> QueryService::SubmitBatchImpl(
           WindowQueryMemo memo(config_.window_memo_entries);
           WindowQueryMemo* memo_ptr = config_.window_memo_entries > 0 ? &memo : nullptr;
           for (const size_t i : indices) {
-            Execute<Response>(worker, state->queries[i], state->options[i], state->timings[i],
-                              std::move(state->promises[i]), memo_ptr);
+            Execute<Response>(
+                worker, state->queries[i], state->options[i], state->timings[i],
+                [&state, i](Response response) {
+                  state->promises[i].set_value(std::move(response));
+                },
+                memo_ptr);
           }
           metrics_.RecordWindowMemoHits(memo.hits());
         });

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -236,6 +237,20 @@ class QueryService {
   bool TrySubmitNwc(NwcRequest request, std::future<NwcResponse>* out);
   bool TrySubmitKnwc(KnwcRequest request, std::future<KnwcResponse>* out);
 
+  /// Callback-based submit for event-loop callers (the network layer):
+  /// `done` is invoked exactly once with the response — on a worker thread
+  /// on the normal path, or synchronously inside this call when the
+  /// request is invalid, shed past the watermark, or the service is shut
+  /// down. Shed/shutdown outcomes arrive as typed Unavailable /
+  /// FailedPrecondition response statuses, same as SubmitNwc. `done` must
+  /// tolerate being called from any of those contexts.
+  void SubmitNwcAsync(NwcRequest request, std::function<void(NwcResponse)> done);
+  void SubmitKnwcAsync(KnwcRequest request, std::function<void(KnwcResponse)> done);
+
+  /// Jobs queued but not yet picked up by a worker (approximate — for
+  /// monitoring and external admission control).
+  size_t QueueDepth() const { return pool_.QueueDepth(); }
+
   /// Convenience: submits every request (blocking on backpressure) and
   /// waits for all responses, returned in request order.
   std::vector<NwcResponse> RunNwcBatch(const std::vector<NwcRequest>& requests);
@@ -321,11 +336,12 @@ class QueryService {
   /// an expired request is never served from cache), executes on a miss —
   /// retrying transient I/O faults per the config — and fills the response
   /// fields common to both query kinds. Only OK responses populate the
-  /// cache. `memo` (batch path) shares window walks within a group.
-  template <typename Response, typename Query>
+  /// cache. `done` receives the finished response exactly once (promise
+  /// fulfilment or the network layer's completion callback). `memo`
+  /// (batch path) shares window walks within a group.
+  template <typename Response, typename Query, typename Done>
   void Execute(size_t worker_index, const Query& query, const NwcOptions& options,
-               const RequestTiming& timing, std::promise<Response> promise,
-               WindowQueryMemo* memo = nullptr);
+               const RequestTiming& timing, Done done, WindowQueryMemo* memo = nullptr);
 
   /// Shared implementation of SubmitNwcBatch/SubmitKnwcBatch.
   template <typename Response, typename Request>

@@ -1,0 +1,83 @@
+#include "service/workload.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+
+namespace nwc {
+
+Result<std::vector<WorkloadEntry>> LoadWorkloadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open query file " + path);
+  std::vector<WorkloadEntry> entries;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    WorkloadEntry entry;
+    double x, y, l, w;
+    unsigned long n, k, m;
+    int consumed = 0;
+    const char* text = line.c_str() + start;
+    if (std::sscanf(text, "nwc %lf %lf %lf %lf %lu%n", &x, &y, &l, &w, &n, &consumed) == 5) {
+      entry.nwc = NwcQuery{Point{x, y}, l, w, n};
+    } else if (std::sscanf(text, "knwc %lf %lf %lf %lf %lu %lu %lu%n", &x, &y, &l, &w, &n, &k, &m,
+                           &consumed) == 7) {
+      entry.is_knwc = true;
+      entry.knwc = KnwcQuery{NwcQuery{Point{x, y}, l, w, n}, k, m};
+    } else {
+      return Status::InvalidArgument("query file " + path + " line " +
+                                     std::to_string(line_no) +
+                                     ": expected 'nwc X Y L W N' or 'knwc X Y L W N K M'");
+    }
+    // Reject trailing junk: 'nwc X Y L W N K M' would otherwise silently
+    // drop K and M, serving a different query than the user wrote.
+    const std::string rest(text + consumed);
+    if (rest.find_first_not_of(" \t\r") != std::string::npos) {
+      return Status::InvalidArgument("query file " + path + " line " +
+                                     std::to_string(line_no) + ": unexpected trailing '" +
+                                     rest.substr(rest.find_first_not_of(" \t\r")) + "'");
+    }
+    entries.push_back(entry);
+  }
+  if (entries.empty()) return Status::InvalidArgument("query file " + path + " holds no queries");
+  return entries;
+}
+
+std::vector<WorkloadEntry> MakeSkewedWorkload(size_t count, uint64_t seed, const Rect& space) {
+  Rng rng(seed);
+  const double span_x = space.max_x - space.min_x;
+  const double span_y = space.max_y - space.min_y;
+  // Hotspot: the central 20% of each axis draws 80% of the traffic.
+  const double hot_min_x = space.min_x + 0.4 * span_x;
+  const double hot_min_y = space.min_y + 0.4 * span_y;
+  const double window = 0.01 * (span_x < span_y ? span_y : span_x);
+
+  std::vector<WorkloadEntry> entries;
+  entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Point q;
+    if (rng.NextBernoulli(0.8)) {
+      q = Point{rng.NextDouble(hot_min_x, hot_min_x + 0.2 * span_x),
+                rng.NextDouble(hot_min_y, hot_min_y + 0.2 * span_y)};
+    } else {
+      q = Point{rng.NextDouble(space.min_x, space.max_x),
+                rng.NextDouble(space.min_y, space.max_y)};
+    }
+    WorkloadEntry entry;
+    const NwcQuery base{q, window, window, 4};
+    if (i % 8 == 7) {
+      entry.is_knwc = true;
+      entry.knwc = KnwcQuery{base, 3, 2};
+    } else {
+      entry.nwc = base;
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+}  // namespace nwc

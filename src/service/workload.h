@@ -1,0 +1,41 @@
+#ifndef NWC_SERVICE_WORKLOAD_H_
+#define NWC_SERVICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/nwc_types.h"
+#include "geometry/rect.h"
+
+namespace nwc {
+
+/// One parsed query of a workload: either an NWC or a kNWC query.
+/// Exactly the member matching `is_knwc` is meaningful.
+struct WorkloadEntry {
+  bool is_knwc = false;
+  NwcQuery nwc;
+  KnwcQuery knwc;
+};
+
+/// Parses a workload file: one query per line — `nwc X Y L W N` or
+/// `knwc X Y L W N K M` — with '#' comments and blank lines skipped.
+/// Trailing junk on a line is an error (a typo'd line must not silently
+/// serve a different query than the user wrote). Fails on an empty file.
+///
+/// Shared by `nwc_tool serve-batch` (file replay) and `nwc_load` (network
+/// load generation), so the same file drives both paths.
+Result<std::vector<WorkloadEntry>> LoadWorkloadFile(const std::string& path);
+
+/// Synthesizes a deterministic skewed workload over `space`: 80% of the
+/// queries aim at a hotspot covering 20% of each axis (the classic 80/20
+/// rule), the rest are uniform; every eighth entry is a kNWC query. Window
+/// extents are sized relative to the space so queries are selective but
+/// non-trivial. The same (count, seed, space) always yields the same
+/// workload.
+std::vector<WorkloadEntry> MakeSkewedWorkload(size_t count, uint64_t seed, const Rect& space);
+
+}  // namespace nwc
+
+#endif  // NWC_SERVICE_WORKLOAD_H_

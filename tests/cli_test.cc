@@ -2,6 +2,8 @@
 // -> query -> knwc -> trace -> serve-batch exports, plus the error paths.
 // The binary path is injected by CMake as NWC_TOOL_PATH.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,7 +39,10 @@ CommandResult RunTool(const std::string& args) {
 }
 
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  // Pid-qualified: gtest_discover_tests runs every test in its own
+  // process, so under a parallel ctest two processes would otherwise
+  // regenerate and read the same fixture files concurrently.
+  return std::string(::testing::TempDir()) + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 std::string ReadFile(const std::string& path) {

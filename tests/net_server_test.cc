@@ -1,0 +1,404 @@
+// NetServer end-to-end tests over loopback TCP: the differential
+// guarantee (responses through the server are bit-exact against direct
+// QueryService submission, every preset, NWC + kNWC, error outcomes
+// included), typed protocol errors for malformed frames, graceful drain
+// with pipelined requests in flight, and per-connection backpressure that
+// leaves other connections untouched.
+
+#include "net/server.h"
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "rtree/bulk_load.h"
+#include "service/query_service.h"
+
+namespace nwc {
+namespace {
+
+constexpr uint64_t kSeed = 20160315;
+
+Session OpenTestSession(size_t cardinality = 4000) {
+  Dataset dataset = MakeCaLike(kSeed, cardinality);
+  SessionConfig config;
+  config.grid_space = dataset.space;
+  Result<Session> session =
+      Session::Open(BulkLoadStr(dataset.objects, RTreeOptions{}), config);
+  EXPECT_TRUE(session.ok()) << session.status();
+  return std::move(session).value();
+}
+
+std::unique_ptr<NetServer> StartServer(QueryService& service,
+                                       NetServerConfig config = NetServerConfig()) {
+  Result<std::unique_ptr<NetServer>> server = NetServer::Start(service, std::move(config));
+  EXPECT_TRUE(server.ok()) << server.status();
+  return std::move(server).value();
+}
+
+NetClient ConnectTo(const NetServer& server) {
+  Result<NetClient> client = NetClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status();
+  return std::move(client).value();
+}
+
+void ExpectSameNwc(const NwcResponse& got, const NwcResponse& want, size_t index) {
+  EXPECT_EQ(got.status.code(), want.status.code()) << "request " << index;
+  EXPECT_EQ(got.result.found, want.result.found) << "request " << index;
+  EXPECT_EQ(got.result.distance, want.result.distance) << "request " << index;
+  EXPECT_EQ(got.result.objects, want.result.objects) << "request " << index;
+}
+
+void ExpectSameKnwc(const KnwcResponse& got, const KnwcResponse& want, size_t index) {
+  EXPECT_EQ(got.status.code(), want.status.code()) << "request " << index;
+  ASSERT_EQ(got.result.groups.size(), want.result.groups.size()) << "request " << index;
+  for (size_t g = 0; g < want.result.groups.size(); ++g) {
+    EXPECT_EQ(got.result.groups[g].distance, want.result.groups[g].distance)
+        << "request " << index << " group " << g;
+    EXPECT_EQ(got.result.groups[g].objects, want.result.groups[g].objects)
+        << "request " << index << " group " << g;
+  }
+}
+
+// The acceptance differential: one pipelined connection carries a seeded
+// request stream across all four presets and both query kinds; every
+// response must be bit-exact against direct in-process submission of the
+// same request to the same service.
+TEST(NetServer, DifferentialAgainstDirectSubmission) {
+  const Session session = OpenTestSession();
+  ServiceConfig config;
+  config.num_threads = 4;
+  QueryService service(session, config);
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  const NwcOptions presets[] = {NwcOptions::Plain(), NwcOptions::Plus(), NwcOptions::Star(),
+                                NwcOptions::Dep()};
+  Rng rng(kSeed ^ 0xD1F);
+  std::vector<NwcRequest> nwc_requests;
+  std::vector<KnwcRequest> knwc_requests;
+  for (size_t i = 0; i < 48; ++i) {
+    NwcOptions options = presets[i % std::size(presets)];
+    options.measure = static_cast<DistanceMeasure>(i % 4);
+    NwcQuery base{Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)},
+                  rng.NextDouble(80, 400), rng.NextDouble(80, 400), 3 + rng.NextUint64(8)};
+    if (i % 2 == 0) {
+      nwc_requests.push_back(NwcRequest{base, options, 0});
+    } else {
+      knwc_requests.push_back(
+          KnwcRequest{KnwcQuery{base, 2 + rng.NextUint64(3), rng.NextUint64(base.n - 1)},
+                      options, 0});
+    }
+  }
+
+  // Pipeline everything: NWC requests get even ids, kNWC odd.
+  for (size_t i = 0; i < nwc_requests.size(); ++i) {
+    ASSERT_TRUE(client.SendNwc(2 * i, nwc_requests[i]).ok());
+  }
+  for (size_t i = 0; i < knwc_requests.size(); ++i) {
+    ASSERT_TRUE(client.SendKnwc(2 * i + 1, knwc_requests[i]).ok());
+  }
+
+  std::map<uint64_t, NwcResponse> nwc_replies;
+  std::map<uint64_t, KnwcResponse> knwc_replies;
+  for (size_t i = 0; i < nwc_requests.size() + knwc_requests.size(); ++i) {
+    NetReply reply;
+    ASSERT_TRUE(client.Receive(&reply).ok());
+    if (reply.type == MsgType::kNwcResponse) {
+      nwc_replies[reply.request_id] = reply.nwc;
+    } else {
+      ASSERT_EQ(reply.type, MsgType::kKnwcResponse);
+      knwc_replies[reply.request_id] = reply.knwc;
+    }
+  }
+  ASSERT_EQ(nwc_replies.size(), nwc_requests.size());
+  ASSERT_EQ(knwc_replies.size(), knwc_requests.size());
+
+  for (size_t i = 0; i < nwc_requests.size(); ++i) {
+    const NwcResponse direct = service.SubmitNwc(nwc_requests[i]).get();
+    ExpectSameNwc(nwc_replies[2 * i], direct, i);
+  }
+  for (size_t i = 0; i < knwc_requests.size(); ++i) {
+    const KnwcResponse direct = service.SubmitKnwc(knwc_requests[i]).get();
+    ExpectSameKnwc(knwc_replies[2 * i + 1], direct, i);
+  }
+}
+
+TEST(NetServer, DeadlineExceededArrivesAsTypedResponse) {
+  const Session session = OpenTestSession();
+  QueryService service(session, ServiceConfig{});
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 200, 200, 4};
+  request.deadline_micros = 1;  // expires before any worker can pick it up
+  ASSERT_TRUE(client.SendNwc(1, request).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+  EXPECT_EQ(reply.nwc.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(NetServer, ShedRequestsArriveAsTypedUnavailable) {
+  const Session session = OpenTestSession();
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.queue_capacity = 256;
+  config.shed_queue_depth = 1;  // anything behind one queued job sheds
+  // Slow every query down (~2ms of injected read latency) so the single
+  // worker provably cannot drain the queue between the event loop's
+  // back-to-back submits, even on a loaded single-core machine.
+  config.fault_plan = FaultPlan::LatencySpike(1, 500);
+  QueryService service(session, config);
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  const size_t kBurst = 64;
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 300, 300, 6};
+  for (size_t i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.SendNwc(i, request).ok());
+  }
+  size_t ok = 0;
+  size_t shed = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    NetReply reply;
+    ASSERT_TRUE(client.Receive(&reply).ok());
+    ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+    if (reply.nwc.status.code() == StatusCode::kUnavailable) {
+      ++shed;
+    } else {
+      EXPECT_EQ(reply.nwc.status.code(), StatusCode::kOk);
+      ++ok;
+    }
+  }
+  // Every request is answered; past the watermark most of the burst sheds.
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(ok, 0u);
+}
+
+TEST(NetServer, CorruptStreamYieldsTypedErrorAndClose) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{});
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  // A frame with an unknown type tag: kError (request id 0 — the stream
+  // has no attributable frame), then connection close.
+  std::string bogus("\x09\x00\x00\x00", 4);
+  bogus += static_cast<char>(42);
+  bogus += std::string(8, '\0');
+  ASSERT_TRUE(client.SendRaw(bogus).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  EXPECT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(reply.request_id, 0u);
+  EXPECT_EQ(reply.error.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Receive(&reply).code(), StatusCode::kUnavailable);  // EOF
+}
+
+TEST(NetServer, OversizedFrameYieldsTypedErrorAndClose) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{});
+  NetServerConfig net_config;
+  net_config.max_frame_bytes = 4096;
+  const auto server = StartServer(service, net_config);
+  NetClient client = ConnectTo(*server);
+
+  const uint32_t huge = 1u << 20;
+  std::string bogus(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  bogus += std::string(16, '\x01');
+  ASSERT_TRUE(client.SendRaw(bogus).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  EXPECT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(reply.error.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(client.Receive(&reply).code(), StatusCode::kUnavailable);
+}
+
+TEST(NetServer, UndecodableBodyCarriesTheFrameRequestId) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{});
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  // Valid envelope (type kNwcRequest, id 77) with a truncated body.
+  std::string frame;
+  AppendFrame(&frame, MsgType::kNwcRequest, 77, "short");
+  ASSERT_TRUE(client.SendRaw(frame).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  EXPECT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(reply.request_id, 77u);
+  EXPECT_EQ(reply.error.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Receive(&reply).code(), StatusCode::kUnavailable);
+}
+
+TEST(NetServer, InvalidQueryKeepsTheConnectionOpen) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{});
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  NwcRequest bad;
+  bad.query = NwcQuery{Point{0, 0}, 100, 100, 0};  // n == 0 is invalid
+  ASSERT_TRUE(client.SendNwc(5, bad).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+  EXPECT_EQ(reply.request_id, 5u);
+  EXPECT_EQ(reply.nwc.status.code(), StatusCode::kInvalidArgument);
+
+  // Wire-valid input never costs the connection: the next request works.
+  NwcRequest good;
+  good.query = NwcQuery{Point{5000, 5000}, 300, 300, 4};
+  ASSERT_TRUE(client.SendNwc(6, good).ok());
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+  EXPECT_EQ(reply.request_id, 6u);
+  EXPECT_EQ(reply.nwc.status.code(), StatusCode::kOk);
+}
+
+// Graceful drain: every request the server has received is answered
+// before connections close; the client sees all responses, then EOF.
+TEST(NetServer, DrainFlushesEveryOutstandingResponse) {
+  const Session session = OpenTestSession();
+  ServiceConfig config;
+  config.num_threads = 2;
+  QueryService service(session, config);
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  const size_t kInFlight = 32;
+  Rng rng(kSeed ^ 0xD8);
+  for (size_t i = 0; i < kInFlight; ++i) {
+    NwcRequest request;
+    request.query = NwcQuery{Point{rng.NextDouble(0, 10000), rng.NextDouble(0, 10000)}, 250,
+                             250, 4};
+    ASSERT_TRUE(client.SendNwc(i, request).ok());
+  }
+  // Wait until the event loop has decoded the full pipeline, so the drain
+  // below provably starts with 32 requests in flight server-side.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server->GetStats().frames_received < kInFlight) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "server never saw the pipeline";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server->RequestDrain();
+
+  std::vector<bool> seen(kInFlight, false);
+  for (size_t i = 0; i < kInFlight; ++i) {
+    NetReply reply;
+    ASSERT_TRUE(client.Receive(&reply).ok()) << "response " << i;
+    ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+    ASSERT_LT(reply.request_id, kInFlight);
+    EXPECT_FALSE(seen[reply.request_id]);
+    seen[reply.request_id] = true;
+    EXPECT_EQ(reply.nwc.status.code(), StatusCode::kOk);
+  }
+  NetReply reply;
+  EXPECT_EQ(client.Receive(&reply).code(), StatusCode::kUnavailable);  // clean EOF
+  server->Wait();  // loop exits: drain is complete
+}
+
+TEST(NetServer, HalfCloseStillFlushesResponses) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{});
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 300, 300, 4};
+  ASSERT_TRUE(client.SendNwc(9, request).ok());
+  client.CloseWrite();  // FIN: no more requests, but the response must come
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+  EXPECT_EQ(reply.request_id, 9u);
+  EXPECT_EQ(client.Receive(&reply).code(), StatusCode::kUnavailable);
+}
+
+// A peer that stops draining its responses hits the write watermark and
+// gets its reads paused — while a second connection keeps being served.
+TEST(NetServer, BackpressuredPeerDoesNotStallOthers) {
+  const Session session = OpenTestSession(20000);
+  ServiceConfig config;
+  config.num_threads = 2;
+  QueryService service(session, config);
+  NetServerConfig net_config;
+  net_config.write_high_watermark = 16 * 1024;
+  net_config.write_low_watermark = 4 * 1024;
+  // Pin the kernel buffers tiny on both sides: loopback autotuning would
+  // otherwise absorb megabytes before the userspace watermark engages.
+  net_config.send_buffer_bytes = 4 * 1024;
+  const auto server = StartServer(service, net_config);
+
+  Result<NetClient> stalled_client = NetClient::Connect("127.0.0.1", server->port(), 4 * 1024);
+  ASSERT_TRUE(stalled_client.ok()) << stalled_client.status();
+  NetClient stalled = std::move(stalled_client).value();
+  NetClient healthy = ConnectTo(*server);
+
+  // Big responses: n = 400 objects each (~9.6 KB on the wire), and the
+  // stalled client refuses to read any of them.
+  const size_t kBurst = 96;
+  NwcRequest big;
+  big.query = NwcQuery{Point{5000, 5000}, 4000, 4000, 400};
+  for (size_t i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(stalled.SendNwc(i, big).ok());
+  }
+
+  // The healthy connection must keep round-tripping while the stalled
+  // one's backlog grows past the watermark.
+  NwcRequest small;
+  small.query = NwcQuery{Point{5000, 5000}, 300, 300, 4};
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  uint64_t pauses = 0;
+  while (pauses == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "backpressure never engaged";
+    NetReply reply;
+    ASSERT_TRUE(healthy.SendNwc(1000, small).ok());
+    ASSERT_TRUE(healthy.Receive(&reply).ok());
+    ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+    EXPECT_EQ(reply.nwc.status.code(), StatusCode::kOk);
+    pauses = server->GetStats().backpressure_pauses;
+  }
+
+  // Once the stalled peer drains, every pipelined response arrives.
+  std::vector<bool> seen(kBurst, false);
+  for (size_t i = 0; i < kBurst; ++i) {
+    NetReply reply;
+    ASSERT_TRUE(stalled.Receive(&reply).ok()) << "response " << i;
+    ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+    ASSERT_LT(reply.request_id, kBurst);
+    EXPECT_FALSE(seen[reply.request_id]);
+    seen[reply.request_id] = true;
+  }
+}
+
+TEST(NetServer, StartRejectsBadConfig) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{});
+  NetServerConfig net_config;
+  net_config.write_low_watermark = 1u << 30;  // low > high
+  Result<std::unique_ptr<NetServer>> server = NetServer::Start(service, net_config);
+  EXPECT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+
+  net_config = NetServerConfig();
+  net_config.host = "not-an-address";
+  server = NetServer::Start(service, net_config);
+  EXPECT_FALSE(server.ok());
+}
+
+}  // namespace
+}  // namespace nwc

@@ -1,0 +1,357 @@
+// Wire-protocol codec tests: roundtrips for every frame type, envelope
+// validation in FrameDecoder (truncation, oversize, unknown types,
+// poisoning), and a deterministic fuzz pass replaying mutated byte
+// streams — a corrupt stream must always yield a typed error, never a
+// crash or an invented frame.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace nwc {
+namespace {
+
+NwcRequest MakeNwcRequest() {
+  NwcRequest request;
+  request.query = NwcQuery{Point{12.5, -3.25}, 64.0, 32.0, 8};
+  request.options = NwcOptions::Plus();
+  request.options->measure = DistanceMeasure::kAvg;
+  request.deadline_micros = 1234567;
+  return request;
+}
+
+KnwcRequest MakeKnwcRequest() {
+  KnwcRequest request;
+  request.query = KnwcQuery{NwcQuery{Point{0.0, 9000.5}, 128.0, 128.0, 4}, 5, 3};
+  request.deadline_micros = 0;  // options absent, deadline unset
+  return request;
+}
+
+NwcResponse MakeNwcResponse() {
+  NwcResponse response;
+  response.status = Status::Ok();
+  response.result.found = true;
+  response.result.distance = 41.375;
+  response.result.objects = {DataObject{7, Point{1.5, 2.5}}, DataObject{9, Point{-4.0, 0.125}}};
+  response.latency_micros = 987;
+  response.traversal_reads = 12;
+  response.window_query_reads = 34;
+  response.cache_hits = 5;
+  response.result_cache_hit = true;
+  return response;
+}
+
+KnwcResponse MakeKnwcResponse() {
+  KnwcResponse response;
+  response.status = Status::Ok();
+  NwcGroup first;
+  first.distance = 10.5;
+  first.objects = {DataObject{1, Point{0.0, 0.0}}};
+  NwcGroup second;
+  second.distance = 20.25;
+  second.objects = {DataObject{2, Point{3.0, 4.0}}, DataObject{3, Point{5.0, 6.0}}};
+  response.result.groups = {first, second};
+  response.latency_micros = 55;
+  return response;
+}
+
+void ExpectSameNwcResponse(const NwcResponse& a, const NwcResponse& b) {
+  EXPECT_EQ(a.status.code(), b.status.code());
+  EXPECT_EQ(a.status.message(), b.status.message());
+  EXPECT_EQ(a.result.found, b.result.found);
+  EXPECT_EQ(a.result.distance, b.result.distance);
+  EXPECT_EQ(a.result.objects, b.result.objects);
+  EXPECT_EQ(a.latency_micros, b.latency_micros);
+  EXPECT_EQ(a.traversal_reads, b.traversal_reads);
+  EXPECT_EQ(a.window_query_reads, b.window_query_reads);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.result_cache_hit, b.result_cache_hit);
+}
+
+// Pulls the single frame out of a fully buffered encoding.
+WireFrame MustDecodeFrame(const std::string& bytes) {
+  FrameDecoder decoder(1u << 20);
+  decoder.Append(bytes.data(), bytes.size());
+  bool has_frame = false;
+  WireFrame frame;
+  const Status status = decoder.Poll(&has_frame, &frame);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(has_frame);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  return frame;
+}
+
+TEST(WireFormat, NwcRequestRoundtrip) {
+  const NwcRequest request = MakeNwcRequest();
+  const WireFrame frame = MustDecodeFrame(EncodeNwcRequestFrame(42, request));
+  EXPECT_EQ(frame.type, MsgType::kNwcRequest);
+  EXPECT_EQ(frame.request_id, 42u);
+  NwcRequest decoded;
+  ASSERT_TRUE(DecodeNwcRequest(frame.body, &decoded).ok());
+  EXPECT_EQ(decoded.query.q.x, request.query.q.x);
+  EXPECT_EQ(decoded.query.q.y, request.query.q.y);
+  EXPECT_EQ(decoded.query.length, request.query.length);
+  EXPECT_EQ(decoded.query.width, request.query.width);
+  EXPECT_EQ(decoded.query.n, request.query.n);
+  ASSERT_TRUE(decoded.options.has_value());
+  EXPECT_EQ(decoded.options->use_srr, request.options->use_srr);
+  EXPECT_EQ(decoded.options->use_dip, request.options->use_dip);
+  EXPECT_EQ(decoded.options->use_dep, request.options->use_dep);
+  EXPECT_EQ(decoded.options->use_iwp, request.options->use_iwp);
+  EXPECT_EQ(decoded.options->measure, request.options->measure);
+  EXPECT_EQ(decoded.deadline_micros, request.deadline_micros);
+}
+
+TEST(WireFormat, KnwcRequestRoundtripWithoutOptions) {
+  const KnwcRequest request = MakeKnwcRequest();
+  const WireFrame frame = MustDecodeFrame(EncodeKnwcRequestFrame(7, request));
+  EXPECT_EQ(frame.type, MsgType::kKnwcRequest);
+  KnwcRequest decoded;
+  ASSERT_TRUE(DecodeKnwcRequest(frame.body, &decoded).ok());
+  EXPECT_FALSE(decoded.options.has_value());
+  EXPECT_EQ(decoded.query.base.n, request.query.base.n);
+  EXPECT_EQ(decoded.query.k, request.query.k);
+  EXPECT_EQ(decoded.query.m, request.query.m);
+  EXPECT_EQ(decoded.deadline_micros, 0u);
+}
+
+TEST(WireFormat, NwcResponseRoundtrip) {
+  const NwcResponse response = MakeNwcResponse();
+  const WireFrame frame = MustDecodeFrame(EncodeNwcResponseFrame(3, response));
+  EXPECT_EQ(frame.type, MsgType::kNwcResponse);
+  NwcResponse decoded;
+  ASSERT_TRUE(DecodeNwcResponse(frame.body, &decoded).ok());
+  ExpectSameNwcResponse(decoded, response);
+}
+
+TEST(WireFormat, ErrorResponseRoundtripKeepsStatus) {
+  NwcResponse response;
+  response.status = Status::DeadlineExceeded("query deadline exceeded");
+  const WireFrame frame = MustDecodeFrame(EncodeNwcResponseFrame(8, response));
+  NwcResponse decoded;
+  ASSERT_TRUE(DecodeNwcResponse(frame.body, &decoded).ok());
+  EXPECT_EQ(decoded.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded.status.message(), "query deadline exceeded");
+}
+
+TEST(WireFormat, KnwcResponseRoundtrip) {
+  const KnwcResponse response = MakeKnwcResponse();
+  const WireFrame frame = MustDecodeFrame(EncodeKnwcResponseFrame(11, response));
+  EXPECT_EQ(frame.type, MsgType::kKnwcResponse);
+  KnwcResponse decoded;
+  ASSERT_TRUE(DecodeKnwcResponse(frame.body, &decoded).ok());
+  EXPECT_EQ(decoded.status.code(), StatusCode::kOk);
+  ASSERT_EQ(decoded.result.groups.size(), 2u);
+  EXPECT_EQ(decoded.result.groups[0].distance, 10.5);
+  EXPECT_EQ(decoded.result.groups[0].objects, response.result.groups[0].objects);
+  EXPECT_EQ(decoded.result.groups[1].objects, response.result.groups[1].objects);
+  EXPECT_EQ(decoded.latency_micros, 55u);
+}
+
+TEST(WireFormat, ErrorFrameRoundtrip) {
+  const WireFrame frame =
+      MustDecodeFrame(EncodeErrorFrame(0, Status::InvalidArgument("bad \"frame\"\n")));
+  EXPECT_EQ(frame.type, MsgType::kError);
+  EXPECT_EQ(frame.request_id, 0u);
+  Status decoded;
+  ASSERT_TRUE(DecodeStatusBody(frame.body, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(decoded.message(), "bad \"frame\"\n");
+}
+
+TEST(WireFormat, DecoderReassemblesAcrossArbitrarySplits) {
+  std::string stream = EncodeNwcRequestFrame(1, MakeNwcRequest());
+  stream += EncodeKnwcRequestFrame(2, MakeKnwcRequest());
+  stream += EncodeNwcResponseFrame(3, MakeNwcResponse());
+  for (size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameDecoder decoder(1u << 20);
+    std::vector<WireFrame> frames;
+    for (size_t offset = 0; offset < stream.size(); offset += chunk) {
+      const size_t len = std::min(chunk, stream.size() - offset);
+      decoder.Append(stream.data() + offset, len);
+      while (true) {
+        bool has_frame = false;
+        WireFrame frame;
+        ASSERT_TRUE(decoder.Poll(&has_frame, &frame).ok());
+        if (!has_frame) break;
+        frames.push_back(frame);
+      }
+    }
+    ASSERT_EQ(frames.size(), 3u) << "chunk size " << chunk;
+    EXPECT_EQ(frames[0].request_id, 1u);
+    EXPECT_EQ(frames[1].request_id, 2u);
+    EXPECT_EQ(frames[2].request_id, 3u);
+  }
+}
+
+TEST(WireFormat, TruncatedStreamYieldsNoFrame) {
+  const std::string stream = EncodeNwcRequestFrame(1, MakeNwcRequest());
+  FrameDecoder decoder(1u << 20);
+  decoder.Append(stream.data(), stream.size() - 1);
+  bool has_frame = true;
+  WireFrame frame;
+  ASSERT_TRUE(decoder.Poll(&has_frame, &frame).ok());
+  EXPECT_FALSE(has_frame);
+  EXPECT_GT(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireFormat, OversizedFrameFailsWithOutOfRange) {
+  std::string stream = EncodeNwcRequestFrame(1, MakeNwcRequest());
+  const uint32_t huge = 1u << 30;
+  std::memcpy(stream.data(), &huge, sizeof(huge));  // corrupt the length field
+  FrameDecoder decoder(1u << 20);
+  decoder.Append(stream.data(), stream.size());
+  bool has_frame = false;
+  WireFrame frame;
+  EXPECT_EQ(decoder.Poll(&has_frame, &frame).code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireFormat, UndersizedPayloadFailsWithInvalidArgument) {
+  const uint32_t tiny = 3;  // below the 9-byte type+id minimum
+  std::string stream(reinterpret_cast<const char*>(&tiny), sizeof(tiny));
+  stream += std::string(3, '\0');
+  FrameDecoder decoder(1u << 20);
+  decoder.Append(stream.data(), stream.size());
+  bool has_frame = false;
+  WireFrame frame;
+  EXPECT_EQ(decoder.Poll(&has_frame, &frame).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFormat, UnknownTypeFailsAndPoisons) {
+  std::string stream = EncodeNwcRequestFrame(1, MakeNwcRequest());
+  stream[4] = 99;  // type byte right after the u32 length
+  FrameDecoder decoder(1u << 20);
+  decoder.Append(stream.data(), stream.size());
+  bool has_frame = false;
+  WireFrame frame;
+  EXPECT_EQ(decoder.Poll(&has_frame, &frame).code(), StatusCode::kInvalidArgument);
+  // Poisoned: appending a pristine frame afterwards cannot resurrect it.
+  const std::string good = EncodeNwcRequestFrame(2, MakeNwcRequest());
+  decoder.Append(good.data(), good.size());
+  EXPECT_EQ(decoder.Poll(&has_frame, &frame).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFormat, BodyDecodersRejectTruncationAndTrailingBytes) {
+  std::string body;
+  EncodeNwcRequest(MakeNwcRequest(), &body);
+  NwcRequest decoded;
+  ASSERT_TRUE(DecodeNwcRequest(body, &decoded).ok());
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_EQ(DecodeNwcRequest(body.substr(0, cut), &decoded).code(),
+              StatusCode::kInvalidArgument)
+        << "cut at " << cut;
+  }
+  EXPECT_EQ(DecodeNwcRequest(body + "x", &decoded).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFormat, BodyDecodersRejectOutOfRangeEnums) {
+  std::string body;
+  EncodeNwcRequest(MakeNwcRequest(), &body);
+  // The option flag byte sits right after query (4 doubles + u64) +
+  // deadline (u64) + has_options (u8).
+  const size_t flags_at = 4 * 8 + 8 + 8 + 1;
+  ASSERT_LT(flags_at, body.size());
+  std::string corrupt = body;
+  corrupt[flags_at] = static_cast<char>(0xF0);  // unknown flag bits
+  NwcRequest decoded;
+  EXPECT_EQ(DecodeNwcRequest(corrupt, &decoded).code(), StatusCode::kInvalidArgument);
+
+  std::string status_body;
+  EncodeStatusBody(Status::Ok(), &status_body);
+  status_body[0] = 77;  // no such StatusCode
+  Status status;
+  EXPECT_EQ(DecodeStatusBody(status_body, &status).code(), StatusCode::kInvalidArgument);
+}
+
+// Deterministic fuzz: mutate valid streams (bit flips, truncations,
+// splices) and replay them in random-sized chunks. Every outcome must be
+// a clean decode or a typed error — decoders must not crash, loop, or
+// hand back frames past the first corruption.
+TEST(WireFormat, FuzzedStreamsNeverCrashTheDecoder) {
+  std::string pristine = EncodeNwcRequestFrame(1, MakeNwcRequest());
+  pristine += EncodeKnwcRequestFrame(2, MakeKnwcRequest());
+  pristine += EncodeNwcResponseFrame(3, MakeNwcResponse());
+  pristine += EncodeKnwcResponseFrame(4, MakeKnwcResponse());
+  pristine += EncodeErrorFrame(5, Status::Unavailable("shed"));
+
+  Rng rng(0xF00D);
+  for (int round = 0; round < 2000; ++round) {
+    std::string stream = pristine;
+    const int mutations = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.NextUint64(4)) {
+        case 0:  // flip a byte
+          stream[rng.NextUint64(stream.size())] ^= static_cast<char>(1 + rng.NextUint64(255));
+          break;
+        case 1:  // truncate
+          stream.resize(rng.NextUint64(stream.size() + 1));
+          break;
+        case 2: {  // splice a random window elsewhere in the stream
+          if (stream.size() < 8) break;
+          const size_t from = rng.NextUint64(stream.size() - 4);
+          const size_t to = rng.NextUint64(stream.size() - 4);
+          stream.replace(to, 4, stream.substr(from, 4));
+          break;
+        }
+        default:  // prepend garbage
+          stream.insert(0, std::string(1 + rng.NextUint64(12), static_cast<char>(rng.NextUint64(256))));
+          break;
+      }
+    }
+
+    FrameDecoder decoder(1u << 16);
+    size_t offset = 0;
+    bool poisoned = false;
+    while (offset < stream.size()) {
+      const size_t chunk = 1 + rng.NextUint64(257);
+      const size_t len = std::min(chunk, stream.size() - offset);
+      decoder.Append(stream.data() + offset, len);
+      offset += len;
+      while (!poisoned) {
+        bool has_frame = false;
+        WireFrame frame;
+        const Status status = decoder.Poll(&has_frame, &frame);
+        if (!status.ok()) {
+          EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument ||
+                      status.code() == StatusCode::kOutOfRange)
+              << status.ToString();
+          poisoned = true;
+          break;
+        }
+        if (!has_frame) break;
+        // Envelope-valid frame: body decoding must also never crash.
+        NwcRequest nwc_request;
+        KnwcRequest knwc_request;
+        NwcResponse nwc_response;
+        KnwcResponse knwc_response;
+        Status body_status;
+        switch (frame.type) {
+          case MsgType::kNwcRequest:
+            (void)DecodeNwcRequest(frame.body, &nwc_request);
+            break;
+          case MsgType::kKnwcRequest:
+            (void)DecodeKnwcRequest(frame.body, &knwc_request);
+            break;
+          case MsgType::kNwcResponse:
+            (void)DecodeNwcResponse(frame.body, &nwc_response);
+            break;
+          case MsgType::kKnwcResponse:
+            (void)DecodeKnwcResponse(frame.body, &knwc_response);
+            break;
+          case MsgType::kError:
+            (void)DecodeStatusBody(frame.body, &body_status);
+            break;
+        }
+      }
+      if (poisoned) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nwc

@@ -47,6 +47,22 @@
 //       SubmitKnwcBatch, which groups compatible queries by Z-order
 //       locality (at most --batch-group per group) so each worker reuses
 //       memoized window walks. Results are bit-identical either way.
+//   serve    --index=F.nwctree [--host=127.0.0.1] [--port=0]
+//            [--threads=4] [--queue=256] [--scheme=...] [--measure=...]
+//            [--no-iwp] [--no-grid] [--max-frame-bytes=1048576]
+//            [--deadline-us=N] [--shed-watermark=N] [--cache-mb=N]
+//            [--metrics-json=F.json] [--prom=F.prom]
+//       Serve NWC/kNWC queries over TCP (the binary frame protocol of
+//       src/net/wire.h) until SIGINT/SIGTERM, then drain gracefully:
+//       stop accepting, finish in-flight queries (deadlines still
+//       apply), flush every response, print the final metrics report,
+//       exit 0. --port=0 picks an ephemeral port (printed on startup as
+//       "listening on HOST:PORT"). GET /metrics on the same port
+//       answers with the Prometheus exposition. Unlike serve-batch the
+//       session builds the IWP index and density grid by default so
+//       clients may override the scheme per request; --no-iwp /
+//       --no-grid trade that flexibility for startup time and memory.
+//       Drive it with nwc_load (open-loop QPS, pipelined connections).
 //   trace    --index=F.nwctree --q=X,Y --l=L --w=W --n=N [--k=K --m=M]
 //            [--scheme=...] [--measure=...] [--data=F.csv]
 //            [--format=<chrome|jsonl>] [--out=F.json]
@@ -64,6 +80,8 @@
 //   nwc_tool trace --index=/tmp/ca.nwctree --data=/tmp/ca.csv
 //       --q=5000,5000 --l=64 --w=64 --n=8 --scheme=star --out=/tmp/q.json
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +89,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -79,6 +98,8 @@
 #include "datasets/dataset.h"
 #include "datasets/generators.h"
 #include "grid/density_grid.h"
+#include "net/server.h"
+#include "net/shutdown_signal.h"
 #include "obs/prometheus.h"
 #include "obs/query_trace.h"
 #include "obs/trace_export.h"
@@ -88,6 +109,7 @@
 #include "rtree/tree_stats.h"
 #include "rtree/validate.h"
 #include "service/query_service.h"
+#include "service/workload.h"
 
 namespace nwc {
 namespace {
@@ -381,77 +403,38 @@ int CmdTrace(const Args& args) {
   return EmitTrace(args, trace, io);
 }
 
-// One parsed line of a serve-batch query file.
-struct BatchEntry {
-  bool is_knwc = false;
-  NwcQuery nwc;
-  KnwcQuery knwc;
+/// Watches the process shutdown latch and cancels the service's queued and
+/// running work once a signal lands, so a blocking harvest loop unblocks
+/// promptly with Cancelled responses. Joinable; Stop() ends the watch.
+class DrainWatcher {
+ public:
+  explicit DrainWatcher(QueryService& service)
+      : thread_([this, &service] {
+          while (!stop_.load(std::memory_order_acquire)) {
+            if (ShutdownSignal::Instance().requested()) {
+              service.CancelAll();
+              return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+        }) {}
+
+  ~DrainWatcher() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
 };
 
-Result<std::vector<BatchEntry>> LoadQueryFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open query file " + path);
-  std::vector<BatchEntry> entries;
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const size_t start = line.find_first_not_of(" \t\r");
-    if (start == std::string::npos || line[start] == '#') continue;
-    BatchEntry entry;
-    double x, y, l, w;
-    unsigned long n, k, m;
-    int consumed = 0;
-    const char* text = line.c_str() + start;
-    if (std::sscanf(text, "nwc %lf %lf %lf %lf %lu%n", &x, &y, &l, &w, &n, &consumed) == 5) {
-      entry.nwc = NwcQuery{Point{x, y}, l, w, n};
-    } else if (std::sscanf(text, "knwc %lf %lf %lf %lf %lu %lu %lu%n", &x, &y, &l, &w, &n, &k, &m,
-                           &consumed) == 7) {
-      entry.is_knwc = true;
-      entry.knwc = KnwcQuery{NwcQuery{Point{x, y}, l, w, n}, k, m};
-    } else {
-      return Status::InvalidArgument("query file " + path + " line " +
-                                     std::to_string(line_no) +
-                                     ": expected 'nwc X Y L W N' or 'knwc X Y L W N K M'");
-    }
-    // Reject trailing junk: 'nwc X Y L W N K M' would otherwise silently
-    // drop K and M, serving a different query than the user wrote.
-    const std::string rest(text + consumed);
-    if (rest.find_first_not_of(" \t\r") != std::string::npos) {
-      return Status::InvalidArgument("query file " + path + " line " +
-                                     std::to_string(line_no) + ": unexpected trailing '" +
-                                     rest.substr(rest.find_first_not_of(" \t\r")) + "'");
-    }
-    entries.push_back(entry);
-  }
-  if (entries.empty()) return Status::InvalidArgument("query file " + path + " holds no queries");
-  return entries;
-}
-
-int CmdServeBatch(const Args& args) {
-  const Result<NwcOptions> options = ParseOptions(args);
-  if (!options.ok()) return Fail(options.status().ToString());
-  const std::string index_path = args.Get("index");
-  if (index_path.empty()) return Fail("--index is required");
-  const std::string queries_path = args.Get("queries");
-  if (queries_path.empty()) return Fail("--queries is required");
-
-  Result<std::vector<BatchEntry>> entries = LoadQueryFile(queries_path);
-  if (!entries.ok()) return Fail(entries.status().ToString());
-  Result<RStarTree> tree = LoadTree(index_path);
-  if (!tree.ok()) return Fail(tree.status().ToString());
-
-  SessionConfig session_config;
-  session_config.build_iwp = options->use_iwp;
-  session_config.build_grid = options->use_dep;
-  session_config.grid_cell_size = args.GetDouble("grid-cell", 25.0);
-  Result<Session> session = Session::Open(std::move(tree).value(), session_config);
-  if (!session.ok()) return Fail(session.status().ToString());
-
+/// ServiceConfig flags shared by `serve-batch` and `serve`.
+Result<ServiceConfig> ServiceConfigFromArgs(const Args& args, const NwcOptions& options) {
   ServiceConfig service_config;
   service_config.num_threads = static_cast<size_t>(args.GetLong("threads", 4));
   service_config.queue_capacity = static_cast<size_t>(args.GetLong("queue", 256));
-  service_config.default_options = *options;
+  service_config.default_options = options;
   service_config.worker_pool_pages = static_cast<size_t>(args.GetLong("pool-pages", 0));
   // Asking for a trace directory or a slow threshold implies tracing.
   service_config.trace_slow_queries = args.Has("trace-dir") || args.Has("slow-us");
@@ -464,15 +447,47 @@ int CmdServeBatch(const Args& args) {
       static_cast<uint64_t>(args.GetLong("retry-backoff-us", 100));
   if (args.Has("inject-faults")) {
     Result<FaultPlan> plan = ParseFaultPlan(args.Get("inject-faults"));
-    if (!plan.ok()) return Fail(plan.status().ToString());
+    if (!plan.ok()) return plan.status();
     service_config.fault_plan = *plan;
   }
   service_config.result_cache_bytes = static_cast<size_t>(args.GetLong("cache-mb", 0)) << 20;
   service_config.batch_group_size = static_cast<size_t>(args.GetLong("batch-group", 16));
   const Status valid = service_config.Validate();
-  if (!valid.ok()) return Fail(valid.ToString());
+  if (!valid.ok()) return valid;
+  return service_config;
+}
 
-  QueryService service(*session, service_config);
+int CmdServeBatch(const Args& args) {
+  const Result<NwcOptions> options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+  const std::string index_path = args.Get("index");
+  if (index_path.empty()) return Fail("--index is required");
+  const std::string queries_path = args.Get("queries");
+  if (queries_path.empty()) return Fail("--queries is required");
+
+  Result<std::vector<WorkloadEntry>> entries = LoadWorkloadFile(queries_path);
+  if (!entries.ok()) return Fail(entries.status().ToString());
+  Result<RStarTree> tree = LoadTree(index_path);
+  if (!tree.ok()) return Fail(tree.status().ToString());
+
+  SessionConfig session_config;
+  session_config.build_iwp = options->use_iwp;
+  session_config.build_grid = options->use_dep;
+  session_config.grid_cell_size = args.GetDouble("grid-cell", 25.0);
+  Result<Session> session = Session::Open(std::move(tree).value(), session_config);
+  if (!session.ok()) return Fail(session.status().ToString());
+
+  Result<ServiceConfig> service_config = ServiceConfigFromArgs(args, *options);
+  if (!service_config.ok()) return Fail(service_config.status().ToString());
+
+  // SIGINT/SIGTERM drain: cancel in-flight work so the harvest below
+  // finishes promptly (with Cancelled responses) and the metrics outputs
+  // are still written — a signal must not lose the run's report.
+  const Status installed = ShutdownSignal::Instance().Install();
+  if (!installed.ok()) return Fail(installed.ToString());
+
+  QueryService service(*session, *service_config);
+  DrainWatcher drain_watcher(service);
   std::printf("serving %zu queries from %s across %zu worker(s), scheme %s\n",
               entries->size(), queries_path.c_str(), service.num_workers(),
               args.Get("scheme", "star").c_str());
@@ -488,7 +503,7 @@ int CmdServeBatch(const Args& args) {
   if (args.Has("batch")) {
     std::vector<NwcRequest> nwc_requests;
     std::vector<KnwcRequest> knwc_requests;
-    for (const BatchEntry& entry : *entries) {
+    for (const WorkloadEntry& entry : *entries) {
       if (entry.is_knwc) {
         knwc_requests.push_back(KnwcRequest{entry.knwc, {}});
       } else {
@@ -498,7 +513,7 @@ int CmdServeBatch(const Args& args) {
     nwc_futures = service.SubmitNwcBatch(nwc_requests);
     knwc_futures = service.SubmitKnwcBatch(knwc_requests);
   } else {
-    for (const BatchEntry& entry : *entries) {
+    for (const WorkloadEntry& entry : *entries) {
       if (entry.is_knwc) {
         knwc_futures.push_back(service.SubmitKnwc(KnwcRequest{entry.knwc, {}}));
       } else {
@@ -511,7 +526,7 @@ int CmdServeBatch(const Args& args) {
   size_t failures = 0;
   size_t next_nwc = 0;
   size_t next_knwc = 0;
-  for (const BatchEntry& entry : *entries) {
+  for (const WorkloadEntry& entry : *entries) {
     if (entry.is_knwc) {
       const KnwcResponse response = knwc_futures[next_knwc++].get();
       if (!response.status.ok()) ++failures;
@@ -589,10 +604,84 @@ int CmdServeBatch(const Args& args) {
       ++written;
     }
     std::printf("wrote %zu slow-query trace(s) (>= %llu us) to %s\n", written,
-                static_cast<unsigned long long>(service_config.slow_trace_us),
+                static_cast<unsigned long long>(service_config->slow_trace_us),
                 trace_dir.c_str());
   }
+  if (ShutdownSignal::Instance().requested()) {
+    std::printf("drained after signal: in-flight queries finished, outputs written\n");
+    return 0;
+  }
   return failures == 0 ? 0 : 1;
+}
+
+int CmdServe(const Args& args) {
+  const Result<NwcOptions> options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+  const std::string index_path = args.Get("index");
+  if (index_path.empty()) return Fail("--index is required");
+  Result<RStarTree> tree = LoadTree(index_path);
+  if (!tree.ok()) return Fail(tree.status().ToString());
+
+  // Unlike serve-batch, remote clients may override the scheme per
+  // request, so build every auxiliary structure unless told otherwise.
+  SessionConfig session_config;
+  session_config.build_iwp = !args.Has("no-iwp");
+  session_config.build_grid = !args.Has("no-grid");
+  session_config.grid_cell_size = args.GetDouble("grid-cell", 25.0);
+  Result<Session> session = Session::Open(std::move(tree).value(), session_config);
+  if (!session.ok()) return Fail(session.status().ToString());
+
+  Result<ServiceConfig> service_config = ServiceConfigFromArgs(args, *options);
+  if (!service_config.ok()) return Fail(service_config.status().ToString());
+
+  NetServerConfig net_config;
+  net_config.host = args.Get("host", "127.0.0.1");
+  net_config.port = static_cast<uint16_t>(args.GetLong("port", 0));
+  net_config.max_frame_bytes = static_cast<size_t>(args.GetLong("max-frame-bytes", 1 << 20));
+
+  const Status installed = ShutdownSignal::Instance().Install();
+  if (!installed.ok()) return Fail(installed.ToString());
+
+  QueryService service(*session, *service_config);
+  Result<std::unique_ptr<NetServer>> server = NetServer::Start(service, net_config);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  std::printf("listening on %s:%u (%zu worker(s), scheme %s)\n", net_config.host.c_str(),
+              static_cast<unsigned>((*server)->port()), service.num_workers(),
+              args.Get("scheme", "star").c_str());
+  std::fflush(stdout);
+
+  ShutdownSignal::Instance().WaitUntilRequested();
+  std::printf("signal received: draining\n");
+  std::fflush(stdout);
+  (*server)->RequestDrain();
+  (*server)->Wait();
+
+  const NetServer::Stats stats = (*server)->GetStats();
+  std::printf("drained: %llu frame(s) in, %llu response(s) out, %llu protocol error(s), "
+              "%llu connection(s)\n",
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.responses_sent),
+              static_cast<unsigned long long>(stats.protocol_errors),
+              static_cast<unsigned long long>(stats.connections_accepted));
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  std::printf("%s", snapshot.ToString().c_str());
+
+  const std::string metrics_json = args.Get("metrics-json");
+  if (!metrics_json.empty()) {
+    std::ofstream file(metrics_json, std::ios::trunc);
+    if (!file) return Fail("cannot open " + metrics_json + " for writing");
+    file << snapshot.ToJson() << "\n";
+    if (!file.good()) return Fail("failed writing " + metrics_json);
+  }
+  const std::string prom = args.Get("prom");
+  if (!prom.empty()) {
+    std::ofstream file(prom, std::ios::trunc);
+    if (!file) return Fail("cannot open " + prom + " for writing");
+    file << ToPrometheusText(snapshot, service.SnapshotLatencyHistogram());
+    if (!file.good()) return Fail("failed writing " + prom);
+  }
+  return 0;
 }
 
 int CmdStats(const Args& args) {
@@ -618,7 +707,7 @@ int CmdStats(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: nwc_tool <generate|build|query|knwc|trace|stats|serve-batch>"
+               "usage: nwc_tool <generate|build|query|knwc|trace|stats|serve-batch|serve>"
                " [--key=value ...]\n"
                "see the header of tools/nwc_tool.cc for the full reference\n");
   return 2;
@@ -635,6 +724,7 @@ int Run(int argc, char** argv) {
   if (command == "trace") return CmdTrace(args);
   if (command == "stats") return CmdStats(args);
   if (command == "serve-batch") return CmdServeBatch(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
 }
 
