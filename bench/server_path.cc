@@ -17,9 +17,15 @@
 //
 // Honors NWC_SCALE / NWC_QUERIES; the workload is 8x NWC_QUERIES queries
 // (default 200) so the in-process quantiles rest on a real sample.
+//
+// `--smoke` runs the trace-overhead gate instead of the full sweep:
+// best-of-3 loopback runs with the trace bit off and on, failing (exit 1)
+// when the traced path loses more than 10% throughput against untraced —
+// the CI guard for "tracing is free when off, cheap when on".
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "bench_util/table_printer.h"
@@ -39,9 +45,97 @@ using namespace nwc::bench;
 // server. Cap the offered rate where the generator stays honest.
 constexpr double kMaxOfferedQps = 4000.0;
 
+// --smoke: traced throughput must stay within this fraction of untraced.
+constexpr double kSmokeTolerance = 0.10;
+
+// One loopback run against a fresh server, returning the report.
+LoadGenReport RunServedOnce(const Session& session, const ServiceConfig& config,
+                            const std::vector<WorkloadEntry>& workload, double offered_qps,
+                            double duration_seconds, bool trace) {
+  QueryService service(session, config);
+  Result<std::unique_ptr<NetServer>> server = NetServer::Start(service, NetServerConfig());
+  CheckOk(server.status(), "NetServer::Start");
+  LoadGenConfig load;
+  load.port = (*server)->port();
+  load.target_qps = offered_qps;
+  load.connections = 4;
+  load.pipeline_depth = 32;
+  load.duration_seconds = duration_seconds;
+  load.trace = trace;
+  const Result<LoadGenReport> report = RunLoadGen(load, workload);
+  CheckOk(report.status(), "RunLoadGen");
+  (*server)->RequestDrain();
+  (*server)->Wait();
+  return *report;
+}
+
+int RunSmoke() {
+  PrintRunConfig("Server path --smoke: trace-bit overhead gate (best of 3, 10% tolerance)");
+  Dataset dataset = MakeCaLike(kDatasetSeed, ScaledCardinality(20000));
+  Result<Session> session =
+      Session::Open(BulkLoadStr(dataset.objects, RTreeOptions{}),
+                    SessionConfig{.build_iwp = true, .build_grid = true,
+                                  .grid_cell_size = 25.0, .grid_space = dataset.space});
+  CheckOk(session.status(), "Session::Open");
+
+  const std::vector<Point> points = SampleQueryPoints(dataset, 256, kQuerySeed);
+  std::vector<WorkloadEntry> workload;
+  workload.reserve(points.size());
+  for (const Point& q : points) {
+    WorkloadEntry entry;
+    entry.is_knwc = false;
+    entry.nwc = NwcQuery{q, kDefaultWindow, kDefaultWindow, kDefaultN};
+    workload.push_back(entry);
+  }
+
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.queue_capacity = 1024;
+  config.default_options = NwcOptions::Star();
+
+  // Best-of-3 each way: the max damps scheduler noise the same way the
+  // throughput_service smoke gate does.
+  double untraced_qps = 0.0;
+  double traced_qps = 0.0;
+  LoadGenReport traced_report;
+  for (int round = 0; round < 3; ++round) {
+    const LoadGenReport untraced =
+        RunServedOnce(*session, config, workload, kMaxOfferedQps, 1.0, /*trace=*/false);
+    const LoadGenReport traced =
+        RunServedOnce(*session, config, workload, kMaxOfferedQps, 1.0, /*trace=*/true);
+    Progress("round %d: untraced %.0f q/s p50=%llu us; traced %.0f q/s p50=%llu us", round,
+             untraced.achieved_qps, static_cast<unsigned long long>(untraced.p50_micros),
+             traced.achieved_qps, static_cast<unsigned long long>(traced.p50_micros));
+    untraced_qps = std::max(untraced_qps, untraced.achieved_qps);
+    if (traced.achieved_qps > traced_qps) {
+      traced_qps = traced.achieved_qps;
+      traced_report = traced;
+    }
+  }
+
+  std::printf("untraced %.0f q/s, traced %.0f q/s (%.1f%%); traced split: network p50 %llu us, "
+              "queue p50 %llu us, execute p50 %llu us\n",
+              untraced_qps, traced_qps,
+              untraced_qps > 0.0 ? 100.0 * traced_qps / untraced_qps : 0.0,
+              static_cast<unsigned long long>(traced_report.net_p50_micros),
+              static_cast<unsigned long long>(traced_report.queue_p50_micros),
+              static_cast<unsigned long long>(traced_report.exec_p50_micros));
+  if (traced_report.traced == 0) {
+    std::printf("FAIL: traced run returned no ServerTiming annotations\n");
+    return 1;
+  }
+  if (traced_qps < (1.0 - kSmokeTolerance) * untraced_qps) {
+    std::printf("FAIL: tracing costs more than %.0f%% throughput\n", 100.0 * kSmokeTolerance);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return RunSmoke();
   PrintRunConfig("Server path: loopback TCP vs in-process serve-batch (CA-like, NWC*)");
   const size_t query_count = QueryCountFromEnv() * 8;
   const size_t kWorkerCounts[] = {1, 2, 4, 8};

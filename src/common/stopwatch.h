@@ -30,6 +30,16 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// The steady clock as absolute microseconds. Two reads anywhere in the
+/// process (even on different threads) subtract meaningfully — the serving
+/// layer's trace timestamps and the load generator's due times both live
+/// on this axis.
+inline uint64_t SteadyNowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
 }  // namespace nwc
 
 #endif  // NWC_COMMON_STOPWATCH_H_

@@ -81,12 +81,14 @@ Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
   return NetClient(*fd);
 }
 
-Status NetClient::SendNwc(uint64_t request_id, const NwcRequest& request) {
-  return SendRaw(EncodeNwcRequestFrame(request_id, request));
+Status NetClient::SendNwc(uint64_t request_id, const NwcRequest& request, bool traced) {
+  return SendRaw(
+      EncodeNwcRequestFrame(request_id, request, traced ? kEnvelopeFlagTrace : 0));
 }
 
-Status NetClient::SendKnwc(uint64_t request_id, const KnwcRequest& request) {
-  return SendRaw(EncodeKnwcRequestFrame(request_id, request));
+Status NetClient::SendKnwc(uint64_t request_id, const KnwcRequest& request, bool traced) {
+  return SendRaw(
+      EncodeKnwcRequestFrame(request_id, request, traced ? kEnvelopeFlagTrace : 0));
 }
 
 Status NetClient::SendRaw(std::string_view bytes) { return WriteAll(fd_, bytes); }
@@ -100,13 +102,23 @@ Status NetClient::Receive(NetReply* out) {
     if (has_frame) {
       out->type = frame.type;
       out->request_id = frame.request_id;
+      out->traced = frame.traced();
+      out->timing = ServerTiming{};
+      // A traced response carries a ServerTiming record after the normal
+      // body; split it off so the strict body decoders (which reject
+      // trailing bytes) see exactly what an untraced response carries.
+      std::string_view body = frame.body;
+      if (out->traced) {
+        const Status split = SplitServerTiming(frame.body, &body, &out->timing);
+        if (!split.ok()) return split;
+      }
       switch (frame.type) {
         case MsgType::kNwcResponse:
-          return DecodeNwcResponse(frame.body, &out->nwc);
+          return DecodeNwcResponse(body, &out->nwc);
         case MsgType::kKnwcResponse:
-          return DecodeKnwcResponse(frame.body, &out->knwc);
+          return DecodeKnwcResponse(body, &out->knwc);
         case MsgType::kError:
-          return DecodeStatusBody(frame.body, &out->error);
+          return DecodeStatusBody(body, &out->error);
         case MsgType::kNwcRequest:
         case MsgType::kKnwcRequest:
           return Status::InvalidArgument("wire: server sent a client-only frame type");

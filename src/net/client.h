@@ -13,13 +13,18 @@ namespace nwc {
 
 /// One frame received from a server, decoded by type. Exactly the member
 /// matching `type` is meaningful: `nwc` for kNwcResponse, `knwc` for
-/// kKnwcResponse, `error` for kError.
+/// kKnwcResponse, `error` for kError. When the response's envelope
+/// carried the trace flag, `traced` is true and `timing` holds the
+/// server's pipeline timestamps (microsecond offsets from its receive of
+/// the request).
 struct NetReply {
   MsgType type = MsgType::kError;
   uint64_t request_id = 0;
   NwcResponse nwc;
   KnwcResponse knwc;
   Status error;
+  bool traced = false;
+  ServerTiming timing;
 };
 
 /// A blocking client for the nwc binary protocol — the counterpart the
@@ -43,9 +48,11 @@ class NetClient {
   NetClient& operator=(const NetClient&) = delete;
   ~NetClient();
 
-  /// Frames and writes one request (blocking until fully written).
-  Status SendNwc(uint64_t request_id, const NwcRequest& request);
-  Status SendKnwc(uint64_t request_id, const KnwcRequest& request);
+  /// Frames and writes one request (blocking until fully written). With
+  /// `traced` the envelope carries kEnvelopeFlagTrace, asking the server
+  /// for a ServerTiming annotation on the response.
+  Status SendNwc(uint64_t request_id, const NwcRequest& request, bool traced = false);
+  Status SendKnwc(uint64_t request_id, const KnwcRequest& request, bool traced = false);
 
   /// Writes raw bytes verbatim — the fuzz/robustness tests' way of
   /// putting malformed frames on the wire.

@@ -32,7 +32,7 @@ Status LoadGenConfig::Validate() const {
 }
 
 std::string LoadGenReport::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "sent %llu, received %llu (%llu error(s), %llu lost) in %.3f s\n"
       "achieved %.1f q/s; latency from due time: p50 %llu us, p95 %llu us, "
       "p99 %llu us, max %llu us\n",
@@ -41,6 +41,33 @@ std::string LoadGenReport::ToString() const {
       wall_seconds, achieved_qps, static_cast<unsigned long long>(p50_micros),
       static_cast<unsigned long long>(p95_micros), static_cast<unsigned long long>(p99_micros),
       static_cast<unsigned long long>(max_micros));
+  if (traced > 0) {
+    out += StrFormat(
+        "server timing over %llu traced response(s): "
+        "network p50 %llu / p99 %llu us, queue p50 %llu / p99 %llu us, "
+        "execute p50 %llu / p99 %llu us\n",
+        static_cast<unsigned long long>(traced),
+        static_cast<unsigned long long>(net_p50_micros),
+        static_cast<unsigned long long>(net_p99_micros),
+        static_cast<unsigned long long>(queue_p50_micros),
+        static_cast<unsigned long long>(queue_p99_micros),
+        static_cast<unsigned long long>(exec_p50_micros),
+        static_cast<unsigned long long>(exec_p99_micros));
+  }
+  return out;
+}
+
+uint64_t LinearInterpolatedQuantile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double lo_value = static_cast<double>(sorted[lo]);
+  const double hi_value = static_cast<double>(sorted[lo + 1]);
+  return static_cast<uint64_t>(lo_value + frac * (hi_value - lo_value) + 0.5);
 }
 
 namespace {
@@ -85,16 +112,18 @@ Result<int> ConnectNonblocking(const std::string& host, uint16_t port) {
 }
 
 // A response frame counts as an error when it is a kError frame, its body
-// is undecodable, or its carried status is non-OK.
-bool FrameIsError(const WireFrame& frame) {
-  switch (frame.type) {
+// is undecodable, or its carried status is non-OK. `body` is the frame
+// body with any ServerTiming suffix already split off (the strict
+// decoders reject trailing bytes).
+bool FrameIsError(MsgType type, std::string_view body) {
+  switch (type) {
     case MsgType::kNwcResponse: {
       NwcResponse response;
-      return !DecodeNwcResponse(frame.body, &response).ok() || !response.status.ok();
+      return !DecodeNwcResponse(body, &response).ok() || !response.status.ok();
     }
     case MsgType::kKnwcResponse: {
       KnwcResponse response;
-      return !DecodeKnwcResponse(frame.body, &response).ok() || !response.status.ok();
+      return !DecodeKnwcResponse(body, &response).ok() || !response.status.ok();
     }
     default:
       return true;
@@ -139,10 +168,19 @@ Result<LoadGenReport> RunLoadGen(const LoadGenConfig& config,
     conn.fd = *fd;
   }
 
-  // request id -> due time; latency is measured from "due", so time a
-  // request spends waiting for pipeline room is charged to the run.
-  std::unordered_map<uint64_t, uint64_t> pending;
+  // Latency is measured from "due", so time a request spends waiting for
+  // pipeline room is charged to the run. The traced split instead uses
+  // "sent" — the instant the frame entered the connection's buffer — so
+  // network/queue/execute sum to the wall the server round trip took.
+  struct PendingInfo {
+    uint64_t due_us = 0;
+    uint64_t sent_us = 0;
+  };
+  std::unordered_map<uint64_t, PendingInfo> pending;
   std::vector<uint64_t> latencies;
+  std::vector<uint64_t> net_micros;
+  std::vector<uint64_t> queue_micros;
+  std::vector<uint64_t> exec_micros;
   LoadGenReport report;
 
   const uint64_t start = NowMicros();
@@ -176,17 +214,20 @@ Result<LoadGenReport> RunLoadGen(const LoadGenConfig& config,
       const WorkloadEntry& entry = workload[cursor];
       cursor = (cursor + 1) % workload.size();
       const uint64_t request_id = report.sent;
+      const uint8_t flags = config.trace ? kEnvelopeFlagTrace : 0;
       std::string frame;
       if (entry.is_knwc) {
         frame = EncodeKnwcRequestFrame(
-            request_id, KnwcRequest{entry.knwc, config.options, config.deadline_micros});
+            request_id, KnwcRequest{entry.knwc, config.options, config.deadline_micros},
+            flags);
       } else {
         frame = EncodeNwcRequestFrame(
-            request_id, NwcRequest{entry.nwc, config.options, config.deadline_micros});
+            request_id, NwcRequest{entry.nwc, config.options, config.deadline_micros},
+            flags);
       }
       target->out += frame;
       ++target->in_flight;
-      pending.emplace(request_id, due);
+      pending.emplace(request_id, PendingInfo{due, NowMicros()});
       ++report.sent;
       FlushOut(target);
     }
@@ -243,11 +284,25 @@ Result<LoadGenReport> RunLoadGen(const LoadGenConfig& config,
         const auto it = pending.find(frame.request_id);
         if (it != pending.end()) {
           const uint64_t finished = NowMicros();
-          latencies.push_back(finished > it->second ? finished - it->second : 0);
+          const PendingInfo info = it->second;
+          latencies.push_back(finished > info.due_us ? finished - info.due_us : 0);
           pending.erase(it);
           if (conn->in_flight > 0) --conn->in_flight;
           ++report.received;
-          if (FrameIsError(frame)) ++report.errors;
+          std::string_view body = frame.body;
+          ServerTiming timing;
+          if (frame.traced() && SplitServerTiming(frame.body, &body, &timing).ok()) {
+            ++report.traced;
+            const uint64_t wall = finished > info.sent_us ? finished - info.sent_us : 0;
+            net_micros.push_back(wall > timing.flush_us ? wall - timing.flush_us : 0);
+            queue_micros.push_back(timing.dequeue_us > timing.enqueue_us
+                                       ? timing.dequeue_us - timing.enqueue_us
+                                       : 0);
+            exec_micros.push_back(timing.execute_us > timing.dequeue_us
+                                      ? timing.execute_us - timing.dequeue_us
+                                      : 0);
+          }
+          if (FrameIsError(frame.type, body)) ++report.errors;
         }
       }
     }
@@ -261,15 +316,23 @@ Result<LoadGenReport> RunLoadGen(const LoadGenConfig& config,
   report.achieved_qps =
       report.wall_seconds > 0.0 ? static_cast<double>(report.received) / report.wall_seconds : 0.0;
   if (!latencies.empty()) {
+    // One sort, then interpolated quantiles off the sorted buffer.
     std::sort(latencies.begin(), latencies.end());
-    const auto quantile = [&latencies](double q) {
-      const size_t index = static_cast<size_t>(q * static_cast<double>(latencies.size() - 1));
-      return latencies[index];
-    };
-    report.p50_micros = quantile(0.50);
-    report.p95_micros = quantile(0.95);
-    report.p99_micros = quantile(0.99);
+    report.p50_micros = LinearInterpolatedQuantile(latencies, 0.50);
+    report.p95_micros = LinearInterpolatedQuantile(latencies, 0.95);
+    report.p99_micros = LinearInterpolatedQuantile(latencies, 0.99);
     report.max_micros = latencies.back();
+  }
+  if (!net_micros.empty()) {
+    std::sort(net_micros.begin(), net_micros.end());
+    std::sort(queue_micros.begin(), queue_micros.end());
+    std::sort(exec_micros.begin(), exec_micros.end());
+    report.net_p50_micros = LinearInterpolatedQuantile(net_micros, 0.50);
+    report.net_p99_micros = LinearInterpolatedQuantile(net_micros, 0.99);
+    report.queue_p50_micros = LinearInterpolatedQuantile(queue_micros, 0.50);
+    report.queue_p99_micros = LinearInterpolatedQuantile(queue_micros, 0.99);
+    report.exec_p50_micros = LinearInterpolatedQuantile(exec_micros, 0.50);
+    report.exec_p99_micros = LinearInterpolatedQuantile(exec_micros, 0.99);
   }
   return report;
 }

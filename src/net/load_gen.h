@@ -32,6 +32,10 @@ struct LoadGenConfig {
   std::optional<NwcOptions> options;
   /// After sending stops, how long to wait for outstanding responses.
   double drain_timeout_seconds = 5.0;
+  /// Set the envelope trace bit on every request: the server returns a
+  /// ServerTiming annotation and the report splits client-observed
+  /// latency into network, server-queue, and execute components.
+  bool trace = false;
 
   Status Validate() const;
 };
@@ -52,8 +56,32 @@ struct LoadGenReport {
   uint64_t p99_micros = 0;
   uint64_t max_micros = 0;
 
+  /// Responses that carried a ServerTiming annotation (nonzero only when
+  /// LoadGenConfig::trace was set). The split quantiles below are over
+  /// these responses, measured from *send* (not due) time so the three
+  /// components sum to the client-observed service wall:
+  ///   network = wall - flush_us   (wire + loop-thread time, both ways)
+  ///   queue   = dequeue - enqueue (waiting for a worker)
+  ///   execute = execute - dequeue (query evaluation on the worker)
+  uint64_t traced = 0;
+  uint64_t net_p50_micros = 0;
+  uint64_t net_p99_micros = 0;
+  uint64_t queue_p50_micros = 0;
+  uint64_t queue_p99_micros = 0;
+  uint64_t exec_p50_micros = 0;
+  uint64_t exec_p99_micros = 0;
+
   std::string ToString() const;
 };
+
+/// Quantile over an ascending-sorted sample by linear interpolation
+/// between closest ranks (the R-7 / NumPy "linear" estimator): the
+/// quantile q lands at fractional rank q*(n-1) and interpolates between
+/// the two surrounding order statistics. Unlike nearest-rank, adjacent
+/// quantiles move smoothly with sample size, so two runs of slightly
+/// different length don't quantize p99 to different observations.
+/// Returns 0 on an empty sample.
+uint64_t LinearInterpolatedQuantile(const std::vector<uint64_t>& sorted, double q);
 
 /// Runs the open-loop generator against a server: `workload` is cycled
 /// round-robin (see LoadWorkloadFile / MakeSkewedWorkload), requests fan

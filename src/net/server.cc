@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
@@ -17,9 +18,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "net/wire.h"
+#include "obs/net_metrics.h"
 #include "obs/prometheus.h"
+#include "obs/trace_export.h"
 
 namespace nwc {
 
@@ -47,8 +51,12 @@ constexpr uint64_t kFirstConnectionId = 2;
 /// starving the others.
 constexpr size_t kMaxReadPerEvent = 256 * 1024;
 
-/// Cap on a buffered HTTP request head; /metrics scrapes are tiny.
+/// Cap on a buffered HTTP request head; admin requests are tiny.
 constexpr size_t kMaxHttpHead = 16 * 1024;
+
+/// Cap on one HTTP request line (method + path + version). A line this
+/// long is either a broken client or abuse; it gets a typed 400.
+constexpr size_t kMaxHttpRequestLine = 4 * 1024;
 
 bool LooksLikeHttp(const std::string& head) {
   static constexpr const char* kMethods[] = {"GET ", "HEAD", "POST", "PUT ", "DELE", "OPTI"};
@@ -56,6 +64,33 @@ bool LooksLikeHttp(const std::string& head) {
     if (head.compare(0, 4, method) == 0) return true;
   }
   return false;
+}
+
+/// Whether the request asks for the connection to close after the
+/// response: an explicit `Connection: close`, or HTTP/1.0 without an
+/// explicit keep-alive.
+bool HttpWantsClose(const std::string& head, const std::string& request_line) {
+  std::string lower;
+  lower.reserve(head.size());
+  for (const char c : head) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  const bool http10 = request_line.find("HTTP/1.0") != std::string::npos;
+  const size_t at = lower.find("\r\nconnection:");
+  if (at == std::string::npos) return http10;
+  const size_t value_start = at + 13;
+  const size_t value_end = lower.find("\r\n", value_start);
+  const std::string value = lower.substr(value_start, value_end - value_start);
+  if (value.find("close") != std::string::npos) return true;
+  if (value.find("keep-alive") != std::string::npos) return false;
+  return http10;
+}
+
+/// Microsecond offset of `now_us` past `origin_us`, saturating at zero
+/// (both come from the steady clock, but saturation keeps a reordered
+/// stamp from wrapping to a ~585-millennium offset).
+uint64_t OffsetMicros(uint64_t now_us, uint64_t origin_us) {
+  return now_us > origin_us ? now_us - origin_us : 0;
 }
 
 }  // namespace
@@ -126,16 +161,19 @@ class NetServer::Impl {
   }
 
   Stats GetStats() const {
+    const NetMetricsSnapshot snapshot = metrics_.Snapshot();
     Stats stats;
-    stats.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
-    stats.connections_closed = connections_closed_.load(std::memory_order_relaxed);
-    stats.frames_received = frames_received_.load(std::memory_order_relaxed);
-    stats.responses_sent = responses_sent_.load(std::memory_order_relaxed);
-    stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-    stats.backpressure_pauses = backpressure_pauses_.load(std::memory_order_relaxed);
-    stats.http_requests = http_requests_.load(std::memory_order_relaxed);
+    stats.connections_accepted = snapshot.connections_accepted;
+    stats.connections_closed = snapshot.connections_closed;
+    stats.frames_received = snapshot.frames_received;
+    stats.responses_sent = snapshot.frames_sent;
+    stats.protocol_errors = snapshot.protocol_errors_total();
+    stats.backpressure_pauses = snapshot.backpressure_pauses;
+    stats.http_requests = snapshot.http_requests;
     return stats;
   }
+
+  NetMetricsSnapshot SnapshotNetMetrics() const { return metrics_.Snapshot(); }
 
  private:
   enum class Mode { kUnknown, kBinary, kHttp };
@@ -158,6 +196,13 @@ class NetServer::Impl {
     bool peer_closed = false; // peer sent FIN; flush what remains
     bool closing = false;     // close once in_flight == 0 and flushed
     bool dead = false;        // fd closed, entry awaiting reap
+    // Receive origin for frames decoded from the current read burst: the
+    // time of the read() batch that delivered their final byte, or the
+    // pause start when that batch is the first after a backpressure
+    // resume (the kernel buffered those bytes for the whole pause).
+    uint64_t read_stamp_us = 0;
+    uint64_t paused_since_us = 0;   // nonzero while read-paused
+    uint64_t resume_origin_us = 0;  // pending read_stamp override after resume
 
     explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
 
@@ -167,6 +212,10 @@ class NetServer::Impl {
   struct Completion {
     uint64_t conn_id = 0;
     std::string bytes;
+    // Traced responses end in a ServerTiming record whose flush stamp the
+    // loop patches (relative to `receive_us`) just before writing.
+    bool traced = false;
+    uint64_t receive_us = 0;
   };
 
   static Status Errno(const std::string& what) {
@@ -187,10 +236,11 @@ class NetServer::Impl {
   }
 
   // Worker-thread side: queue one encoded response and wake the loop.
-  void PushCompletion(uint64_t conn_id, std::string bytes) {
+  void PushCompletion(uint64_t conn_id, std::string bytes, bool traced = false,
+                      uint64_t receive_us = 0) {
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
-      completions_.push_back(Completion{conn_id, std::move(bytes)});
+      completions_.push_back(Completion{conn_id, std::move(bytes), traced, receive_us});
     }
     Wake();
   }
@@ -211,6 +261,7 @@ class NetServer::Impl {
         } else if (tag == kWakeupTag) {
           uint64_t counter;
           [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &counter, sizeof(counter));
+          metrics_.OnEventfdWakeup();
         } else {
           OnConnectionEvent(tag, events[i].events);
         }
@@ -220,15 +271,41 @@ class NetServer::Impl {
       if (drain_.load(std::memory_order_acquire)) {
         BeginDrainOnce();
         ReapDead();
-        if (connections_.empty() && outstanding_.load(std::memory_order_acquire) == 0) {
+        if (DrainComplete()) {
+          // Everything the server accepted has been answered and flushed.
+          // Only now does the admin surface go away: remaining (HTTP /
+          // probe) connections close and the listener shuts, so /readyz
+          // stayed reachable for the whole drain window.
+          for (const auto& [id, conn] : connections_) {
+            if (!conn->dead) Close(conn.get());
+          }
+          ReapDead();
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          ::close(listen_fd_);
+          listen_fd_ = -1;
           return;
         }
       }
     }
   }
 
+  /// True when no response the server owes anyone is still in flight or
+  /// unflushed: nothing outstanding in the service, and no connection
+  /// that is binary (still owed the drain contract), mid-request, or
+  /// holding unwritten bytes. HTTP/probe connections do not hold the
+  /// drain open.
+  bool DrainComplete() const {
+    if (outstanding_.load(std::memory_order_acquire) != 0) return false;
+    for (const auto& [id, conn] : connections_) {
+      if (conn->dead) continue;
+      if (conn->mode == Mode::kBinary || conn->in_flight > 0 || conn->pending_write() > 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   void AcceptAll() {
-    if (drain_started_) return;
     while (true) {
       const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) return;  // EAGAIN, or a transient accept failure
@@ -246,7 +323,7 @@ class NetServer::Impl {
         continue;
       }
       conn->registered = EPOLLIN;
-      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.OnAccept();
       connections_.emplace(conn->id, std::move(conn));
     }
   }
@@ -266,17 +343,27 @@ class NetServer::Impl {
   }
 
   bool WantRead(const Connection* conn) const {
+    // During drain, binary connections stop being read (their pipelined
+    // requests die with the drain contract) but HTTP and still-unknown
+    // connections keep flowing so readiness probes get answers.
     return !conn->dead && !conn->paused && !conn->closing && !conn->peer_closed &&
-           !drain_started_;
+           (!drain_started_ || conn->mode != Mode::kBinary);
   }
 
   void ReadInput(Connection* conn) {
     char buffer[64 * 1024];
     size_t total = 0;
+    // Frames decoded from this burst are charged to its start — or to the
+    // pause start when this is the first read after a backpressure
+    // resume, since those bytes waited in the kernel the whole time.
+    conn->read_stamp_us =
+        conn->resume_origin_us != 0 ? conn->resume_origin_us : SteadyNowMicros();
+    conn->resume_origin_us = 0;
     while (total < kMaxReadPerEvent && WantRead(conn)) {
       const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
       if (n > 0) {
         total += static_cast<size_t>(n);
+        metrics_.OnBytesRead(static_cast<uint64_t>(n));
         ProcessInput(conn, buffer, static_cast<size_t>(n));
         continue;
       }
@@ -306,6 +393,14 @@ class NetServer::Impl {
       ProcessHttp(conn, data, size);
       return;
     }
+    if (drain_started_) {
+      // A connection revealing itself as binary mid-drain gets one typed
+      // refusal instead of silence: the drain contract only covers
+      // requests received before it began.
+      SendBytes(conn, EncodeErrorFrame(0, Status::Unavailable("server is draining")));
+      conn->closing = true;
+      return;
+    }
     conn->decoder.Append(data, size);
     while (!conn->dead && !conn->closing) {
       bool has_frame = false;
@@ -314,13 +409,16 @@ class NetServer::Impl {
       if (!status.ok()) {
         // Corrupt stream: answer with a typed error (no frame, so no
         // request id) and close once earlier responses have flushed.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.OnProtocolError(status.code() == StatusCode::kOutOfRange
+                                     ? NetErrorKind::kOversize
+                                     : NetErrorKind::kEnvelope);
         SendBytes(conn, EncodeErrorFrame(0, status));
         conn->closing = true;
         return;
       }
       if (!has_frame) return;
-      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.OnFrameReceived(frame.traced());
+      metrics_.ObserveSocketWait(OffsetMicros(SteadyNowMicros(), conn->read_stamp_us));
       HandleFrame(conn, frame);
     }
   }
@@ -331,16 +429,17 @@ class NetServer::Impl {
         NwcRequest request;
         const Status status = DecodeNwcRequest(frame.body, &request);
         if (!status.ok()) {
-          ProtocolError(conn, frame.request_id, status);
+          ProtocolError(conn, frame.request_id, status, NetErrorKind::kBody);
           return;
         }
         const Status valid = request.query.Validate();
         if (!valid.ok()) {
           // Wire-valid but semantically invalid: a typed response, not a
-          // connection-fatal protocol error.
+          // connection-fatal protocol error. Answered untraced — the
+          // request never entered the pipeline being timed.
           NwcResponse response;
           response.status = valid;
-          responses_sent_.fetch_add(1, std::memory_order_relaxed);
+          metrics_.OnFrameSent();
           SendBytes(conn, EncodeNwcResponseFrame(frame.request_id, response));
           return;
         }
@@ -348,25 +447,52 @@ class NetServer::Impl {
         outstanding_.fetch_add(1, std::memory_order_acq_rel);
         const uint64_t conn_id = conn->id;
         const uint64_t request_id = frame.request_id;
-        service_.SubmitNwcAsync(
-            std::move(request), [this, conn_id, request_id](NwcResponse response) {
-              // Worker thread: encode here so the loop only memcpys.
-              PushCompletion(conn_id, EncodeNwcResponseFrame(request_id, response));
-            });
+        if (frame.traced()) {
+          const uint64_t receive_us = conn->read_stamp_us;
+          const uint64_t decode_us = OffsetMicros(SteadyNowMicros(), receive_us);
+          service_.SubmitNwcAsyncTraced(
+              std::move(request),
+              [this, conn_id, request_id, receive_us, decode_us](
+                  NwcResponse response, const QueryService::AsyncTiming& stamps) {
+                // Worker thread: encode here so the loop only memcpys.
+                // The flush stamp is provisional until the loop patches
+                // it at send time.
+                ServerTiming timing;
+                timing.decode_us = decode_us;
+                timing.enqueue_us = OffsetMicros(stamps.enqueue_us, receive_us);
+                timing.dequeue_us = OffsetMicros(stamps.dequeue_us, receive_us);
+                timing.execute_us = OffsetMicros(stamps.finish_us, receive_us);
+                std::string body;
+                EncodeNwcResponse(response, &body);
+                timing.encode_us = OffsetMicros(SteadyNowMicros(), receive_us);
+                timing.flush_us = timing.encode_us;
+                AppendServerTiming(&body, timing);
+                std::string bytes;
+                AppendFrame(&bytes, MsgType::kNwcResponse, request_id, body,
+                            kEnvelopeFlagTrace);
+                PushCompletion(conn_id, std::move(bytes), /*traced=*/true, receive_us);
+              });
+        } else {
+          service_.SubmitNwcAsync(
+              std::move(request), [this, conn_id, request_id](NwcResponse response) {
+                // Worker thread: encode here so the loop only memcpys.
+                PushCompletion(conn_id, EncodeNwcResponseFrame(request_id, response));
+              });
+        }
         return;
       }
       case MsgType::kKnwcRequest: {
         KnwcRequest request;
         const Status status = DecodeKnwcRequest(frame.body, &request);
         if (!status.ok()) {
-          ProtocolError(conn, frame.request_id, status);
+          ProtocolError(conn, frame.request_id, status, NetErrorKind::kBody);
           return;
         }
         const Status valid = request.query.Validate();
         if (!valid.ok()) {
           KnwcResponse response;
           response.status = valid;
-          responses_sent_.fetch_add(1, std::memory_order_relaxed);
+          metrics_.OnFrameSent();
           SendBytes(conn, EncodeKnwcResponseFrame(frame.request_id, response));
           return;
         }
@@ -374,60 +500,149 @@ class NetServer::Impl {
         outstanding_.fetch_add(1, std::memory_order_acq_rel);
         const uint64_t conn_id = conn->id;
         const uint64_t request_id = frame.request_id;
-        service_.SubmitKnwcAsync(
-            std::move(request), [this, conn_id, request_id](KnwcResponse response) {
-              PushCompletion(conn_id, EncodeKnwcResponseFrame(request_id, response));
-            });
+        if (frame.traced()) {
+          const uint64_t receive_us = conn->read_stamp_us;
+          const uint64_t decode_us = OffsetMicros(SteadyNowMicros(), receive_us);
+          service_.SubmitKnwcAsyncTraced(
+              std::move(request),
+              [this, conn_id, request_id, receive_us, decode_us](
+                  KnwcResponse response, const QueryService::AsyncTiming& stamps) {
+                ServerTiming timing;
+                timing.decode_us = decode_us;
+                timing.enqueue_us = OffsetMicros(stamps.enqueue_us, receive_us);
+                timing.dequeue_us = OffsetMicros(stamps.dequeue_us, receive_us);
+                timing.execute_us = OffsetMicros(stamps.finish_us, receive_us);
+                std::string body;
+                EncodeKnwcResponse(response, &body);
+                timing.encode_us = OffsetMicros(SteadyNowMicros(), receive_us);
+                timing.flush_us = timing.encode_us;
+                AppendServerTiming(&body, timing);
+                std::string bytes;
+                AppendFrame(&bytes, MsgType::kKnwcResponse, request_id, body,
+                            kEnvelopeFlagTrace);
+                PushCompletion(conn_id, std::move(bytes), /*traced=*/true, receive_us);
+              });
+        } else {
+          service_.SubmitKnwcAsync(
+              std::move(request), [this, conn_id, request_id](KnwcResponse response) {
+                PushCompletion(conn_id, EncodeKnwcResponseFrame(request_id, response));
+              });
+        }
         return;
       }
       case MsgType::kNwcResponse:
       case MsgType::kKnwcResponse:
       case MsgType::kError:
         ProtocolError(conn, frame.request_id,
-                      Status::InvalidArgument("wire: client sent a server-only frame type"));
+                      Status::InvalidArgument("wire: client sent a server-only frame type"),
+                      NetErrorKind::kDirection);
         return;
     }
   }
 
   // Typed protocol error: report, then close after the backlog flushes.
-  void ProtocolError(Connection* conn, uint64_t request_id, const Status& status) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  void ProtocolError(Connection* conn, uint64_t request_id, const Status& status,
+                     NetErrorKind kind) {
+    metrics_.OnProtocolError(kind);
     SendBytes(conn, EncodeErrorFrame(request_id, status));
     conn->closing = true;
   }
 
+  // Incremental HTTP/1.1 request assembly: requests may arrive split
+  // across any number of reads and several may arrive pipelined in one —
+  // the buffer is consumed head-by-head until it holds no complete
+  // request. GET carries no body, so head-delimited framing is exact.
   void ProcessHttp(Connection* conn, const char* data, size_t size) {
     conn->http_head.append(data, size);
-    if (conn->http_head.size() > kMaxHttpHead) {
-      Close(conn);
+    while (!conn->dead && !conn->closing) {
+      const size_t line_end = conn->http_head.find("\r\n");
+      if (line_end == std::string::npos) {
+        if (conn->http_head.size() > kMaxHttpRequestLine) {
+          HttpError(conn, "400 Bad Request", "request line too long\n");
+        }
+        return;
+      }
+      if (line_end > kMaxHttpRequestLine) {
+        HttpError(conn, "400 Bad Request", "request line too long\n");
+        return;
+      }
+      const size_t head_end = conn->http_head.find("\r\n\r\n");
+      if (head_end == std::string::npos) {
+        if (conn->http_head.size() > kMaxHttpHead) {
+          HttpError(conn, "400 Bad Request", "request head too large\n");
+        }
+        return;
+      }
+      const std::string head = conn->http_head.substr(0, head_end + 4);
+      conn->http_head.erase(0, head_end + 4);
+      HandleHttpRequest(conn, head);
+    }
+  }
+
+  void HandleHttpRequest(Connection* conn, const std::string& head) {
+    metrics_.OnHttpRequest();
+    const std::string request_line = head.substr(0, head.find("\r\n"));
+    const bool close = HttpWantsClose(head, request_line);
+    if (request_line.compare(0, 4, "GET ") != 0) {
+      HttpError(conn, "405 Method Not Allowed", "only GET is supported\n");
       return;
     }
-    const size_t end = conn->http_head.find("\r\n\r\n");
-    if (end == std::string::npos) return;
-    http_requests_.fetch_add(1, std::memory_order_relaxed);
+    const size_t path_end = request_line.find(' ', 4);
+    const std::string path = path_end == std::string::npos
+                                 ? request_line.substr(4)
+                                 : request_line.substr(4, path_end - 4);
 
-    const std::string request_line = conn->http_head.substr(0, conn->http_head.find("\r\n"));
-    std::string body;
-    std::string head;
-    if (request_line.compare(0, 13, "GET /metrics ") == 0) {
-      body = ToPrometheusText(service_.SnapshotMetrics(), service_.SnapshotLatencyHistogram());
-      head = StrFormat(
-          "HTTP/1.1 200 OK\r\n"
-          "Content-Type: text/plain; version=0.0.4\r\n"
-          "Content-Length: %zu\r\n"
-          "Connection: close\r\n\r\n",
-          body.size());
+    if (path == "/metrics") {
+      std::string body =
+          ToPrometheusText(service_.SnapshotMetrics(), service_.SnapshotLatencyHistogram());
+      AppendNetMetricsText(metrics_.Snapshot(), &body);
+      HttpRespond(conn, "200 OK", "text/plain; version=0.0.4", body, close);
+    } else if (path == "/healthz") {
+      HttpRespond(conn, "200 OK", "text/plain", "ok\n", close);
+    } else if (path == "/readyz") {
+      // Readiness flips the instant RequestDrain() runs — before the
+      // drain has made any progress — so load balancers stop routing
+      // while the listener is still up.
+      if (drain_.load(std::memory_order_acquire)) {
+        HttpRespond(conn, "503 Service Unavailable", "text/plain", "draining\n", close);
+      } else {
+        HttpRespond(conn, "200 OK", "text/plain", "ready\n", close);
+      }
+    } else if (path == "/debug/slow") {
+      std::string body;
+      for (const auto& trace : service_.SlowTraces()) {
+        if (trace != nullptr) body += ToJsonl(*trace);
+      }
+      HttpRespond(conn, "200 OK", "application/x-ndjson", body, close);
+    } else if (path == "/varz") {
+      const std::string body = StrFormat("{\"service\":%s,\"net\":%s}",
+                                         service_.SnapshotMetrics().ToJson().c_str(),
+                                         metrics_.Snapshot().ToJson().c_str());
+      HttpRespond(conn, "200 OK", "application/json", body, close);
     } else {
-      body = "not found\n";
-      head = StrFormat(
-          "HTTP/1.1 404 Not Found\r\n"
-          "Content-Type: text/plain\r\n"
-          "Content-Length: %zu\r\n"
-          "Connection: close\r\n\r\n",
-          body.size());
+      HttpRespond(conn, "404 Not Found", "text/plain", "not found\n", close);
     }
-    SendBytes(conn, head + body);
-    conn->closing = true;
+  }
+
+  void HttpRespond(Connection* conn, const char* status_line, const char* content_type,
+                   const std::string& body, bool close) {
+    std::string response = StrFormat(
+        "HTTP/1.1 %s\r\n"
+        "Content-Type: %s\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: %s\r\n\r\n",
+        status_line, content_type, body.size(), close ? "close" : "keep-alive");
+    response += body;
+    SendBytes(conn, std::move(response));
+    if (close) conn->closing = true;
+  }
+
+  // Unparseable HTTP input: a typed 4xx, counted as a protocol error, and
+  // the connection closes (the stream has no trustworthy request
+  // boundary to resume from).
+  void HttpError(Connection* conn, const char* status_line, const std::string& body) {
+    metrics_.OnProtocolError(NetErrorKind::kHttp);
+    HttpRespond(conn, status_line, "text/plain", body, /*close=*/true);
   }
 
   // ---- output -------------------------------------------------------------
@@ -440,6 +655,7 @@ class NetServer::Impl {
     } else {
       conn->write_buf += bytes;
     }
+    metrics_.ObserveWriteQueue(conn->pending_write());
     Flush(conn);
   }
 
@@ -452,6 +668,7 @@ class NetServer::Impl {
                                 conn->pending_write());
       if (n > 0) {
         conn->write_off += static_cast<size_t>(n);
+        metrics_.OnBytesWritten(static_cast<uint64_t>(n));
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -472,16 +689,24 @@ class NetServer::Impl {
     // connections are untouched.
     if (!conn->paused && conn->pending_write() >= config_.write_high_watermark) {
       conn->paused = true;
-      backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
+      conn->paused_since_us = SteadyNowMicros();
+      metrics_.OnBackpressurePause();
     } else if (conn->paused && conn->pending_write() <= config_.write_low_watermark) {
       conn->paused = false;
+      metrics_.OnBackpressureResume(
+          OffsetMicros(SteadyNowMicros(), conn->paused_since_us));
+      // Bytes the peer sent during the pause waited in the kernel; the
+      // next read burst inherits the pause start as its receive origin.
+      conn->resume_origin_us = conn->paused_since_us;
+      conn->paused_since_us = 0;
     }
   }
 
   // Closes a finished connection, else refreshes its epoll interest mask.
   void FinishOrUpdate(Connection* conn) {
     if (conn->dead) return;
-    const bool finished = (conn->closing || drain_started_ || conn->peer_closed) &&
+    const bool finished = (conn->closing || conn->peer_closed ||
+                           (drain_started_ && conn->mode == Mode::kBinary)) &&
                           conn->in_flight == 0 && conn->pending_write() == 0;
     if (finished) {
       Close(conn);
@@ -507,14 +732,21 @@ class NetServer::Impl {
   void Close(Connection* conn) {
     if (conn->dead) return;
     conn->dead = true;
+    if (conn->paused && conn->paused_since_us != 0) {
+      // A connection dying mid-pause still accounts its paused span.
+      metrics_.OnBackpressureResume(OffsetMicros(SteadyNowMicros(), conn->paused_since_us));
+      conn->paused_since_us = 0;
+    }
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
     ::close(conn->fd);
     conn->fd = -1;
-    connections_closed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.OnClose();
     dead_ids_.push_back(conn->id);
   }
 
   void ReapDead() {
+    if (dead_ids_.empty()) return;
+    metrics_.OnReap(dead_ids_.size());
     for (const uint64_t id : dead_ids_) connections_.erase(id);
     dead_ids_.clear();
   }
@@ -533,7 +765,13 @@ class NetServer::Impl {
       if (it == connections_.end() || it->second->dead) continue;  // died first
       Connection* conn = it->second.get();
       --conn->in_flight;
-      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      if (completion.traced) {
+        // Only the loop knows when the frame starts toward the socket;
+        // the worker left a provisional flush stamp to overwrite.
+        PatchServerTimingFlush(&completion.bytes,
+                               OffsetMicros(SteadyNowMicros(), completion.receive_us));
+      }
+      metrics_.OnFrameSent();
       SendBytes(conn, std::move(completion.bytes));
       FinishOrUpdate(conn);
     }
@@ -542,11 +780,10 @@ class NetServer::Impl {
   void BeginDrainOnce() {
     if (drain_started_) return;
     drain_started_ = true;
-    // Stop accepting.
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    // Stop reading every connection; close the ones already idle. Safe to
+    // The listener deliberately stays open: probes must be able to reach
+    // /readyz (already 503 by now) for the whole drain window. Binary
+    // connections stop being read and close once their in-flight
+    // responses flush; the ones already idle close here. Safe to
     // iterate: FinishOrUpdate defers erasure to ReapDead().
     for (const auto& [id, conn] : connections_) {
       if (!conn->dead) FinishOrUpdate(conn.get());
@@ -575,13 +812,9 @@ class NetServer::Impl {
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
   std::vector<uint64_t> dead_ids_;
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_closed_{0};
-  std::atomic<uint64_t> frames_received_{0};
-  std::atomic<uint64_t> responses_sent_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> backpressure_pauses_{0};
-  std::atomic<uint64_t> http_requests_{0};
+  // All counters for the layer; mutated on the loop thread, snapshotted
+  // from anywhere (internally locked).
+  NetMetrics metrics_;
 };
 
 NetServer::NetServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -601,5 +834,6 @@ void NetServer::RequestDrain() { impl_->RequestDrain(); }
 void NetServer::Wait() { impl_->Wait(); }
 bool NetServer::draining() const { return impl_->draining(); }
 NetServer::Stats NetServer::GetStats() const { return impl_->GetStats(); }
+NetMetricsSnapshot NetServer::SnapshotNetMetrics() const { return impl_->SnapshotNetMetrics(); }
 
 }  // namespace nwc

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/net_metrics.h"
 #include "service/query_service.h"
 
 namespace nwc {
@@ -41,21 +42,35 @@ struct NetServerConfig {
 /// completion order and matched by request id; many in-flight queries
 /// share one connection.
 ///
-/// Protocol: the binary frame format of net/wire.h. A connection whose
-/// first bytes look like an HTTP request method instead gets minimal
-/// HTTP/1.1 handling: `GET /metrics` renders the service's Prometheus
-/// exposition (Content-Type: text/plain; version=0.0.4) and closes.
+/// Protocol: the binary frame format of net/wire.h. A request carrying
+/// the envelope trace bit (kEnvelopeFlagTrace) is timed through the whole
+/// pipeline and its response returns with a ServerTiming annotation; an
+/// untraced request is answered bit-identically to the pre-flag protocol.
+///
+/// A connection whose first bytes look like an HTTP request method
+/// instead gets a small HTTP/1.1 admin surface (keep-alive and pipelined
+/// GETs supported):
+///
+///   /metrics     Prometheus exposition: service + nwc_net_* families
+///   /healthz     liveness ("ok" while the loop runs)
+///   /readyz      readiness; 503 from the instant drain is requested
+///   /debug/slow  the slow-trace ring as JSON Lines
+///   /varz        service + net metrics as one JSON document
 ///
 /// Flow control composes two layers: the service's shed watermark fails
 /// excess requests fast with a typed Unavailable response, and the write
 /// watermarks above stop reading any connection whose peer stops
 /// draining responses — without stalling other connections.
 ///
-/// Graceful drain (RequestDrain, typically wired to SIGTERM): the
-/// listener closes, already-received requests run to completion (their
-/// deadlines still apply), every response is flushed, then connections
-/// close and Wait() returns. Requests half-received when drain starts
-/// are dropped with the connection.
+/// Graceful drain (RequestDrain, typically wired to SIGTERM): binary
+/// connections stop being read, already-received requests run to
+/// completion (their deadlines still apply) and every response is
+/// flushed. The listener stays open for the drain's duration so health
+/// probes can still observe the 503 readiness flip — new binary traffic
+/// is answered with one Unavailable error frame — and closes when the
+/// last in-flight response has flushed, at which point Wait() returns.
+/// Requests half-received when drain starts are dropped with the
+/// connection.
 ///
 /// ThreadSafety: Start/Wait/RequestDrain/GetStats may be called from any
 /// thread. The QueryService must outlive the server.
@@ -97,6 +112,10 @@ class NetServer {
 
   bool draining() const;
   Stats GetStats() const;
+
+  /// The full serving-layer counter set (GetStats is a compact legacy
+  /// view of the same numbers).
+  NetMetricsSnapshot SnapshotNetMetrics() const;
 
  private:
   class Impl;

@@ -254,11 +254,46 @@ bool IsValidMsgType(uint8_t value) {
          value <= static_cast<uint8_t>(MsgType::kError);
 }
 
-void AppendFrame(std::string* out, MsgType type, uint64_t request_id, std::string_view body) {
+void AppendFrame(std::string* out, MsgType type, uint64_t request_id, std::string_view body,
+                 uint8_t flags) {
   PutU32(out, static_cast<uint32_t>(kFrameHeaderBytes + body.size()));
-  PutU8(out, static_cast<uint8_t>(type));
+  PutU8(out, static_cast<uint8_t>(type) | (flags & ~kEnvelopeTypeMask));
   PutU64(out, request_id);
   out->append(body.data(), body.size());
+}
+
+void AppendServerTiming(std::string* out, const ServerTiming& timing) {
+  PutU64(out, timing.decode_us);
+  PutU64(out, timing.enqueue_us);
+  PutU64(out, timing.dequeue_us);
+  PutU64(out, timing.execute_us);
+  PutU64(out, timing.encode_us);
+  PutU64(out, timing.flush_us);
+}
+
+Status SplitServerTiming(std::string_view body, std::string_view* response_body,
+                         ServerTiming* timing) {
+  if (body.size() < kServerTimingWireBytes) {
+    return Status::InvalidArgument(
+        StrFormat("wire: traced body of %zu byte(s) cannot carry a %zu-byte timing record",
+                  body.size(), kServerTimingWireBytes));
+  }
+  const size_t split = body.size() - kServerTimingWireBytes;
+  ByteReader reader(body.substr(split));
+  if (!reader.ReadU64(&timing->decode_us) || !reader.ReadU64(&timing->enqueue_us) ||
+      !reader.ReadU64(&timing->dequeue_us) || !reader.ReadU64(&timing->execute_us) ||
+      !reader.ReadU64(&timing->encode_us) || !reader.ReadU64(&timing->flush_us)) {
+    return Truncated("server timing");
+  }
+  *response_body = body.substr(0, split);
+  return Status::Ok();
+}
+
+void PatchServerTimingFlush(std::string* frame, uint64_t flush_us) {
+  const size_t at = frame->size() - 8;
+  for (int i = 0; i < 8; ++i) {
+    (*frame)[at + i] = static_cast<char>((flush_us >> (8 * i)) & 0xff);
+  }
 }
 
 void EncodeNwcRequest(const NwcRequest& request, std::string* out) {
@@ -384,17 +419,19 @@ Status DecodeStatusBody(std::string_view body, Status* out) {
   return Status::Ok();
 }
 
-std::string EncodeNwcRequestFrame(uint64_t request_id, const NwcRequest& request) {
+std::string EncodeNwcRequestFrame(uint64_t request_id, const NwcRequest& request,
+                                  uint8_t flags) {
   std::string body, frame;
   EncodeNwcRequest(request, &body);
-  AppendFrame(&frame, MsgType::kNwcRequest, request_id, body);
+  AppendFrame(&frame, MsgType::kNwcRequest, request_id, body, flags);
   return frame;
 }
 
-std::string EncodeKnwcRequestFrame(uint64_t request_id, const KnwcRequest& request) {
+std::string EncodeKnwcRequestFrame(uint64_t request_id, const KnwcRequest& request,
+                                   uint8_t flags) {
   std::string body, frame;
   EncodeKnwcRequest(request, &body);
-  AppendFrame(&frame, MsgType::kKnwcRequest, request_id, body);
+  AppendFrame(&frame, MsgType::kKnwcRequest, request_id, body, flags);
   return frame;
 }
 
@@ -451,7 +488,14 @@ Status FrameDecoder::Poll(bool* has_frame, WireFrame* out) {
   }
   if (available < 4 + static_cast<size_t>(payload)) return Status::Ok();
 
-  const uint8_t type = head[4];
+  const uint8_t type_byte = head[4];
+  const uint8_t flags = type_byte & ~kEnvelopeTypeMask;
+  const uint8_t type = type_byte & kEnvelopeTypeMask;
+  if ((flags & ~kEnvelopeKnownFlags) != 0) {
+    poisoned_ = Status::InvalidArgument(
+        StrFormat("wire: unknown envelope flags 0x%02x", flags));
+    return poisoned_;
+  }
   if (!IsValidMsgType(type)) {
     poisoned_ = Status::InvalidArgument(StrFormat("wire: unknown frame type %u", type));
     return poisoned_;
@@ -460,6 +504,7 @@ Status FrameDecoder::Poll(bool* has_frame, WireFrame* out) {
   for (int i = 0; i < 8; ++i) request_id |= static_cast<uint64_t>(head[5 + i]) << (8 * i);
 
   out->type = static_cast<MsgType>(type);
+  out->flags = flags;
   out->request_id = request_id;
   out->body.assign(buffer_.data() + consumed_ + 4 + kFrameHeaderBytes,
                    payload - kFrameHeaderBytes);

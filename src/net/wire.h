@@ -26,6 +26,13 @@ namespace nwc {
 /// requests on one connection and match responses by id (the server
 /// answers in completion order, not submission order).
 ///
+/// The low 5 bits of the type byte carry the MsgType; the high 3 bits are
+/// per-frame envelope flags. A request with kEnvelopeFlagTrace set asks
+/// the server to time the request through its pipeline; the matching
+/// response echoes the flag and appends a ServerTiming record after the
+/// normal body. An untraced frame is bit-identical to the pre-flag
+/// protocol (flags = 0), so tracing costs zero wire bytes when off.
+///
 /// Malformed input never crashes a decoder: a frame whose length field
 /// exceeds the decoder's cap fails with OutOfRange, and every other
 /// corruption (short length, unknown type, truncated or oversized body,
@@ -47,19 +54,68 @@ enum class MsgType : uint8_t {
 /// True when `value` is one of the MsgType enumerators.
 bool IsValidMsgType(uint8_t value);
 
+/// Envelope flag bits, carried in the high bits of the type byte. Frames
+/// with unknown flag bits set are protocol errors (poison the decoder),
+/// so the remaining bits stay available for future negotiation.
+inline constexpr uint8_t kEnvelopeTypeMask = 0x1f;
+inline constexpr uint8_t kEnvelopeFlagTrace = 0x80;
+inline constexpr uint8_t kEnvelopeKnownFlags = kEnvelopeFlagTrace;
+
 /// Smallest legal payload (type byte + request id).
 inline constexpr size_t kFrameHeaderBytes = 9;
 
-/// One decoded frame: the type, the request id, and the raw body bytes
-/// (pass to the matching Decode* function).
+/// One decoded frame: the type, the envelope flags, the request id, and
+/// the raw body bytes (pass to the matching Decode* function).
 struct WireFrame {
   MsgType type = MsgType::kError;
+  uint8_t flags = 0;
   uint64_t request_id = 0;
   std::string body;
+
+  bool traced() const { return (flags & kEnvelopeFlagTrace) != 0; }
 };
 
 /// Appends a complete frame (length prefix included) to `out`.
-void AppendFrame(std::string* out, MsgType type, uint64_t request_id, std::string_view body);
+void AppendFrame(std::string* out, MsgType type, uint64_t request_id, std::string_view body,
+                 uint8_t flags = 0);
+
+/// Server-side pipeline timestamps for one traced request, as microsecond
+/// offsets from the read() that delivered the frame's final byte. Offsets
+/// are non-decreasing in pipeline order:
+///
+///     receive (0) <= decode <= enqueue <= dequeue <= execute <= encode
+///                 <= flush
+///
+/// `flush_us` is stamped by the event loop at the moment the framed
+/// response starts toward the socket, so receive->flush is the span the
+/// request spent inside the server; a loopback client subtracts it from
+/// its observed wall time to isolate the network+generator share.
+struct ServerTiming {
+  uint64_t decode_us = 0;   // frame decoded and body parsed
+  uint64_t enqueue_us = 0;  // handed to the service queue
+  uint64_t dequeue_us = 0;  // a worker picked it up
+  uint64_t execute_us = 0;  // engine finished, response populated
+  uint64_t encode_us = 0;   // response bytes framed (worker thread)
+  uint64_t flush_us = 0;    // event loop began writing the frame
+};
+
+/// Wire size of one ServerTiming record (six u64 offsets).
+inline constexpr size_t kServerTimingWireBytes = 48;
+
+/// Appends the 48-byte ServerTiming record to `out` (the traced-response
+/// body suffix).
+void AppendServerTiming(std::string* out, const ServerTiming& timing);
+
+/// Splits a traced response body into the plain response bytes and the
+/// trailing ServerTiming record. Fails with InvalidArgument when the body
+/// is too short to carry the record.
+Status SplitServerTiming(std::string_view body, std::string_view* response_body,
+                         ServerTiming* timing);
+
+/// Rewrites `flush_us` in place in a fully framed traced response (the
+/// final 8 bytes of the frame). The caller guarantees `frame` ends with a
+/// ServerTiming record.
+void PatchServerTimingFlush(std::string* frame, uint64_t flush_us);
 
 /// Body codecs. Encoders append the body bytes to `*out` (pair with
 /// AppendFrame). Decoders parse exactly the whole body and fail with
@@ -78,8 +134,11 @@ void EncodeStatusBody(const Status& status, std::string* out);
 Status DecodeStatusBody(std::string_view body, Status* out);
 
 /// Convenience: one fully framed request/response in a fresh string.
-std::string EncodeNwcRequestFrame(uint64_t request_id, const NwcRequest& request);
-std::string EncodeKnwcRequestFrame(uint64_t request_id, const KnwcRequest& request);
+/// `flags` lets a client set envelope bits (e.g. kEnvelopeFlagTrace).
+std::string EncodeNwcRequestFrame(uint64_t request_id, const NwcRequest& request,
+                                  uint8_t flags = 0);
+std::string EncodeKnwcRequestFrame(uint64_t request_id, const KnwcRequest& request,
+                                   uint8_t flags = 0);
 std::string EncodeNwcResponseFrame(uint64_t request_id, const NwcResponse& response);
 std::string EncodeKnwcResponseFrame(uint64_t request_id, const KnwcResponse& response);
 std::string EncodeErrorFrame(uint64_t request_id, const Status& status);

@@ -15,6 +15,24 @@ void Gauge(std::string& out, const char* name, const char* help, double value) {
   out += StrFormat("# HELP %s %s\n# TYPE %s gauge\n%s %.6g\n", name, help, name, name, value);
 }
 
+void Histogram(std::string& out, const char* name, const char* help,
+               const LatencyHistogram& hist) {
+  out += StrFormat("# HELP %s %s\n# TYPE %s histogram\n", name, help, name);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < hist.num_buckets(); ++i) {
+    const LatencyHistogram::Bucket bucket = hist.bucket(i);
+    if (bucket.count == 0) continue;  // elide empty buckets; counts stay cumulative
+    cumulative += bucket.count;
+    out += StrFormat("%s_bucket{le=\"%llu\"} %llu\n", name,
+                     static_cast<unsigned long long>(bucket.upper_bound),
+                     static_cast<unsigned long long>(cumulative));
+  }
+  out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name,
+                   static_cast<unsigned long long>(hist.count()));
+  out += StrFormat("%s_sum %llu\n", name, static_cast<unsigned long long>(hist.sum()));
+  out += StrFormat("%s_count %llu\n", name, static_cast<unsigned long long>(hist.count()));
+}
+
 }  // namespace
 
 std::string PromEscapeLabelValue(const std::string& value) {
@@ -83,22 +101,49 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHisto
   Gauge(out, "nwc_queries_per_second", "Wall-clock throughput over the snapshot window.",
         snapshot.Qps());
 
-  const char* hist = "nwc_query_latency_microseconds";
-  out += StrFormat("# HELP %s Per-query wall latency.\n# TYPE %s histogram\n", hist, hist);
-  uint64_t cumulative = 0;
-  for (size_t i = 0; i < latency.num_buckets(); ++i) {
-    const LatencyHistogram::Bucket bucket = latency.bucket(i);
-    if (bucket.count == 0) continue;  // elide empty buckets; counts stay cumulative
-    cumulative += bucket.count;
-    out += StrFormat("%s_bucket{le=\"%llu\"} %llu\n", hist,
-                     static_cast<unsigned long long>(bucket.upper_bound),
-                     static_cast<unsigned long long>(cumulative));
-  }
-  out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", hist,
-                   static_cast<unsigned long long>(latency.count()));
-  out += StrFormat("%s_sum %llu\n", hist, static_cast<unsigned long long>(latency.sum()));
-  out += StrFormat("%s_count %llu\n", hist, static_cast<unsigned long long>(latency.count()));
+  Histogram(out, "nwc_query_latency_microseconds", "Per-query wall latency.", latency);
   return out;
+}
+
+void AppendNetMetricsText(const NetMetricsSnapshot& snapshot, std::string* out) {
+  std::string& text = *out;
+  Counter(text, "nwc_net_connections_accepted_total", "TCP connections accepted.",
+          snapshot.connections_accepted);
+  Counter(text, "nwc_net_connections_closed_total", "TCP connections closed (any reason).",
+          snapshot.connections_closed);
+  Counter(text, "nwc_net_connections_reaped_total",
+          "Connections torn down by the deferred reaper.", snapshot.connections_reaped);
+  Counter(text, "nwc_net_bytes_read_total", "Bytes read off client sockets.",
+          snapshot.bytes_read);
+  Counter(text, "nwc_net_bytes_written_total", "Bytes written to client sockets.",
+          snapshot.bytes_written);
+  Counter(text, "nwc_net_frames_received_total", "Binary request frames decoded.",
+          snapshot.frames_received);
+  Counter(text, "nwc_net_frames_sent_total", "Binary response frames written.",
+          snapshot.frames_sent);
+  Counter(text, "nwc_net_frames_traced_total", "Received frames carrying the trace bit.",
+          snapshot.frames_traced);
+  Counter(text, "nwc_net_http_requests_total", "HTTP requests served by the admin surface.",
+          snapshot.http_requests);
+  text +=
+      "# HELP nwc_net_protocol_errors_total Undecodable inputs by kind.\n"
+      "# TYPE nwc_net_protocol_errors_total counter\n";
+  for (size_t i = 0; i < kNetErrorKindCount; ++i) {
+    text += StrFormat("nwc_net_protocol_errors_total{kind=\"%s\"} %llu\n",
+                      PromEscapeLabelValue(NetErrorKindName(static_cast<NetErrorKind>(i))).c_str(),
+                      static_cast<unsigned long long>(snapshot.protocol_errors[i]));
+  }
+  Counter(text, "nwc_net_backpressure_pauses_total",
+          "Reads paused at the write-buffer high watermark.", snapshot.backpressure_pauses);
+  Counter(text, "nwc_net_backpressure_paused_microseconds_total",
+          "Total time connections spent read-paused.", snapshot.backpressure_paused_micros);
+  Counter(text, "nwc_net_eventfd_wakeups_total",
+          "Event-loop wakeups via the completion eventfd.", snapshot.eventfd_wakeups);
+  Gauge(text, "nwc_net_write_queue_high_water_bytes",
+        "Largest pending write buffer seen on any connection.",
+        static_cast<double>(snapshot.write_queue_high_water));
+  Histogram(text, "nwc_net_socket_wait_microseconds",
+            "Time between a frame's delivering read() and its decode.", snapshot.socket_wait);
 }
 
 }  // namespace nwc

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/net_metrics.h"
 #include "service/latency_histogram.h"
 #include "service/service_metrics.h"
 
@@ -19,6 +20,14 @@ namespace nwc {
 /// The two arguments must come from the same ServiceMetrics (Snapshot() and
 /// LatencySnapshot()) for the aggregate series and the histogram to agree.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot, const LatencyHistogram& latency);
+
+/// Appends the serving-layer (`nwc_net_*`) families to `out` in the same
+/// exposition format: counters for connection/byte/frame/protocol-error/
+/// backpressure activity, gauges for the write-queue high-water mark, and
+/// the `nwc_net_socket_wait_microseconds` histogram. Every family carries
+/// `# HELP`/`# TYPE` metadata; the `kind`-labeled protocol-error series
+/// emits all kinds (zeros included) so scrape schemas stay stable.
+void AppendNetMetricsText(const NetMetricsSnapshot& snapshot, std::string* out);
 
 /// Escapes a string for use inside a Prometheus label value (the part
 /// between the quotes of `name{label="..."}`): backslash, double quote,

@@ -219,8 +219,9 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
     if (worker_pool != nullptr) {
       io.SetCacheProbe([worker_pool](uint32_t page) { return worker_pool->Access(page); });
     }
-    QueryTrace trace = slow_traces_ != nullptr ? QueryTrace::Enabled() : QueryTrace();
-    QueryTrace* trace_ptr = slow_traces_ != nullptr ? &trace : nullptr;
+    const bool tracing = slow_traces_ != nullptr;
+    QueryTrace trace = tracing ? QueryTrace::Enabled() : QueryTrace();
+    QueryTrace* trace_ptr = tracing ? &trace : nullptr;
     QueryControl control;
     if (timing.has_deadline) control.SetDeadline(timing.deadline);
     control.SetCancelCell(&cancel_epoch_, timing.epoch);
@@ -504,6 +505,88 @@ void QueryService::SubmitKnwcAsync(KnwcRequest request, std::function<void(KnwcR
   if (!accepted) {
     (*shared_done)(
         FailedResponse<KnwcResponse>(Status::FailedPrecondition("query service is shut down")));
+  }
+}
+
+void QueryService::SubmitNwcAsyncTraced(
+    NwcRequest request, std::function<void(NwcResponse, const AsyncTiming&)> done) {
+  NwcOptions options;
+  const Status status = CheckRequest(request.options, &options);
+  if (!status.ok()) {
+    const uint64_t now = SteadyNowMicros();
+    done(FailedResponse<NwcResponse>(status), AsyncTiming{now, now, now});
+    return;
+  }
+  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
+    metrics_.RecordShed();
+    const uint64_t now = SteadyNowMicros();
+    done(FailedResponse<NwcResponse>(
+             Status::Unavailable("request shed: queue past the shed watermark")),
+         AsyncTiming{now, now, now});
+    return;
+  }
+  const RequestTiming timing = MakeTiming(request.deadline_micros);
+  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
+  auto shared_done =
+      std::make_shared<std::function<void(NwcResponse, const AsyncTiming&)>>(std::move(done));
+  AsyncTiming stamps;
+  stamps.enqueue_us = SteadyNowMicros();
+  const bool accepted = pool_.Submit(
+      [this, query = request.query, options, timing, stamps, shared_done](size_t worker) mutable {
+        stamps.dequeue_us = SteadyNowMicros();
+        Execute<NwcResponse>(
+            worker, query, options, timing,
+            [&shared_done, &stamps](NwcResponse response) {
+              stamps.finish_us = SteadyNowMicros();
+              (*shared_done)(std::move(response), stamps);
+            });
+      });
+  if (!accepted) {
+    const uint64_t now = SteadyNowMicros();
+    (*shared_done)(
+        FailedResponse<NwcResponse>(Status::FailedPrecondition("query service is shut down")),
+        AsyncTiming{now, now, now});
+  }
+}
+
+void QueryService::SubmitKnwcAsyncTraced(
+    KnwcRequest request, std::function<void(KnwcResponse, const AsyncTiming&)> done) {
+  NwcOptions options;
+  const Status status = CheckRequest(request.options, &options);
+  if (!status.ok()) {
+    const uint64_t now = SteadyNowMicros();
+    done(FailedResponse<KnwcResponse>(status), AsyncTiming{now, now, now});
+    return;
+  }
+  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
+    metrics_.RecordShed();
+    const uint64_t now = SteadyNowMicros();
+    done(FailedResponse<KnwcResponse>(
+             Status::Unavailable("request shed: queue past the shed watermark")),
+         AsyncTiming{now, now, now});
+    return;
+  }
+  const RequestTiming timing = MakeTiming(request.deadline_micros);
+  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
+  auto shared_done =
+      std::make_shared<std::function<void(KnwcResponse, const AsyncTiming&)>>(std::move(done));
+  AsyncTiming stamps;
+  stamps.enqueue_us = SteadyNowMicros();
+  const bool accepted = pool_.Submit(
+      [this, query = request.query, options, timing, stamps, shared_done](size_t worker) mutable {
+        stamps.dequeue_us = SteadyNowMicros();
+        Execute<KnwcResponse>(
+            worker, query, options, timing,
+            [&shared_done, &stamps](KnwcResponse response) {
+              stamps.finish_us = SteadyNowMicros();
+              (*shared_done)(std::move(response), stamps);
+            });
+      });
+  if (!accepted) {
+    const uint64_t now = SteadyNowMicros();
+    (*shared_done)(
+        FailedResponse<KnwcResponse>(Status::FailedPrecondition("query service is shut down")),
+        AsyncTiming{now, now, now});
   }
 }
 

@@ -247,6 +247,29 @@ class QueryService {
   void SubmitNwcAsync(NwcRequest request, std::function<void(NwcResponse)> done);
   void SubmitKnwcAsync(KnwcRequest request, std::function<void(KnwcResponse)> done);
 
+  /// Worker-side timestamps for one traced async request: absolute
+  /// microseconds on the steady clock (SteadyNowMicros()), so a caller on
+  /// the same host subtracts them from its own marks directly. On the
+  /// synchronous failure paths (invalid, shed, shutdown) all three carry
+  /// the same instant — the request never reached the queue.
+  struct AsyncTiming {
+    uint64_t enqueue_us = 0;  ///< accepted into the pool queue
+    uint64_t dequeue_us = 0;  ///< a worker picked the job up
+    uint64_t finish_us = 0;   ///< response populated, handed to `done`
+  };
+
+  /// Traced variants of the async submits for the serving layer: `done`
+  /// additionally receives the request's worker-side timestamps. The
+  /// stamps are three SteadyNowMicros() reads — deliberately NOT a full
+  /// QueryTrace, whose per-span recording costs real throughput; deep
+  /// span traces remain the slow-query machinery's job (trace_slow_queries
+  /// arms every query, traced or not). Untraced requests keep the
+  /// null-recorder path — one branch per record site.
+  void SubmitNwcAsyncTraced(NwcRequest request,
+                            std::function<void(NwcResponse, const AsyncTiming&)> done);
+  void SubmitKnwcAsyncTraced(KnwcRequest request,
+                             std::function<void(KnwcResponse, const AsyncTiming&)> done);
+
   /// Jobs queued but not yet picked up by a worker (approximate — for
   /// monitoring and external admission control).
   size_t QueueDepth() const { return pool_.QueueDepth(); }

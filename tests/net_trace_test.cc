@@ -1,0 +1,196 @@
+// Trace-flag propagation over loopback TCP: a request carrying the
+// envelope trace bit comes back with a ServerTiming annotation whose
+// segments are monotone, fit inside the client-observed wall time, and
+// decompose it into network / server-queue / execute components; a
+// request without the bit costs zero additional wire bytes and flows
+// through the untraced (null-recorder) path.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "datasets/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "rtree/bulk_load.h"
+#include "service/query_service.h"
+
+namespace nwc {
+namespace {
+
+constexpr uint64_t kSeed = 20160315;
+
+Session OpenTestSession(size_t cardinality = 4000) {
+  Dataset dataset = MakeCaLike(kSeed, cardinality);
+  SessionConfig config;
+  config.grid_space = dataset.space;
+  Result<Session> session =
+      Session::Open(BulkLoadStr(dataset.objects, RTreeOptions{}), config);
+  EXPECT_TRUE(session.ok()) << session.status();
+  return std::move(session).value();
+}
+
+NwcRequest MakeRequest() {
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 300, 300, 4};
+  return request;
+}
+
+// Reads exactly one length-prefixed frame off a raw socket and returns
+// its full on-the-wire byte count (4-byte length prefix included).
+size_t ReadOneRawFrame(int fd) {
+  std::string bytes;
+  char buffer[4096];
+  size_t need = 4;  // grows once the length prefix is known
+  while (bytes.size() < need) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0 && errno == EINTR) continue;
+    EXPECT_GT(n, 0) << "connection closed mid-frame";
+    if (n <= 0) return 0;
+    bytes.append(buffer, static_cast<size_t>(n));
+    if (bytes.size() >= 4 && need == 4) {
+      uint32_t payload = 0;
+      std::memcpy(&payload, bytes.data(), sizeof(payload));
+      need = 4 + payload;
+    }
+  }
+  EXPECT_EQ(bytes.size(), need) << "frame over-read (pipelined bytes?)";
+  return bytes.size();
+}
+
+class NetTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_.emplace(OpenTestSession());
+    ServiceConfig config;
+    config.num_threads = 2;
+    service_.emplace(*session_, config);
+    Result<std::unique_ptr<NetServer>> server =
+        NetServer::Start(*service_, NetServerConfig());
+    ASSERT_TRUE(server.ok()) << server.status();
+    server_ = std::move(server).value();
+  }
+
+  NetClient Connect() {
+    Result<NetClient> client = NetClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+
+  std::optional<Session> session_;
+  std::optional<QueryService> service_;
+  std::unique_ptr<NetServer> server_;
+};
+
+// The differential acceptance check: every server-side segment fits
+// inside the client's observed wall time (same steady clock on loopback),
+// the offsets are monotone in pipeline order, and the three-way split —
+// network, queue, execute — reconciles with the wall.
+TEST_F(NetTraceTest, ServerTimingReconcilesWithClientWall) {
+  NetClient client = Connect();
+  const NwcRequest request = MakeRequest();
+  for (uint64_t id = 0; id < 16; ++id) {
+    const uint64_t sent_us = SteadyNowMicros();
+    ASSERT_TRUE(client.SendNwc(id, request, /*traced=*/true).ok());
+    NetReply reply;
+    ASSERT_TRUE(client.Receive(&reply).ok());
+    const uint64_t wall_us = SteadyNowMicros() - sent_us;
+    ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+    EXPECT_EQ(reply.request_id, id);
+    EXPECT_EQ(reply.nwc.status.code(), StatusCode::kOk);
+    ASSERT_TRUE(reply.traced);
+
+    const ServerTiming& t = reply.timing;
+    EXPECT_LE(t.decode_us, t.enqueue_us);
+    EXPECT_LE(t.enqueue_us, t.dequeue_us);
+    EXPECT_LE(t.dequeue_us, t.execute_us);
+    EXPECT_LE(t.execute_us, t.encode_us);
+    EXPECT_LE(t.encode_us, t.flush_us);
+    // The server span is a sub-interval of the client's request-response
+    // wall: receive happened after send, flush before receive-complete.
+    EXPECT_LE(t.flush_us, wall_us);
+
+    const uint64_t queue_us = t.dequeue_us - t.enqueue_us;
+    const uint64_t execute_us = t.execute_us - t.dequeue_us;
+    const uint64_t network_us = wall_us - t.flush_us;
+    EXPECT_LE(network_us + queue_us + execute_us, wall_us);
+  }
+  // Every request carried the trace bit; the loop saw all of them.
+  const NetMetricsSnapshot snapshot = server_->SnapshotNetMetrics();
+  EXPECT_EQ(snapshot.frames_traced, 16u);
+  EXPECT_GE(snapshot.frames_received, 16u);
+}
+
+TEST_F(NetTraceTest, UntracedReplyCarriesNoTiming) {
+  NetClient client = Connect();
+  ASSERT_TRUE(client.SendNwc(1, MakeRequest(), /*traced=*/false).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+  EXPECT_FALSE(reply.traced);
+  EXPECT_EQ(reply.timing.flush_us, 0u);
+  EXPECT_EQ(server_->SnapshotNetMetrics().frames_traced, 0u);
+}
+
+// Zero-extra-bytes guarantee, measured on the wire: the same query asked
+// untraced and traced produces responses whose raw frames differ by
+// exactly the 48-byte ServerTiming record — so a client that never sets
+// the bit pays nothing for the feature's existence.
+TEST_F(NetTraceTest, TraceBitCostsExactlyTheTimingRecord) {
+  const NwcRequest request = MakeRequest();
+
+  NetClient untraced = Connect();
+  ASSERT_TRUE(untraced.SendNwc(1, request, /*traced=*/false).ok());
+  const size_t untraced_bytes = ReadOneRawFrame(untraced.fd());
+  ASSERT_GT(untraced_bytes, 0u);
+
+  NetClient traced = Connect();
+  ASSERT_TRUE(traced.SendNwc(1, request, /*traced=*/true).ok());
+  const size_t traced_bytes = ReadOneRawFrame(traced.fd());
+  ASSERT_GT(traced_bytes, 0u);
+
+  EXPECT_EQ(traced_bytes, untraced_bytes + kServerTimingWireBytes);
+}
+
+TEST_F(NetTraceTest, KnwcRequestsPropagateTheTraceBitToo) {
+  NetClient client = Connect();
+  KnwcRequest request;
+  request.query = KnwcQuery{NwcQuery{Point{5000, 5000}, 300, 300, 4}, 2, 1};
+  ASSERT_TRUE(client.SendKnwc(3, request, /*traced=*/true).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kKnwcResponse);
+  ASSERT_TRUE(reply.traced);
+  EXPECT_LE(reply.timing.decode_us, reply.timing.flush_us);
+}
+
+// Tracing must not perturb results: a traced response decodes to the same
+// answer as an untraced one and as direct submission.
+TEST_F(NetTraceTest, TracedResponsesMatchUntracedAnswers) {
+  NetClient client = Connect();
+  const NwcRequest request = MakeRequest();
+  ASSERT_TRUE(client.SendNwc(1, request, /*traced=*/true).ok());
+  NetReply traced_reply;
+  ASSERT_TRUE(client.Receive(&traced_reply).ok());
+  ASSERT_TRUE(client.SendNwc(2, request, /*traced=*/false).ok());
+  NetReply untraced_reply;
+  ASSERT_TRUE(client.Receive(&untraced_reply).ok());
+
+  const NwcResponse direct = service_->SubmitNwc(request).get();
+  for (const NwcResponse* got : {&traced_reply.nwc, &untraced_reply.nwc}) {
+    EXPECT_EQ(got->status.code(), direct.status.code());
+    EXPECT_EQ(got->result.found, direct.result.found);
+    EXPECT_EQ(got->result.distance, direct.result.distance);
+    EXPECT_EQ(got->result.objects, direct.result.objects);
+  }
+}
+
+}  // namespace
+}  // namespace nwc

@@ -164,6 +164,119 @@ TEST(WireFormat, ErrorFrameRoundtrip) {
   EXPECT_EQ(decoded.message(), "bad \"frame\"\n");
 }
 
+TEST(WireFormat, TraceFlagRoundtripsThroughTheEnvelope) {
+  const NwcRequest request = MakeNwcRequest();
+  const WireFrame traced =
+      MustDecodeFrame(EncodeNwcRequestFrame(42, request, kEnvelopeFlagTrace));
+  EXPECT_TRUE(traced.traced());
+  EXPECT_EQ(traced.flags, kEnvelopeFlagTrace);
+  EXPECT_EQ(traced.type, MsgType::kNwcRequest);
+  EXPECT_EQ(traced.request_id, 42u);
+  NwcRequest decoded;
+  ASSERT_TRUE(DecodeNwcRequest(traced.body, &decoded).ok());
+  EXPECT_EQ(decoded.query.n, request.query.n);
+
+  const WireFrame untraced = MustDecodeFrame(EncodeNwcRequestFrame(42, request));
+  EXPECT_FALSE(untraced.traced());
+  EXPECT_EQ(untraced.flags, 0);
+}
+
+// The flag rides the type byte's spare bits: an untraced frame is
+// bit-identical to the pre-flag protocol, and a traced request differs in
+// exactly one byte — the zero-extra-wire-bytes guarantee.
+TEST(WireFormat, TraceFlagCostsZeroExtraRequestBytes) {
+  const std::string untraced = EncodeNwcRequestFrame(9, MakeNwcRequest());
+  const std::string traced = EncodeNwcRequestFrame(9, MakeNwcRequest(), kEnvelopeFlagTrace);
+  ASSERT_EQ(untraced.size(), traced.size());
+  size_t differing = 0;
+  size_t differ_at = 0;
+  for (size_t i = 0; i < untraced.size(); ++i) {
+    if (untraced[i] != traced[i]) {
+      ++differing;
+      differ_at = i;
+    }
+  }
+  EXPECT_EQ(differing, 1u);
+  EXPECT_EQ(differ_at, 4u);  // the type byte, right after the u32 length
+}
+
+TEST(WireFormat, UnknownEnvelopeFlagsFailAndPoison) {
+  std::string stream = EncodeNwcRequestFrame(1, MakeNwcRequest());
+  // Valid type, undefined flag bit: must be rejected so the bit stays
+  // available for future protocol negotiation.
+  stream[4] = static_cast<char>(static_cast<uint8_t>(stream[4]) | 0x40);
+  FrameDecoder decoder(1u << 20);
+  decoder.Append(stream.data(), stream.size());
+  bool has_frame = false;
+  WireFrame frame;
+  EXPECT_EQ(decoder.Poll(&has_frame, &frame).code(), StatusCode::kInvalidArgument);
+  const std::string good = EncodeNwcRequestFrame(2, MakeNwcRequest());
+  decoder.Append(good.data(), good.size());
+  EXPECT_EQ(decoder.Poll(&has_frame, &frame).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFormat, ServerTimingRoundtripsAsBodySuffix) {
+  const NwcResponse response = MakeNwcResponse();
+  std::string body;
+  EncodeNwcResponse(response, &body);
+  const std::string plain = body;
+  ServerTiming timing;
+  timing.decode_us = 3;
+  timing.enqueue_us = 10;
+  timing.dequeue_us = 250;
+  timing.execute_us = 1100;
+  timing.encode_us = 1150;
+  timing.flush_us = 1190;
+  AppendServerTiming(&body, timing);
+  ASSERT_EQ(body.size(), plain.size() + kServerTimingWireBytes);
+
+  std::string_view response_body;
+  ServerTiming decoded;
+  ASSERT_TRUE(SplitServerTiming(body, &response_body, &decoded).ok());
+  EXPECT_EQ(response_body, std::string_view(plain));
+  EXPECT_EQ(decoded.decode_us, timing.decode_us);
+  EXPECT_EQ(decoded.enqueue_us, timing.enqueue_us);
+  EXPECT_EQ(decoded.dequeue_us, timing.dequeue_us);
+  EXPECT_EQ(decoded.execute_us, timing.execute_us);
+  EXPECT_EQ(decoded.encode_us, timing.encode_us);
+  EXPECT_EQ(decoded.flush_us, timing.flush_us);
+  // The split body is what the strict decoder expects — trailing timing
+  // bytes would otherwise fail it.
+  NwcResponse reparsed;
+  ASSERT_TRUE(DecodeNwcResponse(response_body, &reparsed).ok());
+  ExpectSameNwcResponse(reparsed, response);
+}
+
+TEST(WireFormat, SplitServerTimingRejectsShortBodies) {
+  std::string_view response_body;
+  ServerTiming timing;
+  EXPECT_EQ(SplitServerTiming(std::string(kServerTimingWireBytes - 1, '\0'), &response_body,
+                              &timing)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireFormat, PatchServerTimingFlushRewritesOnlyTheFlushField) {
+  std::string body;
+  EncodeNwcResponse(MakeNwcResponse(), &body);
+  ServerTiming timing;
+  timing.decode_us = 5;
+  timing.encode_us = 90;
+  AppendServerTiming(&body, timing);
+  std::string frame;
+  AppendFrame(&frame, MsgType::kNwcResponse, 7, body, kEnvelopeFlagTrace);
+
+  PatchServerTimingFlush(&frame, 123456);
+  const WireFrame decoded = MustDecodeFrame(frame);
+  EXPECT_TRUE(decoded.traced());
+  std::string_view response_body;
+  ServerTiming patched;
+  ASSERT_TRUE(SplitServerTiming(decoded.body, &response_body, &patched).ok());
+  EXPECT_EQ(patched.flush_us, 123456u);
+  EXPECT_EQ(patched.decode_us, 5u);
+  EXPECT_EQ(patched.encode_us, 90u);
+}
+
 TEST(WireFormat, DecoderReassemblesAcrossArbitrarySplits) {
   std::string stream = EncodeNwcRequestFrame(1, MakeNwcRequest());
   stream += EncodeKnwcRequestFrame(2, MakeKnwcRequest());

@@ -4,7 +4,7 @@
 //            [--pipeline=32] [--duration=2] [--deadline-us=0]
 //            [--queries=F.txt | --synthetic=N] [--seed=1]
 //            [--scheme=<plain|srr|dip|dep|iwp|plus|star>]
-//            [--measure=<min|max|avg|nearest>]
+//            [--measure=<min|max|avg|nearest>] [--trace]
 //
 // Holds the target arrival rate regardless of server speed (open loop):
 // request i is due at start + i/qps and its latency is measured from that
@@ -23,8 +23,15 @@
 // under the server's default preset. Exit code 0 when every request was
 // answered (typed error responses included), 1 otherwise.
 //
-// Prints achieved QPS and p50/p95/p99/max latency; see EXPERIMENTS.md for
-// the server-path benchmark recipe built on this tool.
+// --trace sets the envelope trace bit on every request: the server
+// annotates each response with its pipeline timestamps and the report
+// gains a second line splitting latency into network, server-queue, and
+// execute components — the fastest way to tell whether a p99 regression
+// is queueing or query work (see EXPERIMENTS.md).
+//
+// Prints achieved QPS and p50/p95/p99/max latency (linear-interpolated
+// quantiles over the full sample); see EXPERIMENTS.md for the
+// server-path benchmark recipe built on this tool.
 
 #include <cstdio>
 #include <cstdlib>
@@ -123,7 +130,7 @@ int Run(int argc, char** argv) {
                  "usage: nwc_load --port=PORT [--host=H] [--qps=N] [--connections=N]\n"
                  "                [--pipeline=N] [--duration=SECONDS] [--deadline-us=N]\n"
                  "                [--queries=F.txt | --synthetic=N] [--seed=S]\n"
-                 "                [--scheme=...] [--measure=...]\n"
+                 "                [--scheme=...] [--measure=...] [--trace]\n"
                  "see the header of tools/nwc_load.cc for the full reference\n");
     return 2;
   }
@@ -136,6 +143,7 @@ int Run(int argc, char** argv) {
   config.pipeline_depth = static_cast<size_t>(args.GetLong("pipeline", 32));
   config.duration_seconds = args.GetDouble("duration", 2.0);
   config.deadline_micros = static_cast<uint64_t>(args.GetLong("deadline-us", 0));
+  config.trace = args.Has("trace");
   Result<std::optional<NwcOptions>> options = ParseOptionOverride(args);
   if (!options.ok()) return Fail(options.status().ToString());
   config.options = *options;
@@ -152,10 +160,10 @@ int Run(int argc, char** argv) {
   }
 
   std::printf("nwc_load: %s:%u, %.0f q/s target, %zu connection(s) x depth %zu, %.1f s, "
-              "%zu-query workload\n",
+              "%zu-query workload%s\n",
               config.host.c_str(), static_cast<unsigned>(config.port), config.target_qps,
               config.connections, config.pipeline_depth, config.duration_seconds,
-              workload.size());
+              workload.size(), config.trace ? ", traced" : "");
   Result<LoadGenReport> report = RunLoadGen(config, workload);
   if (!report.ok()) return Fail(report.status().ToString());
   std::printf("%s", report->ToString().c_str());
