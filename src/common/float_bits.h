@@ -1,0 +1,34 @@
+#ifndef NWC_COMMON_FLOAT_BITS_H_
+#define NWC_COMMON_FLOAT_BITS_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace nwc {
+
+/// Raw IEEE-754 bit pattern of a double.
+inline uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Bit pattern of a double with -0.0 folded onto +0.0.
+///
+/// Hash keys derived from doubles must use this instead of DoubleBits()
+/// whenever the matching equality compares *numerically* (operator== on
+/// doubles): +0.0 == -0.0 holds numerically but the two encodings differ
+/// in bit 63, so hashing raw bits would place equal keys in different
+/// buckets — undefined behavior for the standard unordered containers.
+/// Canonicalizing the zero restores the "equal keys hash equally"
+/// contract. (NaN payloads need no folding here: NaN != NaN numerically,
+/// so no two NaN keys are ever required to share a bucket.)
+inline uint64_t CanonicalDoubleBits(double value) {
+  if (value == 0.0) value = 0.0;  // folds -0.0 onto +0.0
+  return DoubleBits(value);
+}
+
+}  // namespace nwc
+
+#endif  // NWC_COMMON_FLOAT_BITS_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
+
+#include "simd/kernels.h"
 
 namespace nwc {
 
@@ -30,24 +33,28 @@ bool GroupFitsWindow(const std::vector<DataObject>& group, double l, double w) {
 double GroupDistance(const Point& q, const std::vector<DataObject>& group, double l, double w,
                      DistanceMeasure measure) {
   assert(!group.empty());
+  // The point-wise measures batch the member distances through the kernel
+  // layer; the reductions stay scalar and sequential, so the result (in
+  // particular kAvg's left-to-right summation order) is unchanged.
   switch (measure) {
-    case DistanceMeasure::kMin: {
-      double best = Distance(q, group[0].pos);
-      for (size_t i = 1; i < group.size(); ++i) {
-        best = std::min(best, Distance(q, group[i].pos));
-      }
-      return best;
-    }
-    case DistanceMeasure::kMax: {
-      double worst = Distance(q, group[0].pos);
-      for (size_t i = 1; i < group.size(); ++i) {
-        worst = std::max(worst, Distance(q, group[i].pos));
-      }
-      return worst;
-    }
+    case DistanceMeasure::kMin:
+    case DistanceMeasure::kMax:
     case DistanceMeasure::kAvg: {
+      thread_local std::vector<double> dists;
+      dists.resize(group.size());
+      simd::BatchDistancePoints(q, group.data(), group.size(), dists.data());
+      if (measure == DistanceMeasure::kMin) {
+        double best = dists[0];
+        for (size_t i = 1; i < dists.size(); ++i) best = std::min(best, dists[i]);
+        return best;
+      }
+      if (measure == DistanceMeasure::kMax) {
+        double worst = dists[0];
+        for (size_t i = 1; i < dists.size(); ++i) worst = std::max(worst, dists[i]);
+        return worst;
+      }
       double sum = 0.0;
-      for (const DataObject& obj : group) sum += Distance(q, obj.pos);
+      for (const double d : dists) sum += d;
       return sum / static_cast<double>(group.size());
     }
     case DistanceMeasure::kNearestWindow: {

@@ -1,0 +1,87 @@
+#ifndef NWC_CORE_SEARCH_ARENA_H_
+#define NWC_CORE_SEARCH_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory_resource>
+#include <optional>
+#include <vector>
+
+namespace nwc::internal {
+
+/// Monotonic allocation arena for the transient containers of one search:
+/// the best-first priority queue and the per-candidate member/scratch
+/// buffers. These are pure bump allocations from a retained buffer —
+/// nothing is freed mid-query, every Reset() makes the whole buffer
+/// available again — so steady-state query execution performs zero heap
+/// allocations once the buffer has grown to the workload's high-water
+/// mark.
+///
+/// Usage: call Reset() at the start of each query and hand the returned
+/// memory_resource to std::pmr containers whose lifetime ends before the
+/// next Reset(). When a query overflows the retained buffer, the overflow
+/// is served from the heap (correctness is never at stake) and the buffer
+/// is grown on the next Reset() to absorb it.
+///
+/// NOT thread-safe; intended as a thread_local, one per query worker.
+class SearchArena {
+ public:
+  explicit SearchArena(size_t initial_bytes = 64 * 1024) : buffer_(initial_bytes) {}
+
+  SearchArena(const SearchArena&) = delete;
+  SearchArena& operator=(const SearchArena&) = delete;
+
+  /// Discards all prior allocations and returns the resource for the next
+  /// query. Every container allocated from the previous epoch must already
+  /// be destroyed.
+  std::pmr::memory_resource* Reset() {
+    resource_.reset();  // returns overflow chunks to the upstream counter
+    if (const size_t overflowed = overflow_.TakeAllocated(); overflowed > 0) {
+      // Overflow means the workload outgrew the buffer: retain enough that
+      // the same query shape fits entirely next time, at least doubling to
+      // amortize repeated growth.
+      const size_t target = std::max(buffer_.size() * 2, buffer_.size() + overflowed);
+      buffer_.clear();
+      buffer_.resize(target);
+    }
+    resource_.emplace(buffer_.data(), buffer_.size(), &overflow_);
+    return &*resource_;
+  }
+
+  /// Bytes of retained buffer (diagnostics).
+  size_t capacity() const { return buffer_.size(); }
+
+ private:
+  /// Pass-through to the default heap resource that records how many bytes
+  /// overflowed the retained buffer.
+  class CountingUpstream : public std::pmr::memory_resource {
+   public:
+    size_t TakeAllocated() {
+      const size_t bytes = allocated_;
+      allocated_ = 0;
+      return bytes;
+    }
+
+   private:
+    void* do_allocate(size_t bytes, size_t alignment) override {
+      allocated_ += bytes;
+      return std::pmr::new_delete_resource()->allocate(bytes, alignment);
+    }
+    void do_deallocate(void* p, size_t bytes, size_t alignment) override {
+      std::pmr::new_delete_resource()->deallocate(p, bytes, alignment);
+    }
+    bool do_is_equal(const std::pmr::memory_resource& other) const noexcept override {
+      return this == &other;
+    }
+
+    size_t allocated_ = 0;
+  };
+
+  std::vector<std::byte> buffer_;
+  CountingUpstream overflow_;
+  std::optional<std::pmr::monotonic_buffer_resource> resource_;
+};
+
+}  // namespace nwc::internal
+
+#endif  // NWC_CORE_SEARCH_ARENA_H_

@@ -2,30 +2,64 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
+
+#include "common/float_bits.h"
+#include "simd/kernels.h"
 
 namespace nwc {
 
 namespace {
 
-// Shared DFS for window queries. `emit` is called for each matching object.
-// The control (if any) is polled before each node access so a stopped query
-// never pays for another page read; the walk then unwinds without emitting.
-template <typename Emit>
+// Shared DFS for window queries, iterative with an explicit stack. The
+// recursive formulation used one machine-stack frame (~100 bytes) per tree
+// level, which an adversarial or corrupted tree — a chain of one-child
+// internal nodes — can stretch into the hundreds of thousands and overflow
+// the thread stack. The explicit stack grows on the heap and holds only
+// pending sibling ids, and pushing children in reverse preserves the
+// recursive visit order exactly (same nodes, same order, same emit order,
+// same page charges).
+//
+// `visit_leaf` is called once per reached leaf. The control (if any) is
+// polled before each node access, so a stopped query never pays for
+// another page read; the walk then abandons the remaining frontier, same
+// as the recursion unwinding without emitting.
+//
+// The scratch stack is thread-local because window walks never nest on one
+// thread (leaf visitors only append to result buffers).
+template <typename VisitLeaf>
 void WindowWalk(const RStarTree& tree, NodeId start, const Rect& window, IoCounter* io,
-                IoPhase phase, QueryControl* control, const Emit& emit) {
-  if (control != nullptr && control->ShouldStop()) return;
-  const RTreeNode& n = tree.AccessNode(start, io, phase);
-  if (n.is_leaf()) {
-    for (const DataObject& obj : n.objects) {
-      if (window.Contains(obj.pos)) emit(obj);
+                IoPhase phase, QueryControl* control, const VisitLeaf& visit_leaf) {
+  thread_local std::vector<NodeId> stack;
+  stack.clear();
+  stack.push_back(start);
+  while (!stack.empty()) {
+    const NodeId current = stack.back();
+    stack.pop_back();
+    if (control != nullptr && control->ShouldStop()) {
+      stack.clear();
+      return;
     }
-    return;
+    const RTreeNode& n = tree.AccessNode(current, io, phase);
+    if (n.is_leaf()) {
+      visit_leaf(n);
+      continue;
+    }
+    const std::vector<ChildEntry>& children = n.children;
+    for (size_t i = children.size(); i-- > 0;) {
+      if (children[i].mbr.Intersects(window)) stack.push_back(children[i].child);
+    }
   }
-  for (const ChildEntry& entry : n.children) {
-    if (entry.mbr.Intersects(window)) {
-      WindowWalk(tree, entry.child, window, io, phase, control, emit);
-    }
+}
+
+// Appends the leaf's objects inside `window` to `out`, in ascending slot
+// order — the order the pre-SoA linear scan emitted them in.
+void CollectLeafHits(const RTreeNode& leaf, const Rect& window, std::vector<DataObject>* out) {
+  thread_local std::vector<uint32_t> indices;
+  indices.resize(leaf.objects.size());
+  const size_t hits = simd::CollectInWindow(leaf.objects.xs(), leaf.objects.ys(),
+                                            leaf.objects.size(), window, indices.data());
+  for (size_t i = 0; i < hits; ++i) {
+    out->push_back(leaf.objects[indices[i]]);
   }
 }
 
@@ -33,6 +67,9 @@ void WindowWalk(const RStarTree& tree, NodeId start, const Rect& window, IoCount
 
 size_t WindowQueryMemo::KeyHash::operator()(const Key& key) const {
   // FNV-1a over the scope id and the window's coordinate bit patterns.
+  // Coordinates are canonicalized (-0.0 folded onto +0.0) because
+  // Key::operator== compares the Rect numerically: +0.0 == -0.0 must imply
+  // equal hashes or the unordered_map's bucket invariant breaks.
   uint64_t hash = 1469598103934665603ull;
   auto mix = [&hash](uint64_t value) {
     for (int byte = 0; byte < 8; ++byte) {
@@ -40,17 +77,11 @@ size_t WindowQueryMemo::KeyHash::operator()(const Key& key) const {
       hash *= 1099511628211ull;
     }
   };
-  auto bits = [](double value) {
-    uint64_t out = 0;
-    static_assert(sizeof(out) == sizeof(value));
-    std::memcpy(&out, &value, sizeof(out));
-    return out;
-  };
   mix(static_cast<uint64_t>(key.scope));
-  mix(bits(key.window.min_x));
-  mix(bits(key.window.min_y));
-  mix(bits(key.window.max_x));
-  mix(bits(key.window.max_y));
+  mix(CanonicalDoubleBits(key.window.min_x));
+  mix(CanonicalDoubleBits(key.window.min_y));
+  mix(CanonicalDoubleBits(key.window.max_x));
+  mix(CanonicalDoubleBits(key.window.max_y));
   return static_cast<size_t>(hash);
 }
 
@@ -72,8 +103,9 @@ void WindowQueryMemo::Insert(NodeId scope, const Rect& window, std::vector<DataO
 std::vector<DataObject> WindowQuery(const RStarTree& tree, const Rect& window, IoCounter* io,
                                     IoPhase phase, QueryControl* control) {
   std::vector<DataObject> result;
-  WindowWalk(tree, tree.root(), window, io, phase, control,
-             [&result](const DataObject& obj) { result.push_back(obj); });
+  WindowWalk(tree, tree.root(), window, io, phase, control, [&](const RTreeNode& leaf) {
+    CollectLeafHits(leaf, window, &result);
+  });
   return result;
 }
 
@@ -83,8 +115,9 @@ std::vector<DataObject> WindowQueryFrom(const RStarTree& tree,
                                         QueryControl* control) {
   std::vector<DataObject> result;
   for (const NodeId start : start_nodes) {
-    WindowWalk(tree, start, window, io, phase, control,
-               [&result](const DataObject& obj) { result.push_back(obj); });
+    WindowWalk(tree, start, window, io, phase, control, [&](const RTreeNode& leaf) {
+      CollectLeafHits(leaf, window, &result);
+    });
   }
   return result;
 }
@@ -92,8 +125,10 @@ std::vector<DataObject> WindowQueryFrom(const RStarTree& tree,
 size_t WindowCount(const RStarTree& tree, const Rect& window, IoCounter* io, IoPhase phase,
                    QueryControl* control) {
   size_t count = 0;
-  WindowWalk(tree, tree.root(), window, io, phase, control,
-             [&count](const DataObject&) { ++count; });
+  WindowWalk(tree, tree.root(), window, io, phase, control, [&](const RTreeNode& leaf) {
+    count += simd::CountInWindow(leaf.objects.xs(), leaf.objects.ys(), leaf.objects.size(),
+                                 window);
+  });
   return count;
 }
 
@@ -123,21 +158,30 @@ void DistanceBrowser::Advance() {
     const QueueEntry top = queue_.top();
     queue_.pop();
     const RTreeNode& n = tree_.AccessNode(top.node, io_, phase_);
+    thread_local std::vector<double> distances;
     if (n.is_leaf()) {
-      for (const DataObject& obj : n.objects) {
+      distances.resize(n.objects.size());
+      simd::BatchDistance(q_, n.objects.xs(), n.objects.ys(), n.objects.size(),
+                          distances.data());
+      for (size_t i = 0; i < n.objects.size(); ++i) {
         QueueEntry entry;
-        entry.distance = Distance(q_, obj.pos);
+        entry.distance = distances[i];
         entry.is_object = true;
         entry.node = top.node;  // remember the holding leaf
-        entry.object = obj;
+        entry.object = n.objects[i];
         queue_.push(entry);
       }
     } else {
-      for (const ChildEntry& child : n.children) {
+      distances.resize(n.children.size());
+      if (!n.children.empty()) {
+        simd::BatchMinDist(q_, &n.children.data()->mbr, sizeof(ChildEntry), n.children.size(),
+                           distances.data());
+      }
+      for (size_t i = 0; i < n.children.size(); ++i) {
         QueueEntry entry;
-        entry.distance = MinDist(q_, child.mbr);
+        entry.distance = distances[i];
         entry.is_object = false;
-        entry.node = child.child;
+        entry.node = n.children[i].child;
         queue_.push(entry);
       }
     }

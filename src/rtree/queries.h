@@ -140,10 +140,20 @@ class DistanceBrowser {
 
     // std::priority_queue is a max-heap; invert for nearest-first. Nodes
     // win ties against objects so an object is only emitted once every node
-    // that could contain a closer object has been expanded.
+    // that could contain a closer object has been expanded. The remaining
+    // tie-breaks make this a strict total order — without them,
+    // equal-distance entries popped in heap-layout order, so the browse
+    // sequence depended on how the tree was built (insertion vs bulk load).
+    // Object ties break on object id (layout-independent: every leaf whose
+    // MINDIST is within the tie distance has already been expanded, so all
+    // tied objects are in the queue together and emit in ascending id).
+    // Node ties break on node id, which only affects expansion order, not
+    // emission order.
     friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
       if (a.distance != b.distance) return a.distance > b.distance;
-      return a.is_object && !b.is_object;
+      if (a.is_object != b.is_object) return a.is_object;
+      if (a.is_object) return a.object.id > b.object.id;
+      return a.node > b.node;
     }
   };
 

@@ -217,12 +217,13 @@ void RStarTree::ReinsertEntries(NodeId node_id, std::vector<bool>& levels_reinse
 
   if (n->is_leaf()) {
     // Sort ascending by distance-to-center; the p farthest go last.
-    std::sort(n->objects.begin(), n->objects.end(), [&](const DataObject& a, const DataObject& b) {
+    std::vector<DataObject> objects = n->objects.ToVector();
+    std::sort(objects.begin(), objects.end(), [&](const DataObject& a, const DataObject& b) {
       return center_dist(MbrOfObject(a)) < center_dist(MbrOfObject(b));
     });
-    std::vector<DataObject> removed(n->objects.end() - static_cast<ptrdiff_t>(p),
-                                    n->objects.end());
-    n->objects.resize(count - p);
+    std::vector<DataObject> removed(objects.end() - static_cast<ptrdiff_t>(p), objects.end());
+    objects.resize(count - p);
+    n->objects.Assign(objects);
     AdjustPathMbrs(node_id);
     // "Close reinsert": removed entries go back nearest-first.
     std::sort(removed.begin(), removed.end(), [&](const DataObject& a, const DataObject& b) {
@@ -261,9 +262,9 @@ void RStarTree::SplitNode(NodeId node_id, std::vector<bool>& levels_reinserted) 
   const size_t m = static_cast<size_t>(options_.min_entries);
   if (n->is_leaf()) {
     SplitResult<DataObject> split =
-        SplitEntries(options_.split_algorithm, std::move(n->objects), m, MbrOfObject);
-    n->objects = std::move(split.first);
-    sibling->objects = std::move(split.second);
+        SplitEntries(options_.split_algorithm, n->objects.ToVector(), m, MbrOfObject);
+    n->objects.Assign(split.first);
+    sibling->objects.Assign(split.second);
   } else {
     SplitResult<ChildEntry> split =
         SplitEntries(options_.split_algorithm, std::move(n->children), m, MbrOfChild);
@@ -329,9 +330,15 @@ Status RStarTree::Delete(const DataObject& object) {
                   object.pos.y));
   }
   RTreeNode* leaf = MutableNode(leaf_id);
-  auto it = std::find(leaf->objects.begin(), leaf->objects.end(), object);
-  assert(it != leaf->objects.end());
-  leaf->objects.erase(it);
+  size_t index = leaf->objects.size();
+  for (size_t i = 0; i < leaf->objects.size(); ++i) {
+    if (leaf->objects[i] == object) {
+      index = i;
+      break;
+    }
+  }
+  assert(index < leaf->objects.size());
+  leaf->objects.EraseAt(index);
   --size_;
   CondenseTree(leaf_id);
   // Shrink the root while it is an internal node with a single child.

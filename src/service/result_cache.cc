@@ -1,22 +1,12 @@
 #include "service/result_cache.h"
 
-#include <cstring>
 #include <utility>
 #include <vector>
 
+#include "common/float_bits.h"
+
 namespace nwc {
 namespace {
-
-// Bit pattern of a double with -0.0 folded onto +0.0, so that the two
-// representations of zero (which every engine comparison treats as equal)
-// share one cache entry.
-uint64_t CanonicalBits(double value) {
-  if (value == 0.0) value = 0.0;  // folds -0.0 onto +0.0
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(value));
-  std::memcpy(&bits, &value, sizeof(bits));
-  return bits;
-}
 
 uint8_t PackScheme(const NwcOptions& options) {
   return static_cast<uint8_t>((options.use_srr ? 1u : 0u) | (options.use_dip ? 2u : 0u) |
@@ -30,10 +20,13 @@ ResultCacheKey ResultCacheKey::ForNwc(const NwcQuery& query, const NwcOptions& o
   key.kind = 0;
   key.scheme = PackScheme(options);
   key.measure = static_cast<uint8_t>(options.measure);
-  key.qx_bits = CanonicalBits(query.q.x);
-  key.qy_bits = CanonicalBits(query.q.y);
-  key.l_bits = CanonicalBits(query.length);
-  key.w_bits = CanonicalBits(query.width);
+  // Keys store the *canonical* bits (-0.0 folded onto +0.0), so both the
+  // field-wise operator== and Hash() see one representation per numeric
+  // value — the same hash/equality contract WindowQueryMemo maintains.
+  key.qx_bits = CanonicalDoubleBits(query.q.x);
+  key.qy_bits = CanonicalDoubleBits(query.q.y);
+  key.l_bits = CanonicalDoubleBits(query.length);
+  key.w_bits = CanonicalDoubleBits(query.width);
   key.n = query.n;
   return key;
 }

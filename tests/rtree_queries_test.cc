@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -185,6 +187,130 @@ TEST(WindowQueryFromTest, SubtreeQueryFindsSubtreeObjects) {
     total += sub.size();
   }
   EXPECT_EQ(total, objects.size());
+}
+
+// Regression: WindowQueryMemo hashed the window's raw double bits while its
+// key equality compared the Rect numerically, so a window stored with +0.0
+// coordinates and probed with -0.0 (numerically the same window) compared
+// equal but hashed into a different bucket — a hash/equality contract
+// violation (UB for unordered_map) that in practice surfaced as spurious
+// memo misses on axis-touching windows.
+TEST(WindowQueryMemoTest, SignedZeroWindowsShareOneEntry) {
+  WindowQueryMemo memo;
+  const Rect positive_zero{0.0, 0.0, 10.0, 10.0};
+  const Rect negative_zero{-0.0, -0.0, 10.0, 10.0};
+  ASSERT_TRUE(positive_zero == negative_zero);
+
+  memo.Insert(/*scope=*/0, positive_zero, {DataObject{7, Point{1, 1}}});
+  const std::vector<DataObject>* hit = memo.Find(/*scope=*/0, negative_zero);
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].id, 7u);
+  EXPECT_EQ(memo.hits(), 1u);
+
+  // And the reverse direction: stored with -0.0, probed with +0.0.
+  memo.Insert(/*scope=*/1, negative_zero, {});
+  EXPECT_NE(memo.Find(/*scope=*/1, positive_zero), nullptr);
+  EXPECT_EQ(memo.size(), 2u);
+}
+
+// Regression: WindowWalk recursed once per tree level, so a degenerate
+// chain of one-child internal nodes — legal topology, and reachable
+// through deserializing a corrupted or adversarial file — overflowed the
+// machine stack. The walk is iterative now; this chain is ~200k levels
+// deep, far beyond any thread stack's recursion budget (~8MB / ~100 bytes
+// per frame), and must complete.
+TEST(WindowQueryTest, SurvivesPathologicallyDeepChainTree) {
+  constexpr NodeId kLevels = 200000;
+  std::vector<std::unique_ptr<RTreeNode>> nodes;
+  nodes.reserve(kLevels + 1);
+
+  const DataObject only{42, Point{5.0, 5.0}};
+  auto leaf = std::make_unique<RTreeNode>();
+  leaf->id = 0;
+  leaf->level = 0;
+  leaf->objects.push_back(only);
+  const Rect point_rect = Rect::FromPoint(only.pos);
+  nodes.push_back(std::move(leaf));
+  for (NodeId i = 1; i <= kLevels; ++i) {
+    auto internal = std::make_unique<RTreeNode>();
+    internal->id = i;
+    internal->level = static_cast<int>(i);
+    internal->children.push_back(ChildEntry{point_rect, i - 1});
+    nodes[i - 1]->parent = i;
+    nodes.push_back(std::move(internal));
+  }
+
+  RTreeOptions options;
+  const RStarTree tree =
+      RStarTree::FromParts(options, std::move(nodes), /*root=*/kLevels, /*size=*/1);
+
+  IoCounter io;
+  const std::vector<DataObject> hits =
+      WindowQuery(tree, Rect{0, 0, 10, 10}, &io);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 42u);
+  EXPECT_EQ(io.window_query_reads(), static_cast<uint64_t>(kLevels) + 1);
+  EXPECT_EQ(WindowCount(tree, Rect{0, 0, 10, 10}, nullptr), 1u);
+}
+
+// Regression: the browse queue broke distance ties in heap-layout order,
+// so on tie-heavy data (grids, anything symmetric around q) the emission
+// order depended on how the tree happened to be built. The comparator now
+// breaks object ties by object id, which pins the order and makes it
+// identical across tree layouts.
+TEST(DistanceBrowserTest, TieHeavyGridBrowseOrderIsPinnedAcrossLayouts) {
+  // 4 points at each of 25 distinct distances: every ring of the pattern
+  // (±d, 0), (0, ±d) around q is an exact 4-way tie.
+  const Point q{500.0, 500.0};
+  std::vector<DataObject> objects;
+  for (int ring = 1; ring <= 25; ++ring) {
+    const double d = 10.0 * ring;
+    const Point offsets[] = {{d, 0.0}, {-d, 0.0}, {0.0, d}, {0.0, -d}};
+    for (const Point& offset : offsets) {
+      objects.push_back(DataObject{static_cast<ObjectId>(objects.size()),
+                                   Point{q.x + offset.x, q.y + offset.y}});
+    }
+  }
+
+  const auto browse_ids = [&q](const RStarTree& tree) {
+    std::vector<ObjectId> ids;
+    double last_distance = 0.0;
+    ObjectId last_id = 0;
+    DistanceBrowser browser(tree, q, nullptr);
+    while (browser.HasNext()) {
+      const DistanceBrowser::BrowseItem item = browser.Next();
+      if (!ids.empty()) {
+        EXPECT_GE(item.distance, last_distance);
+        // Within an exact tie run, ids must ascend.
+        if (item.distance == last_distance) {
+          EXPECT_GT(item.object.id, last_id);
+        }
+      }
+      last_distance = item.distance;
+      last_id = item.object.id;
+      ids.push_back(item.object.id);
+    }
+    return ids;
+  };
+
+  // Two very different layouts of the same data: incremental R* inserts
+  // (splits + reinserts) vs STR bulk load (Z-packed leaves).
+  std::vector<ObjectId> insert_order;
+  {
+    const RStarTree tree = BuildTree(objects);
+    insert_order = browse_ids(tree);
+  }
+  std::vector<ObjectId> bulk_order;
+  {
+    RTreeOptions options;
+    options.max_entries = 16;
+    options.min_entries = 6;
+    const RStarTree tree = BulkLoadStr(objects, options);
+    bulk_order = browse_ids(tree);
+  }
+  EXPECT_EQ(insert_order.size(), objects.size());
+  EXPECT_EQ(insert_order, bulk_order);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// End-to-end SIMD differential sweep: the full NWC / kNWC engines run the
+// same randomized instances twice — once forced onto the scalar oracle,
+// once under auto dispatch (AVX2 where the host supports it) — and every
+// observable output must be *bit-exact*: found flag, best distance bits,
+// member ids, and the IoCounter phase breakdown. Identical I/O counts are
+// the strongest signal: they prove the vectorized kernels changed no
+// pruning decision and no traversal order anywhere in the pipeline.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/float_bits.h"
+#include "common/io_stats.h"
+#include "common/rng.h"
+#include "core/knwc_engine.h"
+#include "core/nwc_engine.h"
+#include "grid/density_grid.h"
+#include "rtree/bulk_load.h"
+#include "rtree/iwp_index.h"
+#include "simd/kernels.h"
+
+namespace nwc {
+namespace {
+
+struct Instance {
+  std::vector<DataObject> objects;
+  NwcQuery query;
+};
+
+Instance RandomInstance(Rng& rng) {
+  Instance instance;
+  const size_t count = 40 + rng.NextUint64(160);
+  for (size_t i = 0; i < count; ++i) {
+    instance.objects.push_back(DataObject{
+        static_cast<ObjectId>(i), Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}});
+  }
+  instance.query.q = Point{rng.NextDouble(-20, 120), rng.NextDouble(-20, 120)};
+  instance.query.length = rng.NextDouble(5, 25);
+  instance.query.width = rng.NextDouble(5, 25);
+  instance.query.n = 2 + rng.NextUint64(4);
+  return instance;
+}
+
+RStarTree MediumTree(const std::vector<DataObject>& objects) {
+  RTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  return BulkLoadStr(objects, options);
+}
+
+std::vector<NwcOptions> Presets(DistanceMeasure measure) {
+  std::vector<NwcOptions> presets = {NwcOptions::Plain(), NwcOptions::Dep(), NwcOptions::Iwp(),
+                                     NwcOptions::Star()};
+  for (NwcOptions& preset : presets) preset.measure = measure;
+  return presets;
+}
+
+// Runs one NWC execution and captures everything observable.
+struct NwcObservation {
+  bool ok = false;
+  bool found = false;
+  uint64_t distance_bits = 0;
+  std::vector<ObjectId> member_ids;
+  uint64_t traversal_reads = 0;
+  uint64_t window_query_reads = 0;
+};
+
+NwcObservation ObserveNwc(const RStarTree& tree, const IwpIndex& iwp, const DensityGrid& grid,
+                          const NwcQuery& query, const NwcOptions& options) {
+  IoCounter io;
+  NwcEngine engine(tree, &iwp, &grid);
+  const Result<NwcResult> result = engine.Execute(query, options, &io);
+  NwcObservation obs;
+  obs.ok = result.ok();
+  if (!result.ok()) return obs;
+  obs.found = result->found;
+  obs.distance_bits = DoubleBits(result->distance);
+  for (const DataObject& obj : result->objects) obs.member_ids.push_back(obj.id);
+  obs.traversal_reads = io.traversal_reads();
+  obs.window_query_reads = io.window_query_reads();
+  return obs;
+}
+
+struct KnwcObservation {
+  bool ok = false;
+  std::vector<uint64_t> distance_bits;
+  std::vector<std::vector<ObjectId>> member_ids;
+  uint64_t traversal_reads = 0;
+  uint64_t window_query_reads = 0;
+};
+
+KnwcObservation ObserveKnwc(const RStarTree& tree, const IwpIndex& iwp, const DensityGrid& grid,
+                            const KnwcQuery& query, const NwcOptions& options) {
+  IoCounter io;
+  KnwcEngine engine(tree, &iwp, &grid);
+  const Result<KnwcResult> result = engine.Execute(query, options, &io);
+  KnwcObservation obs;
+  obs.ok = result.ok();
+  if (!result.ok()) return obs;
+  for (const NwcGroup& group : result->groups) {
+    obs.distance_bits.push_back(DoubleBits(group.distance));
+    std::vector<ObjectId> ids;
+    for (const DataObject& obj : group.objects) ids.push_back(obj.id);
+    obs.member_ids.push_back(std::move(ids));
+  }
+  obs.traversal_reads = io.traversal_reads();
+  obs.window_query_reads = io.window_query_reads();
+  return obs;
+}
+
+// Restores the entry dispatch mode even when an assertion fails out of the
+// test body.
+class DispatchModeGuard {
+ public:
+  DispatchModeGuard() : saved_(simd::GetDispatchMode()) {}
+  ~DispatchModeGuard() { simd::SetDispatchMode(saved_); }
+
+ private:
+  simd::DispatchMode saved_;
+};
+
+class SimdDifferentialTest : public ::testing::TestWithParam<DistanceMeasure> {
+ protected:
+  void SetUp() override {
+    if (!simd::Avx2Supported()) {
+      GTEST_SKIP() << "AVX2 not available; scalar-vs-auto sweep is vacuous";
+    }
+  }
+};
+
+TEST_P(SimdDifferentialTest, NwcBitExactAcrossDispatchOnAllPresets) {
+  DispatchModeGuard guard;
+  Rng rng(0x51D0 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    const Instance instance = RandomInstance(rng);
+    const RStarTree tree = MediumTree(instance.objects);
+    const IwpIndex iwp = IwpIndex::Build(tree);
+    const DensityGrid grid(Rect{0, 0, 100, 100}, 10.0, instance.objects);
+    for (const NwcOptions& options : Presets(GetParam())) {
+      simd::SetDispatchMode(simd::DispatchMode::kForceScalar);
+      const NwcObservation scalar = ObserveNwc(tree, iwp, grid, instance.query, options);
+      simd::SetDispatchMode(simd::DispatchMode::kAuto);
+      const NwcObservation vectorized = ObserveNwc(tree, iwp, grid, instance.query, options);
+
+      ASSERT_EQ(scalar.ok, vectorized.ok) << "trial " << trial;
+      ASSERT_EQ(scalar.found, vectorized.found) << "trial " << trial;
+      ASSERT_EQ(scalar.distance_bits, vectorized.distance_bits) << "trial " << trial;
+      ASSERT_EQ(scalar.member_ids, vectorized.member_ids) << "trial " << trial;
+      ASSERT_EQ(scalar.traversal_reads, vectorized.traversal_reads) << "trial " << trial;
+      ASSERT_EQ(scalar.window_query_reads, vectorized.window_query_reads) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(SimdDifferentialTest, KnwcBitExactAcrossDispatchOnAllPresets) {
+  DispatchModeGuard guard;
+  Rng rng(0x51D1 + static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance instance = RandomInstance(rng);
+    const KnwcQuery query{instance.query, 2 + rng.NextUint64(3),
+                          rng.NextUint64(instance.query.n)};
+    const RStarTree tree = MediumTree(instance.objects);
+    const IwpIndex iwp = IwpIndex::Build(tree);
+    const DensityGrid grid(Rect{0, 0, 100, 100}, 10.0, instance.objects);
+    for (const NwcOptions& options : Presets(GetParam())) {
+      simd::SetDispatchMode(simd::DispatchMode::kForceScalar);
+      const KnwcObservation scalar = ObserveKnwc(tree, iwp, grid, query, options);
+      simd::SetDispatchMode(simd::DispatchMode::kAuto);
+      const KnwcObservation vectorized = ObserveKnwc(tree, iwp, grid, query, options);
+
+      ASSERT_EQ(scalar.ok, vectorized.ok) << "trial " << trial;
+      ASSERT_EQ(scalar.distance_bits, vectorized.distance_bits) << "trial " << trial;
+      ASSERT_EQ(scalar.member_ids, vectorized.member_ids) << "trial " << trial;
+      ASSERT_EQ(scalar.traversal_reads, vectorized.traversal_reads) << "trial " << trial;
+      ASSERT_EQ(scalar.window_query_reads, vectorized.window_query_reads) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, SimdDifferentialTest,
+                         ::testing::Values(DistanceMeasure::kMin, DistanceMeasure::kMax,
+                                           DistanceMeasure::kAvg,
+                                           DistanceMeasure::kNearestWindow),
+                         [](const ::testing::TestParamInfo<DistanceMeasure>& info) {
+                           return DistanceMeasureName(info.param);
+                         });
+
+}  // namespace
+}  // namespace nwc
