@@ -56,6 +56,12 @@ class DensityGrid {
   /// is a caller bug and asserts in debug builds.
   void OnRemove(const Point& p);
 
+  /// Forces the lazy prefix-sum rebuild now, returning the grid to the
+  /// frozen read-only state in which concurrent CountUpperBound() calls are
+  /// safe. The snapshot layer calls this before publishing a grid (or a
+  /// copy of one) to readers.
+  void Freeze() const { RebuildPrefixIfDirty(); }
+
   /// Exact count of objects assigned to the cell holding `p` (for tests).
   uint32_t CellCount(const Point& p) const;
 

@@ -91,6 +91,10 @@ Status NetClient::SendKnwc(uint64_t request_id, const KnwcRequest& request, bool
       EncodeKnwcRequestFrame(request_id, request, traced ? kEnvelopeFlagTrace : 0));
 }
 
+Status NetClient::SendUpdate(uint64_t request_id, const MutationBatch& batch) {
+  return SendRaw(EncodeUpdateRequestFrame(request_id, batch));
+}
+
 Status NetClient::SendRaw(std::string_view bytes) { return WriteAll(fd_, bytes); }
 
 Status NetClient::Receive(NetReply* out) {
@@ -119,8 +123,11 @@ Status NetClient::Receive(NetReply* out) {
           return DecodeKnwcResponse(body, &out->knwc);
         case MsgType::kError:
           return DecodeStatusBody(body, &out->error);
+        case MsgType::kUpdateResponse:
+          return DecodeUpdateResponse(body, &out->update);
         case MsgType::kNwcRequest:
         case MsgType::kKnwcRequest:
+        case MsgType::kUpdateRequest:
           return Status::InvalidArgument("wire: server sent a client-only frame type");
       }
     }

@@ -22,6 +22,7 @@ struct NetReply {
   uint64_t request_id = 0;
   NwcResponse nwc;
   KnwcResponse knwc;
+  UpdateResponse update;  ///< for kUpdateResponse
   Status error;
   bool traced = false;
   ServerTiming timing;
@@ -53,6 +54,11 @@ class NetClient {
   /// for a ServerTiming annotation on the response.
   Status SendNwc(uint64_t request_id, const NwcRequest& request, bool traced = false);
   Status SendKnwc(uint64_t request_id, const KnwcRequest& request, bool traced = false);
+
+  /// Frames and writes one mutation batch. The server applies it and
+  /// publishes a new epoch; the kUpdateResponse reply carries the apply
+  /// outcome (or FailedPrecondition from a static server).
+  Status SendUpdate(uint64_t request_id, const MutationBatch& batch);
 
   /// Writes raw bytes verbatim — the fuzz/robustness tests' way of
   /// putting malformed frames on the wire.

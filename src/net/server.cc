@@ -530,9 +530,29 @@ class NetServer::Impl {
         }
         return;
       }
+      case MsgType::kUpdateRequest: {
+        MutationBatch batch;
+        const Status status = DecodeUpdateRequest(frame.body, &batch);
+        if (!status.ok()) {
+          ProtocolError(conn, frame.request_id, status, NetErrorKind::kBody);
+          return;
+        }
+        // Applied inline on the loop thread: updates are rare relative to
+        // queries and the store serializes writers anyway, so routing them
+        // through the worker pool would only add queueing without
+        // parallelism. Queries already in flight keep serving their
+        // acquired snapshots; responses after this frame see the new
+        // epoch. On a static service ApplyUpdate answers
+        // FailedPrecondition — a typed response, not a protocol error.
+        const UpdateResponse response = service_.ApplyUpdate(batch);
+        metrics_.OnFrameSent();
+        SendBytes(conn, EncodeUpdateResponseFrame(frame.request_id, response));
+        return;
+      }
       case MsgType::kNwcResponse:
       case MsgType::kKnwcResponse:
       case MsgType::kError:
+      case MsgType::kUpdateResponse:
         ProtocolError(conn, frame.request_id,
                       Status::InvalidArgument("wire: client sent a server-only frame type"),
                       NetErrorKind::kDirection);

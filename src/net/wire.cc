@@ -251,7 +251,7 @@ bool ReadResponseCommon(ByteReader* reader, Response* out, Status* error) {
 
 bool IsValidMsgType(uint8_t value) {
   return value >= static_cast<uint8_t>(MsgType::kNwcRequest) &&
-         value <= static_cast<uint8_t>(MsgType::kError);
+         value <= static_cast<uint8_t>(MsgType::kUpdateResponse);
 }
 
 void AppendFrame(std::string* out, MsgType type, uint64_t request_id, std::string_view body,
@@ -419,6 +419,64 @@ Status DecodeStatusBody(std::string_view body, Status* out) {
   return Status::Ok();
 }
 
+void EncodeUpdateRequest(const MutationBatch& batch, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(batch.size()));
+  for (const Mutation& m : batch) {
+    PutU8(out, static_cast<uint8_t>(m.kind));
+    PutU32(out, m.object.id);
+    PutDouble(out, m.object.pos.x);
+    PutDouble(out, m.object.pos.y);
+  }
+}
+
+Status DecodeUpdateRequest(std::string_view body, MutationBatch* out) {
+  ByteReader reader(body);
+  out->clear();
+  uint32_t count;
+  if (!reader.ReadU32(&count)) return Truncated("update request");
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t kind;
+    Mutation mutation;
+    if (!reader.ReadU8(&kind) || !reader.ReadU32(&mutation.object.id) ||
+        !reader.ReadDouble(&mutation.object.pos.x) ||
+        !reader.ReadDouble(&mutation.object.pos.y)) {
+      return Truncated("update request");
+    }
+    if (kind > static_cast<uint8_t>(Mutation::Kind::kDelete)) {
+      return Status::InvalidArgument(
+          StrFormat("wire: mutation kind %u out of range", kind));
+    }
+    mutation.kind = static_cast<Mutation::Kind>(kind);
+    out->push_back(mutation);
+  }
+  if (!reader.AtEnd()) return TrailingBytes("update request", reader, body.size());
+  return Status::Ok();
+}
+
+void EncodeUpdateResponse(const UpdateResponse& response, std::string* out) {
+  PutStatus(out, response.status);
+  PutU64(out, response.epoch);
+  PutU64(out, response.applied_inserts);
+  PutU64(out, response.applied_deletes);
+  PutU64(out, response.delete_misses);
+  PutU64(out, response.latency_micros);
+}
+
+Status DecodeUpdateResponse(std::string_view body, UpdateResponse* out) {
+  ByteReader reader(body);
+  Status error;
+  *out = UpdateResponse{};
+  if (!ReadStatus(&reader, &out->status, &error)) return error;
+  if (!reader.ReadU64(&out->epoch) || !reader.ReadU64(&out->applied_inserts) ||
+      !reader.ReadU64(&out->applied_deletes) || !reader.ReadU64(&out->delete_misses) ||
+      !reader.ReadU64(&out->latency_micros)) {
+    return Truncated("update response");
+  }
+  if (!reader.AtEnd()) return TrailingBytes("update response", reader, body.size());
+  return Status::Ok();
+}
+
 std::string EncodeNwcRequestFrame(uint64_t request_id, const NwcRequest& request,
                                   uint8_t flags) {
   std::string body, frame;
@@ -453,6 +511,20 @@ std::string EncodeErrorFrame(uint64_t request_id, const Status& status) {
   std::string body, frame;
   EncodeStatusBody(status, &body);
   AppendFrame(&frame, MsgType::kError, request_id, body);
+  return frame;
+}
+
+std::string EncodeUpdateRequestFrame(uint64_t request_id, const MutationBatch& batch) {
+  std::string body, frame;
+  EncodeUpdateRequest(batch, &body);
+  AppendFrame(&frame, MsgType::kUpdateRequest, request_id, body);
+  return frame;
+}
+
+std::string EncodeUpdateResponseFrame(uint64_t request_id, const UpdateResponse& response) {
+  std::string body, frame;
+  EncodeUpdateResponse(response, &body);
+  AppendFrame(&frame, MsgType::kUpdateResponse, request_id, body);
   return frame;
 }
 

@@ -49,6 +49,10 @@ enum class MsgType : uint8_t {
   /// Protocol-level failure (undecodable frame, draining server). The
   /// body is a Status; request id 0 means "no frame could be attributed".
   kError = 5,
+  /// Data mutation batch (insert/delete objects); dynamic servers apply
+  /// and publish it, static servers answer FailedPrecondition.
+  kUpdateRequest = 6,
+  kUpdateResponse = 7,
 };
 
 /// True when `value` is one of the MsgType enumerators.
@@ -132,6 +136,16 @@ Status DecodeKnwcResponse(std::string_view body, KnwcResponse* out);
 /// kError bodies carry a bare Status.
 void EncodeStatusBody(const Status& status, std::string* out);
 Status DecodeStatusBody(std::string_view body, Status* out);
+/// kUpdateRequest bodies carry the mutation batch: u32 count, then per
+/// mutation a u8 kind (0 = insert, 1 = delete), u32 object id, and the
+/// position as two doubles.
+void EncodeUpdateRequest(const MutationBatch& batch, std::string* out);
+Status DecodeUpdateRequest(std::string_view body, MutationBatch* out);
+/// kUpdateResponse bodies carry the apply outcome: the Status, then five
+/// u64s — epoch, applied inserts, applied deletes, delete misses, and the
+/// server-side apply+publish latency in microseconds.
+void EncodeUpdateResponse(const UpdateResponse& response, std::string* out);
+Status DecodeUpdateResponse(std::string_view body, UpdateResponse* out);
 
 /// Convenience: one fully framed request/response in a fresh string.
 /// `flags` lets a client set envelope bits (e.g. kEnvelopeFlagTrace).
@@ -142,6 +156,8 @@ std::string EncodeKnwcRequestFrame(uint64_t request_id, const KnwcRequest& reque
 std::string EncodeNwcResponseFrame(uint64_t request_id, const NwcResponse& response);
 std::string EncodeKnwcResponseFrame(uint64_t request_id, const KnwcResponse& response);
 std::string EncodeErrorFrame(uint64_t request_id, const Status& status);
+std::string EncodeUpdateRequestFrame(uint64_t request_id, const MutationBatch& batch);
+std::string EncodeUpdateResponseFrame(uint64_t request_id, const UpdateResponse& response);
 
 /// Incremental frame extractor: feed arbitrary byte chunks with Append()
 /// and pull complete frames with Poll(). The decoder validates the frame

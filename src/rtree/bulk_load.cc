@@ -30,21 +30,9 @@ void SortLeafGroupZOrder(std::vector<DataObject>& group) {
   if (group.size() < 2) return;
   Rect bounds = Rect::Empty();
   for (const DataObject& obj : group) bounds.Expand(obj.pos);
-  const double spread_x = bounds.max_x - bounds.min_x;
-  const double spread_y = bounds.max_y - bounds.min_y;
-  const auto cell = [](double value, double lo, double spread) {
-    if (spread <= 0.0) return uint32_t{0};
-    const double t = (value - lo) / spread;
-    return static_cast<uint32_t>(std::min(65535.0, std::max(0.0, t * 65535.0)));
-  };
-  const auto morton = [&](const DataObject& obj) {
-    const uint32_t gx = cell(obj.pos.x, bounds.min_x, spread_x);
-    const uint32_t gy = cell(obj.pos.y, bounds.min_y, spread_y);
-    return SpreadBits16(gx) | (SpreadBits16(gy) << 1);
-  };
   std::sort(group.begin(), group.end(), [&](const DataObject& a, const DataObject& b) {
-    const uint32_t ka = morton(a);
-    const uint32_t kb = morton(b);
+    const uint32_t ka = LeafMortonKey(bounds, a.pos);
+    const uint32_t kb = LeafMortonKey(bounds, b.pos);
     if (ka != kb) return ka < kb;
     return a.id < b.id;
   });
@@ -111,6 +99,19 @@ void FixUnderfullTail(std::vector<std::vector<Item>>& groups, size_t min_entries
 
 }  // namespace
 
+uint32_t LeafMortonKey(const Rect& bounds, const Point& p) {
+  const double spread_x = bounds.max_x - bounds.min_x;
+  const double spread_y = bounds.max_y - bounds.min_y;
+  const auto cell = [](double value, double lo, double spread) {
+    if (spread <= 0.0) return uint32_t{0};
+    const double t = (value - lo) / spread;
+    return static_cast<uint32_t>(std::min(65535.0, std::max(0.0, t * 65535.0)));
+  };
+  const uint32_t gx = cell(p.x, bounds.min_x, spread_x);
+  const uint32_t gy = cell(p.y, bounds.min_y, spread_y);
+  return SpreadBits16(gx) | (SpreadBits16(gy) << 1);
+}
+
 RStarTree BulkLoadStr(const std::vector<DataObject>& objects, RTreeOptions tree_options,
                       BulkLoadOptions load_options) {
   CheckOk(tree_options.Validate(), "BulkLoadStr options");
@@ -139,6 +140,7 @@ RStarTree BulkLoadStr(const std::vector<DataObject>& objects, RTreeOptions tree_
     RTreeNode* leaf = allocate(/*level=*/0);
     SortLeafGroupZOrder(group);
     leaf->objects.Assign(group);
+    leaf->objects.MarkZOrderPacked();
     level_entries.push_back(ChildEntry{leaf->ComputeMbr(), leaf->id});
   }
 

@@ -56,6 +56,15 @@ RStarTree RStarTree::FromParts(RTreeOptions options,
   return tree;
 }
 
+RStarTree RStarTree::Clone() const {
+  std::vector<std::unique_ptr<RTreeNode>> nodes;
+  nodes.reserve(nodes_.size());
+  for (const std::unique_ptr<RTreeNode>& n : nodes_) {
+    nodes.push_back(n == nullptr ? nullptr : std::make_unique<RTreeNode>(*n));
+  }
+  return FromParts(options_, std::move(nodes), root_, size_);
+}
+
 int RStarTree::height() const { return node(root_).level; }
 
 Rect RStarTree::bounds() const { return node(root_).ComputeMbr(); }

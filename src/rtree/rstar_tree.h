@@ -122,6 +122,12 @@ class RStarTree {
   static RStarTree FromParts(RTreeOptions options, std::vector<std::unique_ptr<RTreeNode>> nodes,
                              NodeId root, size_t size);
 
+  /// Deep copy: duplicates the node arena (preserving node ids, the free
+  /// list, and per-leaf SoA layout) so the copy and the original can
+  /// diverge independently. O(n); the snapshot layer uses this to publish
+  /// an immutable epoch while the writer keeps mutating its own tree.
+  RStarTree Clone() const;
+
  private:
   friend class RStarTreeTestPeer;
 

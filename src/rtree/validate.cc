@@ -1,9 +1,11 @@
 #include "rtree/validate.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/string_util.h"
+#include "rtree/bulk_load.h"
 #include "rtree/node.h"
 
 namespace nwc {
@@ -14,6 +16,33 @@ struct WalkState {
   size_t objects = 0;
   size_t nodes = 0;
 };
+
+// SoA leaf invariants: the x/y/id arrays must agree in length (a desync is
+// silent until a kernel reads past the short array), and a Z-order packing
+// claim must be true — the entries sorted by (Morton key within the leaf's
+// own bounds, id), exactly the order the bulk loader produced.
+Status CheckLeafStorage(const RTreeNode& n) {
+  const LeafObjects& objects = n.objects;
+  if (objects.xs_size() != objects.ids_size() || objects.ys_size() != objects.ids_size()) {
+    return Status::Internal(StrFormat("leaf node %u SoA arrays desynced: xs=%zu ys=%zu ids=%zu",
+                                      n.id, objects.xs_size(), objects.ys_size(),
+                                      objects.ids_size()));
+  }
+  if (!objects.zorder_packed() || objects.size() < 2) return Status::Ok();
+  Rect bounds = Rect::Empty();
+  for (size_t i = 0; i < objects.size(); ++i) bounds.Expand(objects.position(i));
+  for (size_t i = 0; i + 1 < objects.size(); ++i) {
+    const uint32_t ka = LeafMortonKey(bounds, objects.position(i));
+    const uint32_t kb = LeafMortonKey(bounds, objects.position(i + 1));
+    if (ka > kb || (ka == kb && objects.id(i) >= objects.id(i + 1))) {
+      return Status::Internal(
+          StrFormat("leaf node %u claims Z-order packing but entries %zu and %zu are out of "
+                    "order",
+                    n.id, i, i + 1));
+    }
+  }
+  return Status::Ok();
+}
 
 Status WalkSubtree(const RStarTree& tree, NodeId id, NodeId expected_parent, int expected_level,
                    WalkState& state) {
@@ -55,6 +84,8 @@ Status WalkSubtree(const RStarTree& tree, NodeId id, NodeId expected_parent, int
   }
 
   if (n.is_leaf()) {
+    const Status storage = CheckLeafStorage(n);
+    if (!storage.ok()) return storage;
     state.objects += n.objects.size();
     return Status::Ok();
   }

@@ -16,35 +16,6 @@
 #include "service/batch_planner.h"
 
 namespace nwc {
-namespace {
-
-/// Collects every stored object by walking the tree's leaves (structural
-/// access, no I/O charged) — the density grid is built from the index
-/// itself, so opening a session needs no separate dataset.
-std::vector<DataObject> CollectObjects(const RStarTree& tree) {
-  std::vector<DataObject> objects;
-  objects.reserve(tree.size());
-  std::vector<NodeId> stack{tree.root()};
-  while (!stack.empty()) {
-    const RTreeNode& node = tree.node(stack.back());
-    stack.pop_back();
-    if (node.is_leaf()) {
-      objects.insert(objects.end(), node.objects.begin(), node.objects.end());
-    } else {
-      for (const ChildEntry& entry : node.children) stack.push_back(entry.child);
-    }
-  }
-  return objects;
-}
-
-}  // namespace
-
-Status SessionConfig::Validate() const {
-  if (build_grid && !(grid_cell_size > 0.0)) {
-    return Status::InvalidArgument("grid_cell_size must be positive");
-  }
-  return Status::Ok();
-}
 
 Status ServiceConfig::Validate() const {
   if (num_threads == 0) return Status::InvalidArgument("num_threads must be >= 1");
@@ -75,31 +46,16 @@ uint64_t RetryBackoffMicros(uint64_t base_micros, int attempt) {
   return base_micros << attempt;
 }
 
-Result<Session> Session::Open(RStarTree tree, const SessionConfig& config) {
-  const Status valid = config.Validate();
-  if (!valid.ok()) return valid;
-
-  Session session;
-  session.tree_ = std::make_unique<RStarTree>(std::move(tree));
-  if (config.build_iwp) {
-    session.iwp_ = std::make_unique<IwpIndex>(IwpIndex::Build(*session.tree_));
-  }
-  if (config.build_grid) {
-    Rect space = config.grid_space;
-    if (space.IsEmpty()) space = session.tree_->bounds();
-    if (space.IsEmpty()) {
-      // Empty tree: a 1-cell grid with zero counts keeps DEP sound (it
-      // prunes everything, which is the right answer for no data).
-      space = Rect{0.0, 0.0, config.grid_cell_size, config.grid_cell_size};
-    }
-    session.grid_ = std::make_unique<DensityGrid>(space, config.grid_cell_size,
-                                                  CollectObjects(*session.tree_));
-  }
-  return session;
-}
-
 QueryService::QueryService(const Session& session, const ServiceConfig& config)
-    : session_(session),
+    : QueryService(&session, nullptr, config) {}
+
+QueryService::QueryService(SnapshotStore& store, const ServiceConfig& config)
+    : QueryService(nullptr, &store, config) {}
+
+QueryService::QueryService(const Session* session, SnapshotStore* store,
+                           const ServiceConfig& config)
+    : static_session_(session),
+      store_(store),
       config_(config),
       worker_pools_(config.num_threads == 0 ? 1 : config.num_threads),
       pool_(config.num_threads, config.queue_capacity) {
@@ -132,11 +88,51 @@ void QueryService::Shutdown() { pool_.Shutdown(); }
 Status QueryService::CheckRequest(const std::optional<NwcOptions>& override_options,
                                   NwcOptions* effective) const {
   *effective = override_options.value_or(config_.default_options);
-  if (!session_.Supports(*effective)) {
+  // Dynamic mode checks against the store's configuration, not a specific
+  // snapshot: a snapshot missing its IWP inside the staleness bound is a
+  // per-query degrade (EffectiveOptions), not a request error.
+  const bool supported =
+      store_ != nullptr ? store_->Supports(*effective) : static_session_->Supports(*effective);
+  if (!supported) {
     return Status::FailedPrecondition(
         "session lacks the IWP index / density grid required by the requested scheme");
   }
   return Status::Ok();
+}
+
+QueryService::SessionLease QueryService::AcquireLease() const {
+  SessionLease lease;
+  if (store_ != nullptr) {
+    SnapshotStore::SnapshotRef ref = store_->Acquire();
+    lease.session = ref.session.get();
+    lease.snapshot = std::move(ref.session);
+    lease.epoch = ref.epoch;
+  } else {
+    lease.session = static_session_;
+  }
+  return lease;
+}
+
+UpdateResponse QueryService::ApplyUpdate(const MutationBatch& mutations) {
+  UpdateResponse response;
+  Stopwatch timer;
+  if (store_ == nullptr) {
+    response.status =
+        Status::FailedPrecondition("service is static: updates require a SnapshotStore");
+    return response;
+  }
+  SnapshotStore::ApplyStats stats;
+  SnapshotStore::SnapshotRef ref;
+  response.status = store_->ApplyAndPublish(mutations, &stats, &ref);
+  // Old-epoch cache entries are already unreachable (the epoch is part of
+  // the key); the generation bump lets the cache lazily reclaim them.
+  InvalidateResultCache();
+  response.epoch = ref.epoch;
+  response.applied_inserts = stats.inserts;
+  response.applied_deletes = stats.deletes;
+  response.delete_misses = stats.delete_misses;
+  response.latency_micros = timer.ElapsedMicros();
+  return response;
 }
 
 QueryService::RequestTiming QueryService::MakeTiming(uint64_t request_deadline_micros) const {
@@ -174,31 +170,46 @@ std::string DescribeQuery(const KnwcQuery& query, const NwcOptions& options) {
 // Kind dispatch for the result cache: one Execute template serves both
 // query kinds, these overloads route to the matching cache methods.
 bool CacheLookup(ResultCache& cache, const NwcQuery& query, const NwcOptions& options,
-                 NwcResult* out) {
-  return cache.LookupNwc(query, options, out);
+                 NwcResult* out, uint64_t data_epoch) {
+  return cache.LookupNwc(query, options, out, data_epoch);
 }
 bool CacheLookup(ResultCache& cache, const KnwcQuery& query, const NwcOptions& options,
-                 KnwcResult* out) {
-  return cache.LookupKnwc(query, options, out);
+                 KnwcResult* out, uint64_t data_epoch) {
+  return cache.LookupKnwc(query, options, out, data_epoch);
 }
 void CacheInsert(ResultCache& cache, const NwcQuery& query, const NwcOptions& options,
-                 const NwcResult& result) {
-  cache.InsertNwc(query, options, result);
+                 const NwcResult& result, uint64_t data_epoch) {
+  cache.InsertNwc(query, options, result, data_epoch);
 }
 void CacheInsert(ResultCache& cache, const KnwcQuery& query, const NwcOptions& options,
-                 const KnwcResult& result) {
-  cache.InsertKnwc(query, options, result);
+                 const KnwcResult& result, uint64_t data_epoch) {
+  cache.InsertKnwc(query, options, result, data_epoch);
 }
 
 }  // namespace
 
 template <typename Response, typename Query, typename Done>
-void QueryService::Execute(size_t worker_index, const Query& query, const NwcOptions& options,
-                           const RequestTiming& timing, Done done, WindowQueryMemo* memo) {
+void QueryService::Execute(size_t worker_index, const Query& query, const NwcOptions& requested,
+                           const RequestTiming& timing, Done done, WindowQueryMemo* memo,
+                           const SessionLease* lease) {
   // Dequeue-time queue-depth observation: the submit-side sample alone
   // under-reports bursts, because submitters that would see the peak are
   // the ones blocked on the full queue.
   metrics_.RecordQueueDepth(pool_.QueueDepth());
+
+  // Pin one epoch for the whole query (all retry attempts included):
+  // queries never observe a publish mid-flight. Batch groups pass their
+  // own lease so every member — and the shared window memo — sees one
+  // consistent epoch.
+  SessionLease own_lease;
+  if (lease == nullptr) {
+    own_lease = AcquireLease();
+    lease = &own_lease;
+  }
+  const Session& session = *lease->session;
+  // The effective options also key the result cache, so a degraded
+  // (IWP-less) answer can never be replayed to a fully-indexed epoch.
+  const NwcOptions options = EffectiveOptions(*lease, requested);
 
   Response response;
   IoCounter total_io;  // merged across attempts for metrics/response
@@ -244,7 +255,7 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
     // first attempt keeps the cache's miss counter one-per-query.
     bool cache_hit = false;
     if (attempt == 0 && result_cache_ != nullptr && !control.ShouldStop() &&
-        CacheLookup(*result_cache_, query, options, &response.result)) {
+        CacheLookup(*result_cache_, query, options, &response.result, lease->epoch)) {
       cache_hit = true;
       response.status = Status::Ok();
       response.result_cache_hit = true;
@@ -260,7 +271,7 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
 
     if (!cache_hit) {
       if constexpr (std::is_same_v<Response, NwcResponse>) {
-        NwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
+        NwcEngine engine(session.tree(), session.iwp(), session.grid());
         Result<NwcResult> result = engine.Execute(query, options, &io, trace_ptr, &control, memo);
         response.status = result.status();
         if (result.ok()) {
@@ -268,7 +279,7 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
           response.result = std::move(result).value();
         }
       } else {
-        KnwcEngine engine(session_.tree(), session_.iwp(), session_.grid());
+        KnwcEngine engine(session.tree(), session.iwp(), session.grid());
         Result<KnwcResult> result = engine.Execute(query, options, &io, trace_ptr, &control, memo);
         response.status = result.status();
         if (result.ok()) {
@@ -304,7 +315,7 @@ void QueryService::Execute(size_t worker_index, const Query& query, const NwcOpt
     // faulted query would poison it with partial answers, and re-inserting
     // on a hit would churn the LRU for nothing.
     if (result_cache_ != nullptr && !cache_hit && response.status.ok()) {
-      CacheInsert(*result_cache_, query, options, response.result);
+      CacheInsert(*result_cache_, query, options, response.result, lease->epoch);
     }
 
     response.latency_micros = timer.ElapsedMicros();
@@ -659,8 +670,11 @@ std::vector<std::future<Response>> QueryService::SubmitBatchImpl(
     plan_to_request.push_back(i);
   }
 
+  // Planning only needs the data bounds for its Z-order normalization, so
+  // a momentary lease suffices here; each group job pins its own epoch.
+  const Rect plan_bounds = AcquireLease().session->tree().bounds();
   const std::vector<std::vector<size_t>> groups =
-      PlanBatchGroups(plan_items, session_.tree().bounds(), config_.batch_group_size);
+      PlanBatchGroups(plan_items, plan_bounds, config_.batch_group_size);
 
   for (const std::vector<size_t>& group : groups) {
     std::vector<size_t> request_indices;
@@ -674,7 +688,10 @@ std::vector<std::future<Response>> QueryService::SubmitBatchImpl(
         pool_.Submit([this, state, indices = request_indices](size_t worker) {
           // One memo per group: repeated window walks within the group are
           // answered from memory, and the Z-order visit order keeps the
-          // worker's buffer pool warm across consecutive queries.
+          // worker's buffer pool warm across consecutive queries. The
+          // group shares ONE lease — a publish landing mid-group must not
+          // let the memo mix window walks from two different epochs.
+          const SessionLease lease = AcquireLease();
           WindowQueryMemo memo(config_.window_memo_entries);
           WindowQueryMemo* memo_ptr = config_.window_memo_entries > 0 ? &memo : nullptr;
           for (const size_t i : indices) {
@@ -683,7 +700,7 @@ std::vector<std::future<Response>> QueryService::SubmitBatchImpl(
                 [&state, i](Response response) {
                   state->promises[i].set_value(std::move(response));
                 },
-                memo_ptr);
+                memo_ptr, &lease);
           }
           metrics_.RecordWindowMemoHits(memo.hits());
         });

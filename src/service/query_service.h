@@ -22,6 +22,8 @@
 #include "rtree/rstar_tree.h"
 #include "service/result_cache.h"
 #include "service/service_metrics.h"
+#include "service/session.h"
+#include "service/snapshot.h"
 #include "service/thread_pool.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_injector.h"
@@ -40,61 +42,6 @@ inline constexpr uint64_t kMaxRetryBackoffMicros = 1'000'000;
 /// would exceed the cap (the old unclamped shift was undefined behavior
 /// past 63 bits and wrapped to a bogus sleep well before that).
 uint64_t RetryBackoffMicros(uint64_t base_micros, int attempt);
-
-/// What auxiliary structures a Session builds next to the tree. The
-/// defaults cover NWC* (every optimization available); disable structures
-/// the deployed option presets never use to save build time and memory.
-struct SessionConfig {
-  bool build_iwp = true;      ///< IWP pointer tables (needed by use_iwp)
-  bool build_grid = true;     ///< density grid (needed by use_dep)
-  double grid_cell_size = 25.0;  ///< cell side for the density grid
-  /// Grid data space; an empty rect means "the tree's bounds". Pass the
-  /// normalized space when queries may fall outside the data bounds.
-  Rect grid_space = Rect::Empty();
-
-  Status Validate() const;
-};
-
-/// An immutable, shareable snapshot of the index stack: the R*-tree plus
-/// the optional IWP augmentation and density grid built over it.
-///
-/// A Session is the unit the service shares across worker threads: after
-/// Open() returns, nothing in it ever mutates, so any number of concurrent
-/// readers is safe (see the ThreadSafety notes on RStarTree, IwpIndex and
-/// DensityGrid). Mutating the tree requires opening a new Session — the
-/// paper's setting is static data, and the service inherits it.
-class Session {
- public:
-  /// Takes ownership of `tree` and builds the configured auxiliary
-  /// structures (grid objects are collected from the tree's own leaves, so
-  /// no separate dataset is needed). Returns InvalidArgument for a bad
-  /// config.
-  static Result<Session> Open(RStarTree tree, const SessionConfig& config = SessionConfig());
-
-  Session(Session&&) = default;
-  Session& operator=(Session&&) = default;
-  Session(const Session&) = delete;
-  Session& operator=(const Session&) = delete;
-
-  const RStarTree& tree() const { return *tree_; }
-  /// nullptr when the session was opened without IWP.
-  const IwpIndex* iwp() const { return iwp_.get(); }
-  /// nullptr when the session was opened without the grid.
-  const DensityGrid* grid() const { return grid_.get(); }
-
-  /// True when every structure the preset's techniques need is present.
-  bool Supports(const NwcOptions& options) const {
-    return (!options.use_iwp || iwp_ != nullptr) && (!options.use_dep || grid_ != nullptr);
-  }
-
- private:
-  Session() = default;
-
-  // unique_ptrs keep Session movable while workers hold stable references.
-  std::unique_ptr<RStarTree> tree_;
-  std::unique_ptr<IwpIndex> iwp_;
-  std::unique_ptr<DensityGrid> grid_;
-};
 
 /// Sizing and defaults for a QueryService.
 struct ServiceConfig {
@@ -201,7 +148,29 @@ struct KnwcResponse {
   bool result_cache_hit = false;
 };
 
-/// Concurrent query execution over one immutable Session.
+/// Outcome of one ApplyUpdate call (dynamic services only). `epoch` is the
+/// epoch the mutations were published under; on a static service `status`
+/// is FailedPrecondition and everything else is zero. A NotFound status
+/// reports delete misses — the other mutations in the batch were still
+/// applied and published.
+struct UpdateResponse {
+  Status status;
+  uint64_t epoch = 0;
+  uint64_t applied_inserts = 0;
+  uint64_t applied_deletes = 0;
+  uint64_t delete_misses = 0;
+  uint64_t latency_micros = 0;
+};
+
+/// Concurrent query execution over an immutable index stack.
+///
+/// Two modes share one implementation:
+///  * **static** — bound to one immutable Session for its whole lifetime
+///    (the paper's setting; ApplyUpdate is rejected);
+///  * **dynamic** — bound to a SnapshotStore; every query pins the
+///    currently-published snapshot (and its epoch) for exactly its own
+///    execution, and ApplyUpdate() applies a MutationBatch and publishes
+///    the next epoch while in-flight readers keep serving the old one.
 ///
 /// The service owns a fixed ThreadPool; each worker runs queries against
 /// the shared read-only index stack with strictly per-query mutable state
@@ -210,16 +179,27 @@ struct KnwcResponse {
 /// through std::future; rejected TrySubmits and per-query latency/I/O are
 /// visible in metrics().
 ///
+/// Snapshots published within the IWP staleness bound carry no IWP; the
+/// service silently degrades a use_iwp request to its SRR+DIP(+DEP)
+/// remainder for that query. The *effective* options key the result cache,
+/// so degraded and full answers never mix.
+///
 /// Shutdown (or destruction) drains accepted requests before returning,
 /// so every future obtained from a successful submit becomes ready.
 ///
-/// ThreadSafety: Submit/TrySubmit/RunBatch and the metrics accessors may
-/// be called from any thread. The Session must outlive the service.
+/// ThreadSafety: Submit/TrySubmit/RunBatch, ApplyUpdate and the metrics
+/// accessors may be called from any thread. The Session / SnapshotStore
+/// must outlive the service.
 class QueryService {
  public:
   /// Binds to `session` (not owned, must outlive the service) and starts
   /// the workers. `config` must already be validated.
   QueryService(const Session& session, const ServiceConfig& config);
+
+  /// Dynamic mode: binds to `store` (not owned, must outlive the service).
+  /// Each query acquires the store's current snapshot; ApplyUpdate becomes
+  /// functional.
+  QueryService(SnapshotStore& store, const ServiceConfig& config);
 
   ~QueryService();
 
@@ -295,6 +275,20 @@ class QueryService {
   std::vector<std::future<NwcResponse>> SubmitNwcBatch(const std::vector<NwcRequest>& requests);
   std::vector<std::future<KnwcResponse>> SubmitKnwcBatch(const std::vector<KnwcRequest>& requests);
 
+  /// Applies `mutations` to the backing SnapshotStore and publishes the
+  /// next epoch (synchronously — callers wanting async apply wrap it in
+  /// their own executor; the serving layer applies inline in its event
+  /// loop, which also serializes updates arriving on one connection).
+  /// Invalidate and publish are coupled here: after this returns, no
+  /// future query can observe a pre-publish cached answer — epoch-keyed
+  /// cache entries make that structural, and the generation bump lets the
+  /// cache reclaim the dead epoch's entries lazily. On a static service,
+  /// returns FailedPrecondition and changes nothing.
+  UpdateResponse ApplyUpdate(const MutationBatch& mutations);
+
+  /// True when this service was constructed over a SnapshotStore.
+  bool is_dynamic() const { return store_ != nullptr; }
+
   /// Cancels every request currently queued or executing: each observes
   /// the epoch bump at its next checkpoint and completes with a Cancelled
   /// response (queued requests cancel when a worker picks them up — no
@@ -345,6 +339,33 @@ class QueryService {
     uint64_t epoch = 0;
   };
 
+  /// The index stack one query (or one batch group) runs against. In
+  /// static mode `session` points at the bound Session and `snapshot` is
+  /// empty; in dynamic mode `snapshot` pins a published epoch for the
+  /// lease's lifetime and `epoch` keys the result cache. One lease spans a
+  /// whole batch group so its shared window memo never mixes epochs.
+  struct SessionLease {
+    std::shared_ptr<const Session> snapshot;
+    const Session* session = nullptr;
+    uint64_t epoch = 0;
+  };
+
+  /// Pins the current snapshot (dynamic) or the bound session (static).
+  SessionLease AcquireLease() const;
+
+  /// Common constructor behind the two public modes.
+  QueryService(const Session* session, SnapshotStore* store, const ServiceConfig& config);
+
+  /// Drops techniques the leased snapshot cannot serve — today only
+  /// use_iwp, when the snapshot was published inside the IWP staleness
+  /// bound. The result stays bit-exact for the *effective* scheme, which
+  /// is also what keys the result cache.
+  static NwcOptions EffectiveOptions(const SessionLease& lease, const NwcOptions& options) {
+    NwcOptions effective = options;
+    if (effective.use_iwp && lease.session->iwp() == nullptr) effective.use_iwp = false;
+    return effective;
+  }
+
   /// Resolves the effective options and checks the session supports them.
   Status CheckRequest(const std::optional<NwcOptions>& override_options,
                       NwcOptions* effective) const;
@@ -364,13 +385,17 @@ class QueryService {
   /// (batch path) shares window walks within a group.
   template <typename Response, typename Query, typename Done>
   void Execute(size_t worker_index, const Query& query, const NwcOptions& options,
-               const RequestTiming& timing, Done done, WindowQueryMemo* memo = nullptr);
+               const RequestTiming& timing, Done done, WindowQueryMemo* memo = nullptr,
+               const SessionLease* lease = nullptr);
 
   /// Shared implementation of SubmitNwcBatch/SubmitKnwcBatch.
   template <typename Response, typename Request>
   std::vector<std::future<Response>> SubmitBatchImpl(const std::vector<Request>& requests);
 
-  const Session& session_;
+  // Exactly one of the two is set: the static session, or the snapshot
+  // store queries acquire epochs from.
+  const Session* static_session_ = nullptr;
+  SnapshotStore* store_ = nullptr;
   ServiceConfig config_;
   ServiceMetrics metrics_;
   // One pool per worker, indexed by the worker id ThreadPool hands to each

@@ -15,7 +15,8 @@ uint8_t PackScheme(const NwcOptions& options) {
 
 }  // namespace
 
-ResultCacheKey ResultCacheKey::ForNwc(const NwcQuery& query, const NwcOptions& options) {
+ResultCacheKey ResultCacheKey::ForNwc(const NwcQuery& query, const NwcOptions& options,
+                                      uint64_t data_epoch) {
   ResultCacheKey key;
   key.kind = 0;
   key.scheme = PackScheme(options);
@@ -28,11 +29,13 @@ ResultCacheKey ResultCacheKey::ForNwc(const NwcQuery& query, const NwcOptions& o
   key.l_bits = CanonicalDoubleBits(query.length);
   key.w_bits = CanonicalDoubleBits(query.width);
   key.n = query.n;
+  key.data_epoch = data_epoch;
   return key;
 }
 
-ResultCacheKey ResultCacheKey::ForKnwc(const KnwcQuery& query, const NwcOptions& options) {
-  ResultCacheKey key = ForNwc(query.base, options);
+ResultCacheKey ResultCacheKey::ForKnwc(const KnwcQuery& query, const NwcOptions& options,
+                                       uint64_t data_epoch) {
+  ResultCacheKey key = ForNwc(query.base, options, data_epoch);
   key.kind = 1;
   key.k = query.k;
   key.m = query.m;
@@ -57,6 +60,7 @@ uint64_t ResultCacheKey::Hash() const {
   mix(n);
   mix(k);
   mix(m);
+  mix(data_epoch);
   return hash;
 }
 
@@ -110,13 +114,15 @@ bool ResultCache::LookupImpl(const ResultCacheKey& key, const Fill& fill) {
   return true;
 }
 
-bool ResultCache::LookupNwc(const NwcQuery& query, const NwcOptions& options, NwcResult* out) {
-  const ResultCacheKey key = ResultCacheKey::ForNwc(query, options);
+bool ResultCache::LookupNwc(const NwcQuery& query, const NwcOptions& options, NwcResult* out,
+                            uint64_t data_epoch) {
+  const ResultCacheKey key = ResultCacheKey::ForNwc(query, options, data_epoch);
   return LookupImpl(key, [out](const Entry& entry) { *out = entry.nwc; });
 }
 
-bool ResultCache::LookupKnwc(const KnwcQuery& query, const NwcOptions& options, KnwcResult* out) {
-  const ResultCacheKey key = ResultCacheKey::ForKnwc(query, options);
+bool ResultCache::LookupKnwc(const KnwcQuery& query, const NwcOptions& options, KnwcResult* out,
+                             uint64_t data_epoch) {
+  const ResultCacheKey key = ResultCacheKey::ForKnwc(query, options, data_epoch);
   return LookupImpl(key, [out](const Entry& entry) { *out = entry.knwc; });
 }
 
@@ -146,21 +152,21 @@ void ResultCache::InsertImpl(const ResultCacheKey& key, Entry entry) {
 }
 
 void ResultCache::InsertNwc(const NwcQuery& query, const NwcOptions& options,
-                            const NwcResult& result) {
+                            const NwcResult& result, uint64_t data_epoch) {
   Entry entry;
   entry.is_knwc = false;
   entry.nwc = result;
   entry.bytes = sizeof(Entry) + NwcResultBytes(entry.nwc);
-  InsertImpl(ResultCacheKey::ForNwc(query, options), std::move(entry));
+  InsertImpl(ResultCacheKey::ForNwc(query, options, data_epoch), std::move(entry));
 }
 
 void ResultCache::InsertKnwc(const KnwcQuery& query, const NwcOptions& options,
-                             const KnwcResult& result) {
+                             const KnwcResult& result, uint64_t data_epoch) {
   Entry entry;
   entry.is_knwc = true;
   entry.knwc = result;
   entry.bytes = sizeof(Entry) + KnwcResultBytes(entry.knwc);
-  InsertImpl(ResultCacheKey::ForKnwc(query, options), std::move(entry));
+  InsertImpl(ResultCacheKey::ForKnwc(query, options, data_epoch), std::move(entry));
 }
 
 ResultCache::Stats ResultCache::GetStats() const {

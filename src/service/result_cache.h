@@ -30,6 +30,11 @@ namespace nwc {
 ///    differently between schemes, so serving a Star result for a Plain
 ///    request would not be bit-exact. Keeping the scheme in the key keeps
 ///    the cache's contract exact instead of merely optimal.
+///  - the data epoch the answer was computed against (0 for static
+///    sessions). Pinning the epoch into the key makes publish-vs-cache
+///    races structurally impossible: a result computed on epoch N and
+///    inserted after epoch N+1 published can only ever be found by a
+///    reader still pinned to N — for whom it is exactly right.
 struct ResultCacheKey {
   uint8_t kind = 0;       ///< 0 = NWC, 1 = kNWC
   uint8_t scheme = 0;     ///< packed use_srr/dip/dep/iwp bits
@@ -41,9 +46,12 @@ struct ResultCacheKey {
   uint64_t n = 0;
   uint64_t k = 0;  ///< 0 for NWC
   uint64_t m = 0;  ///< 0 for NWC
+  uint64_t data_epoch = 0;  ///< snapshot epoch (0 = static session)
 
-  static ResultCacheKey ForNwc(const NwcQuery& query, const NwcOptions& options);
-  static ResultCacheKey ForKnwc(const KnwcQuery& query, const NwcOptions& options);
+  static ResultCacheKey ForNwc(const NwcQuery& query, const NwcOptions& options,
+                               uint64_t data_epoch = 0);
+  static ResultCacheKey ForKnwc(const KnwcQuery& query, const NwcOptions& options,
+                                uint64_t data_epoch = 0);
 
   /// FNV-1a over the packed fields; also used to pick the shard.
   uint64_t Hash() const;
@@ -51,7 +59,8 @@ struct ResultCacheKey {
   friend bool operator==(const ResultCacheKey& a, const ResultCacheKey& b) {
     return a.kind == b.kind && a.scheme == b.scheme && a.measure == b.measure &&
            a.qx_bits == b.qx_bits && a.qy_bits == b.qy_bits && a.l_bits == b.l_bits &&
-           a.w_bits == b.w_bits && a.n == b.n && a.k == b.k && a.m == b.m;
+           a.w_bits == b.w_bits && a.n == b.n && a.k == b.k && a.m == b.m &&
+           a.data_epoch == b.data_epoch;
   }
 };
 
@@ -100,15 +109,20 @@ class ResultCache {
 
   /// Probes for an exact NWC result. On a hit, copies it into `out` and
   /// refreshes the entry's LRU position. Counts one hit or one miss.
-  bool LookupNwc(const NwcQuery& query, const NwcOptions& options, NwcResult* out);
+  /// `data_epoch` pins the probe to one snapshot epoch (0 = static).
+  bool LookupNwc(const NwcQuery& query, const NwcOptions& options, NwcResult* out,
+                 uint64_t data_epoch = 0);
 
   /// Stores an NWC result under the canonicalized key (replacing any
   /// previous entry), evicting LRU entries while the shard is over budget.
   /// Entries larger than a whole shard are not admitted.
-  void InsertNwc(const NwcQuery& query, const NwcOptions& options, const NwcResult& result);
+  void InsertNwc(const NwcQuery& query, const NwcOptions& options, const NwcResult& result,
+                 uint64_t data_epoch = 0);
 
-  bool LookupKnwc(const KnwcQuery& query, const NwcOptions& options, KnwcResult* out);
-  void InsertKnwc(const KnwcQuery& query, const NwcOptions& options, const KnwcResult& result);
+  bool LookupKnwc(const KnwcQuery& query, const NwcOptions& options, KnwcResult* out,
+                  uint64_t data_epoch = 0);
+  void InsertKnwc(const KnwcQuery& query, const NwcOptions& options, const KnwcResult& result,
+                  uint64_t data_epoch = 0);
 
   /// Makes every current entry unreachable (lazily erased). Call when the
   /// data under the cache changes — e.g. the service's Session is swapped.

@@ -1,0 +1,160 @@
+#ifndef NWC_SERVICE_SNAPSHOT_H_
+#define NWC_SERVICE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "service/session.h"
+
+namespace nwc {
+
+/// One data mutation: inserting or deleting a single object. Deletes match
+/// by exact (id, position) pair, like RStarTree::Delete.
+struct Mutation {
+  enum class Kind : uint8_t { kInsert = 0, kDelete = 1 };
+
+  Kind kind = Kind::kInsert;
+  DataObject object;
+
+  static Mutation Insert(const DataObject& object) { return Mutation{Kind::kInsert, object}; }
+  static Mutation Delete(const DataObject& object) { return Mutation{Kind::kDelete, object}; }
+
+  friend bool operator==(const Mutation& a, const Mutation& b) {
+    return a.kind == b.kind && a.object == b.object;
+  }
+};
+
+/// An ordered group of mutations applied (and usually published) together.
+using MutationBatch = std::vector<Mutation>;
+
+/// Epoch-based copy-on-write snapshot manager over the index stack.
+///
+/// The store owns a *writer* stack — a mutable R*-tree plus an
+/// incrementally-maintained density grid — and a *published* immutable
+/// Session readers share. Apply() mutates only the writer stack; Publish()
+/// clones it (deep tree copy, grid copy with frozen prefix sums, IWP
+/// rebuilt or omitted per the staleness bound below) into a fresh Session
+/// and atomically swaps it in under a new epoch number. Readers that
+/// Acquire()d the previous epoch keep their shared_ptr — and therefore
+/// bit-exact answers for that epoch — until they drop it; the old Session
+/// is destroyed when the last holder releases.
+///
+/// Lazy IWP rebuild: the IWP pointer tables store node ids and MBRs of the
+/// exact tree they were built over, so *any* structural change invalidates
+/// them — a stale IWP is wrong, not merely slow. Rather than pay the full
+/// O(n) rebuild on every publish, a snapshot published while the number of
+/// mutations since the last IWP build is within `iwp_staleness_limit`
+/// simply carries no IWP (`session->iwp() == nullptr`); QueryService then
+/// degrades use_iwp requests to the SRR+DIP+DEP path, which is bit-exact
+/// for the effective scheme. Once the bound is exceeded, Publish() rebuilds
+/// and the next snapshots carry a fresh IWP again. The default limit of 0
+/// rebuilds on every publish (every snapshot has a fresh IWP).
+///
+/// ThreadSafety: Acquire()/epoch() are safe from any thread at any time.
+/// Apply()/Publish()/ApplyAndPublish() are serialized internally, so
+/// multiple writers do not corrupt the stack — but the store is designed
+/// for the one-writer/many-readers regime the service exposes.
+class SnapshotStore {
+ public:
+  struct Config {
+    SessionConfig session;
+    /// Mutations a published snapshot may be missing from its IWP before
+    /// Publish() pays the rebuild. 0 = rebuild every publish.
+    size_t iwp_staleness_limit = 0;
+
+    Status Validate() const { return session.Validate(); }
+  };
+
+  /// A pinned view: the Session plus the epoch it was published under.
+  /// Holding the shared_ptr keeps the whole epoch alive; the epoch number
+  /// keys the result cache so answers never migrate across publishes.
+  struct SnapshotRef {
+    std::shared_ptr<const Session> session;
+    uint64_t epoch = 0;
+  };
+
+  /// Per-batch application outcome (counts, not statuses).
+  struct ApplyStats {
+    size_t inserts = 0;
+    size_t deletes = 0;
+    size_t delete_misses = 0;  ///< deletes whose (id, position) was absent
+  };
+
+  /// Adopts `tree` as the writer stack, builds the configured auxiliary
+  /// structures, and publishes epoch 1. The grid's data space is fixed at
+  /// open time (config or tree bounds); later inserts outside it clamp to
+  /// the boundary cells, which keeps the DEP bound sound (every object is
+  /// in some cell) at some pruning-precision cost.
+  static Result<std::unique_ptr<SnapshotStore>> Open(RStarTree tree, const Config& config);
+
+  /// The currently-published snapshot. Never null after Open().
+  SnapshotRef Acquire() const;
+
+  /// Epoch of the currently-published snapshot (starts at 1).
+  uint64_t epoch() const;
+
+  /// Applies `batch` in order to the writer stack only — readers see
+  /// nothing until Publish(). Inserts always succeed; a delete whose exact
+  /// (id, position) is absent is skipped and counted in
+  /// `stats->delete_misses`. Returns NotFound if any delete missed (the
+  /// rest of the batch is still applied), Ok otherwise.
+  Status Apply(const MutationBatch& batch, ApplyStats* stats = nullptr);
+
+  /// Publishes the writer stack as a new immutable Session under the next
+  /// epoch and returns a ref to it. When nothing was applied since the
+  /// last publish, returns the current snapshot without cloning.
+  SnapshotRef Publish();
+
+  /// Apply() + Publish() under one writer-lock acquisition — the typed
+  /// update API's path. `stats` and `out` may be null.
+  Status ApplyAndPublish(const MutationBatch& batch, ApplyStats* stats, SnapshotRef* out);
+
+  /// Number of objects in the *writer* stack (>= published when unflushed
+  /// inserts exist, etc.).
+  size_t writer_object_count() const;
+
+  /// Mutations applied since the last IWP build (test/monitoring hook).
+  size_t mutations_since_iwp_build() const;
+
+  /// True when the store is *configured* to serve this scheme. Unlike
+  /// Session::Supports this is epoch-independent: with build_iwp on, a
+  /// use_iwp request is supported even against a snapshot currently inside
+  /// the staleness bound (the service degrades it for that query).
+  bool Supports(const NwcOptions& options) const {
+    return (!options.use_iwp || config_.session.build_iwp) &&
+           (!options.use_dep || config_.session.build_grid);
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  explicit SnapshotStore(const Config& config) : config_(config) {}
+
+  Status ApplyLocked(const MutationBatch& batch, ApplyStats* stats);
+  SnapshotRef PublishLocked();
+
+  Config config_;
+
+  /// Serializes writers (Apply/Publish). Never held while executing
+  /// queries; readers don't touch it.
+  mutable std::mutex writer_mu_;
+  std::unique_ptr<RStarTree> writer_tree_;
+  std::unique_ptr<DensityGrid> writer_grid_;  ///< null when !build_grid
+  size_t unpublished_mutations_ = 0;
+  size_t mutations_since_iwp_build_ = 0;
+
+  /// Guards the published (session, epoch) pair; held only for the swap in
+  /// Publish() and the copy in Acquire().
+  mutable std::mutex publish_mu_;
+  std::shared_ptr<const Session> published_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace nwc
+
+#endif  // NWC_SERVICE_SNAPSHOT_H_

@@ -1,7 +1,9 @@
 #include "service/workload.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "common/rng.h"
 
@@ -45,6 +47,159 @@ Result<std::vector<WorkloadEntry>> LoadWorkloadFile(const std::string& path) {
   }
   if (entries.empty()) return Status::InvalidArgument("query file " + path + " holds no queries");
   return entries;
+}
+
+Status MutationWorkloadConfig::Validate() const {
+  if (steps == 0) return Status::InvalidArgument("steps must be >= 1");
+  if (!(churn_ratio >= 0.0 && churn_ratio <= 1.0)) {
+    return Status::InvalidArgument("churn_ratio must be in [0, 1]");
+  }
+  if (!(insert_fraction >= 0.0 && insert_fraction <= 1.0)) {
+    return Status::InvalidArgument("insert_fraction must be in [0, 1]");
+  }
+  if (!(knwc_fraction >= 0.0 && knwc_fraction <= 1.0)) {
+    return Status::InvalidArgument("knwc_fraction must be in [0, 1]");
+  }
+  if (space.IsEmpty()) return Status::InvalidArgument("space must be non-empty");
+  return Status::Ok();
+}
+
+MutationWorkload MakeMutationWorkload(const MutationWorkloadConfig& config) {
+  CheckOk(config.Validate(), "MakeMutationWorkload config");
+  Rng rng(config.seed);
+  const double span_x = config.space.max_x - config.space.min_x;
+  const double span_y = config.space.max_y - config.space.min_y;
+  const auto random_point = [&] {
+    return Point{rng.NextDouble(config.space.min_x, config.space.max_x),
+                 rng.NextDouble(config.space.min_y, config.space.max_y)};
+  };
+
+  MutationWorkload workload;
+  ObjectId next_id = 0;
+  // `live` mirrors what a faithful replayer would hold, so generated
+  // deletes always name a currently-stored (id, position) pair.
+  std::vector<DataObject> live;
+  workload.initial.reserve(config.initial_objects);
+  for (size_t i = 0; i < config.initial_objects; ++i) {
+    const DataObject obj{next_id++, random_point()};
+    workload.initial.push_back(obj);
+    live.push_back(obj);
+  }
+
+  // Exactly llround(steps * churn) mutation slots, shuffled among the
+  // queries — an exact count (not per-step Bernoulli) so the churn ratio
+  // is a contract tests and the bench gate can rely on.
+  const size_t mutation_slots = static_cast<size_t>(
+      std::llround(static_cast<double>(config.steps) * config.churn_ratio));
+  std::vector<uint8_t> is_mutation(config.steps, 0);
+  for (size_t i = 0; i < mutation_slots && i < config.steps; ++i) is_mutation[i] = 1;
+  rng.Shuffle(is_mutation);
+
+  workload.steps.reserve(config.steps);
+  for (size_t i = 0; i < config.steps; ++i) {
+    MutationStep step;
+    if (is_mutation[i] != 0) {
+      const bool do_insert =
+          live.empty() || rng.NextBernoulli(config.insert_fraction);
+      if (do_insert) {
+        const DataObject obj{next_id++, random_point()};
+        step.mutation = Mutation::Insert(obj);
+        live.push_back(obj);
+      } else {
+        const size_t victim = static_cast<size_t>(rng.NextUint64(live.size()));
+        step.mutation = Mutation::Delete(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+      }
+    } else {
+      step.is_query = true;
+      // Windows span 2–6% of the larger axis: selective but non-trivial
+      // against the default densities.
+      const double window =
+          rng.NextDouble(0.02, 0.06) * (span_x < span_y ? span_y : span_x);
+      const size_t n = 2 + static_cast<size_t>(rng.NextUint64(4));  // 2..5
+      const NwcQuery base{random_point(), window, window, n};
+      if (rng.NextBernoulli(config.knwc_fraction)) {
+        step.query.is_knwc = true;
+        const size_t k = 2 + static_cast<size_t>(rng.NextUint64(2));  // 2..3
+        const size_t m = static_cast<size_t>(rng.NextUint64(n));      // 0..n-1
+        step.query.knwc = KnwcQuery{base, k, m};
+      } else {
+        step.query.nwc = base;
+      }
+    }
+    workload.steps.push_back(step);
+  }
+  return workload;
+}
+
+Result<std::vector<MutationBatch>> LoadMutationFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open mutation file " + path);
+  std::vector<MutationBatch> batches;
+  MutationBatch current;
+  std::string line;
+  size_t line_no = 0;
+  size_t total = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const char* text = line.c_str() + start;
+    // A `---` separator closes the current batch (empty batches are
+    // dropped — they would publish an epoch with no changes).
+    if (std::string(text).find_first_not_of("-\r \t") == std::string::npos &&
+        text[0] == '-') {
+      if (!current.empty()) batches.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    double x, y;
+    unsigned long id;
+    int consumed = 0;
+    Mutation mutation;
+    if (std::sscanf(text, "insert %lu %lf %lf%n", &id, &x, &y, &consumed) == 3) {
+      mutation = Mutation::Insert(DataObject{static_cast<ObjectId>(id), Point{x, y}});
+    } else if (std::sscanf(text, "delete %lu %lf %lf%n", &id, &x, &y, &consumed) == 3) {
+      mutation = Mutation::Delete(DataObject{static_cast<ObjectId>(id), Point{x, y}});
+    } else {
+      return Status::InvalidArgument("mutation file " + path + " line " +
+                                     std::to_string(line_no) +
+                                     ": expected 'insert ID X Y', 'delete ID X Y' or '---'");
+    }
+    const std::string rest(text + consumed);
+    if (rest.find_first_not_of(" \t\r") != std::string::npos) {
+      return Status::InvalidArgument("mutation file " + path + " line " +
+                                     std::to_string(line_no) + ": unexpected trailing '" +
+                                     rest.substr(rest.find_first_not_of(" \t\r")) + "'");
+    }
+    current.push_back(mutation);
+    ++total;
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  if (total == 0) {
+    return Status::InvalidArgument("mutation file " + path + " holds no mutations");
+  }
+  return batches;
+}
+
+Status WriteMutationFile(const std::string& path, const std::vector<MutationBatch>& batches) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open mutation file " + path + " for writing");
+  out << "# mutation replay: 'insert ID X Y' / 'delete ID X Y'; '---' ends a batch\n";
+  char buffer[128];
+  for (const MutationBatch& batch : batches) {
+    for (const Mutation& m : batch) {
+      std::snprintf(buffer, sizeof(buffer), "%s %lu %.17g %.17g\n",
+                    m.kind == Mutation::Kind::kInsert ? "insert" : "delete",
+                    static_cast<unsigned long>(m.object.id), m.object.pos.x, m.object.pos.y);
+      out << buffer;
+    }
+    out << "---\n";
+  }
+  out.flush();
+  if (!out) return Status::IoError("failed writing mutation file " + path);
+  return Status::Ok();
 }
 
 std::vector<WorkloadEntry> MakeSkewedWorkload(size_t count, uint64_t seed, const Rect& space) {

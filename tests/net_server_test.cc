@@ -400,5 +400,90 @@ TEST(NetServer, StartRejectsBadConfig) {
   EXPECT_FALSE(server.ok());
 }
 
+TEST(NetServer, UpdateOnDynamicServerIsVisibleToLaterQueries) {
+  Dataset dataset = MakeCaLike(kSeed, 2000);
+  SnapshotStore::Config store_config;
+  store_config.session.grid_space = dataset.space;
+  Result<std::unique_ptr<SnapshotStore>> store =
+      SnapshotStore::Open(BulkLoadStr(dataset.objects, RTreeOptions{}), store_config);
+  ASSERT_TRUE(store.ok()) << store.status();
+  QueryService service(**store, ServiceConfig{});
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  // Probe from a corner of the space: the best group's distance must
+  // strictly improve once a tight cluster lands next to the probe point.
+  const NwcQuery probe{Point{dataset.space.min_x, dataset.space.min_y}, 50, 50, 4};
+  ASSERT_TRUE(client.SendNwc(1, NwcRequest{probe, {}, 0}).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+  ASSERT_TRUE(reply.nwc.status.ok()) << reply.nwc.status;
+  const NwcResponse before = reply.nwc;
+
+  MutationBatch batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(Mutation::Insert(
+        DataObject{static_cast<ObjectId>(900000 + i),
+                   Point{dataset.space.min_x + 1.0 + i * 0.25, dataset.space.min_y + 1.0}}));
+  }
+  ASSERT_TRUE(client.SendUpdate(2, batch).ok());
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kUpdateResponse);
+  EXPECT_EQ(reply.request_id, 2u);
+  ASSERT_TRUE(reply.update.status.ok()) << reply.update.status;
+  EXPECT_EQ(reply.update.epoch, 2u);
+  EXPECT_EQ(reply.update.applied_inserts, 4u);
+  EXPECT_EQ(reply.update.applied_deletes, 0u);
+  EXPECT_EQ(reply.update.delete_misses, 0u);
+
+  ASSERT_TRUE(client.SendNwc(3, NwcRequest{probe, {}, 0}).ok());
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+  ASSERT_TRUE(reply.nwc.status.ok()) << reply.nwc.status;
+  ASSERT_TRUE(reply.nwc.result.found);
+  if (before.result.found) {
+    EXPECT_LT(reply.nwc.result.distance, before.result.distance);
+  }
+  // And the wire answer matches direct in-process submission exactly.
+  const NwcResponse direct = service.SubmitNwc(NwcRequest{probe, {}, 0}).get();
+  ExpectSameNwc(reply.nwc, direct, 3);
+
+  // A delete that misses comes back as a typed NotFound with the batch
+  // still applied (the response's counters say what happened).
+  MutationBatch miss{Mutation::Delete(DataObject{123456789, Point{-1e7, -1e7}}),
+                     Mutation::Insert(DataObject{900100, Point{dataset.space.min_x + 2.0,
+                                                               dataset.space.min_y + 2.0}})};
+  ASSERT_TRUE(client.SendUpdate(4, miss).ok());
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kUpdateResponse);
+  EXPECT_EQ(reply.update.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(reply.update.epoch, 3u);
+  EXPECT_EQ(reply.update.applied_inserts, 1u);
+  EXPECT_EQ(reply.update.delete_misses, 1u);
+}
+
+TEST(NetServer, UpdateOnStaticServerIsFailedPrecondition) {
+  const Session session = OpenTestSession(500);
+  QueryService service(session, ServiceConfig{});
+  const auto server = StartServer(service);
+  NetClient client = ConnectTo(*server);
+
+  ASSERT_TRUE(
+      client.SendUpdate(9, MutationBatch{Mutation::Insert(DataObject{1, Point{0, 0}})}).ok());
+  NetReply reply;
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kUpdateResponse);
+  EXPECT_EQ(reply.request_id, 9u);
+  EXPECT_EQ(reply.update.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(reply.update.epoch, 0u);
+
+  // The connection stays healthy: a query after the rejection still works.
+  ASSERT_TRUE(client.SendNwc(10, NwcRequest{NwcQuery{Point{0, 0}, 100, 100, 2}, {}, 0}).ok());
+  ASSERT_TRUE(client.Receive(&reply).ok());
+  EXPECT_EQ(reply.type, MsgType::kNwcResponse);
+  EXPECT_TRUE(reply.nwc.status.ok()) << reply.nwc.status;
+}
+
 }  // namespace
 }  // namespace nwc

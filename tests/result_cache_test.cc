@@ -75,6 +75,40 @@ TEST(ResultCacheKeyTest, DistinguishesSchemeMeasureParametersAndKind) {
   EXPECT_FALSE(base == ResultCacheKey::ForKnwc(knwc, NwcOptions::Plain()));
 }
 
+TEST(ResultCacheKeyTest, DataEpochKeysDistinctEntries) {
+  const NwcQuery query = MakeQuery(10, 20);
+  const NwcOptions options = NwcOptions::Star();
+  const ResultCacheKey epoch1 = ResultCacheKey::ForNwc(query, options, 1);
+  const ResultCacheKey epoch2 = ResultCacheKey::ForNwc(query, options, 2);
+  EXPECT_FALSE(epoch1 == epoch2) << "same query across epochs must not share an entry";
+  EXPECT_TRUE(epoch1 == ResultCacheKey::ForNwc(query, options, 1));
+  // The static-session default (epoch 0) is its own keyspace too.
+  EXPECT_FALSE(epoch1 == ResultCacheKey::ForNwc(query, options));
+}
+
+TEST(ResultCacheTest, EpochsCoexistWithoutCrossTalk) {
+  // The dynamic service's central cache property: entries from different
+  // snapshot epochs live side by side, and a probe only ever sees its own
+  // epoch's answer — publishing never needs to synchronously purge.
+  ResultCache cache(1 << 20, /*shards=*/4);
+  const NwcQuery query = MakeQuery(5, 5);
+  const NwcOptions options = NwcOptions::Star();
+  const NwcResult old_answer = MakeResult(100, 3);
+  const NwcResult new_answer = MakeResult(200, 3);
+  cache.InsertNwc(query, options, old_answer, /*data_epoch=*/1);
+  cache.InsertNwc(query, options, new_answer, /*data_epoch=*/2);
+
+  NwcResult out;
+  ASSERT_TRUE(cache.LookupNwc(query, options, &out, 1));
+  EXPECT_EQ(out.objects, old_answer.objects);
+  ASSERT_TRUE(cache.LookupNwc(query, options, &out, 2));
+  EXPECT_EQ(out.objects, new_answer.objects);
+  EXPECT_FALSE(cache.LookupNwc(query, options, &out, 3))
+      << "an epoch that never inserted must miss";
+  EXPECT_FALSE(cache.LookupNwc(query, options, &out))
+      << "the static keyspace must not alias any epoch";
+}
+
 TEST(ResultCacheTest, HitReturnsExactCopyAndCountsStats) {
   ResultCache cache(1 << 20, /*shards=*/4);
   const NwcQuery query = MakeQuery(100, 200);

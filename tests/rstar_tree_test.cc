@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "rtree/bulk_load.h"
 #include "rtree/queries.h"
 #include "rtree/validate.h"
 
@@ -182,6 +183,110 @@ TEST(RStarTreeTest, ClusteredInsertionStaysBalanced) {
     tree.Insert(DataObject{i, Point{cx + rng.NextGaussian(0, 5), 500 + rng.NextGaussian(0, 5)}});
   }
   EXPECT_TRUE(ValidateTree(tree).ok()) << ValidateTree(tree).ToString();
+}
+
+TEST(RStarTreeTest, CloneDivergesIndependently) {
+  const std::vector<DataObject> objects = RandomObjects(500, 7);
+  RStarTree original = BulkLoadStr(objects, SmallNodeOptions());
+  RStarTree clone = original.Clone();
+  EXPECT_EQ(clone.size(), original.size());
+  EXPECT_TRUE(ValidateTree(clone).ok());
+
+  // Mutate only the clone; the original must not move.
+  for (ObjectId i = 0; i < 100; ++i) {
+    clone.Insert(DataObject{static_cast<ObjectId>(10000 + i), Point{i * 1.0, i * 1.0}});
+  }
+  ASSERT_TRUE(clone.Delete(objects.front()).ok());
+  EXPECT_EQ(clone.size(), 500u + 100u - 1u);
+  EXPECT_EQ(original.size(), 500u);
+  EXPECT_TRUE(ValidateTree(original).ok());
+  EXPECT_TRUE(ValidateTree(clone).ok());
+
+  // Same logical content before divergence: every original object except
+  // the deleted one is still retrievable from the original.
+  IoCounter io;
+  for (size_t i = 0; i < objects.size(); i += 50) {
+    const auto hits =
+        WindowQuery(original, Rect::FromPoint(objects[i].pos), &io, IoPhase::kWindowQuery);
+    EXPECT_FALSE(hits.empty()) << "object " << i << " vanished from the original";
+  }
+}
+
+// Walks down the leftmost spine to any leaf node id.
+NodeId AnyLeaf(const RStarTree& tree) {
+  NodeId id = tree.root();
+  while (!tree.node(id).is_leaf()) id = tree.node(id).children.front().child;
+  return id;
+}
+
+TEST(ValidateTreeTest, CatchesDesyncedLeafArrays) {
+  RStarTree tree = BulkLoadStr(RandomObjects(200, 8), SmallNodeOptions());
+  ASSERT_TRUE(ValidateTree(tree).ok());
+  // Corrupt through the test backdoor: drop one y coordinate so the SoA
+  // arrays disagree about the leaf's entry count.
+  auto& leaf = const_cast<RTreeNode&>(tree.node(AnyLeaf(tree)));
+  ASSERT_GE(leaf.objects.size(), 1u);
+  LeafObjectsTestAccess::Ys(leaf.objects).pop_back();
+  EXPECT_FALSE(ValidateTree(tree).ok());
+}
+
+TEST(ValidateTreeTest, CatchesFalseZOrderPackingClaim) {
+  RStarTree tree = BulkLoadStr(RandomObjects(200, 9), SmallNodeOptions());
+  // Find a leaf with enough spread that reversing its entries breaks the
+  // Morton order, then claim it is still packed.
+  NodeId victim = kInvalidNodeId;
+  for (NodeId id = 0; id < tree.node_slot_count(); ++id) {
+    if (!tree.IsLive(id) || !tree.node(id).is_leaf()) continue;
+    const LeafObjects& candidate = tree.node(id).objects;
+    if (candidate.size() < 4 || !candidate.zorder_packed()) continue;
+    // Reversal only violates the claim when the leaf spans >1 Morton cell.
+    const Rect bounds = tree.node(id).ComputeMbr();
+    if (LeafMortonKey(bounds, candidate.position(0)) !=
+        LeafMortonKey(bounds, candidate.position(candidate.size() - 1))) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNodeId);
+  auto& leaf = const_cast<RTreeNode&>(tree.node(victim));
+  std::reverse(LeafObjectsTestAccess::Xs(leaf.objects).begin(),
+               LeafObjectsTestAccess::Xs(leaf.objects).end());
+  std::reverse(LeafObjectsTestAccess::Ys(leaf.objects).begin(),
+               LeafObjectsTestAccess::Ys(leaf.objects).end());
+  std::reverse(LeafObjectsTestAccess::Ids(leaf.objects).begin(),
+               LeafObjectsTestAccess::Ids(leaf.objects).end());
+  LeafObjectsTestAccess::SetPacked(leaf.objects, true);
+  EXPECT_FALSE(ValidateTree(tree).ok())
+      << "reversed entries under a packed claim must fail validation";
+}
+
+TEST(RStarTreeTest, MutationsClearTheZOrderPackedClaim) {
+  // Bulk loading marks leaves packed; any in-place mutation must drop the
+  // claim (Z-order is relative to the leaf's own bounds, which move).
+  RStarTree tree = BulkLoadStr(RandomObjects(200, 10), SmallNodeOptions());
+  bool any_packed = false;
+  for (NodeId id = 0; id < tree.node_slot_count(); ++id) {
+    if (tree.IsLive(id) && tree.node(id).is_leaf() && tree.node(id).objects.zorder_packed()) {
+      any_packed = true;
+    }
+  }
+  EXPECT_TRUE(any_packed) << "bulk load should mark multi-entry leaves packed";
+
+  LeafObjects objects;
+  objects.push_back(DataObject{1, Point{0, 0}});
+  objects.push_back(DataObject{2, Point{1, 1}});
+  objects.MarkZOrderPacked();
+  ASSERT_TRUE(objects.zorder_packed());
+  objects.push_back(DataObject{3, Point{2, 2}});
+  EXPECT_FALSE(objects.zorder_packed()) << "push_back must clear the claim";
+
+  objects.MarkZOrderPacked();
+  objects.EraseAt(0);
+  EXPECT_FALSE(objects.zorder_packed()) << "EraseAt must clear the claim";
+
+  objects.MarkZOrderPacked();
+  objects.clear();
+  EXPECT_FALSE(objects.zorder_packed()) << "clear must clear the claim";
 }
 
 }  // namespace

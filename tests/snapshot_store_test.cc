@@ -1,0 +1,333 @@
+// SnapshotStore semantics: epoch-based copy-on-write publishing, snapshot
+// lifetime pinned by readers, lazy IWP rebuild behind the staleness bound,
+// and the service-level guarantees built on top — epoch-keyed result-cache
+// correctness under real mutations (positive and negative entries) and the
+// typed update API's static/dynamic split.
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/nwc_engine.h"
+#include "rtree/bulk_load.h"
+#include "rtree/validate.h"
+#include "service/query_service.h"
+#include "service/snapshot.h"
+
+namespace nwc {
+namespace {
+
+std::vector<DataObject> UniformObjects(size_t count, uint64_t seed, double span = 100.0) {
+  Rng rng(seed);
+  std::vector<DataObject> objects;
+  objects.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    objects.push_back(DataObject{static_cast<ObjectId>(i),
+                                 Point{rng.NextDouble(0, span), rng.NextDouble(0, span)}});
+  }
+  return objects;
+}
+
+std::unique_ptr<SnapshotStore> OpenStore(const std::vector<DataObject>& objects,
+                                         size_t iwp_staleness_limit = 0) {
+  SnapshotStore::Config config;
+  config.iwp_staleness_limit = iwp_staleness_limit;
+  Result<std::unique_ptr<SnapshotStore>> store =
+      SnapshotStore::Open(BulkLoadStr(objects, RTreeOptions{}), config);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(*store);
+}
+
+NwcResult RunQuery(const Session& session, const NwcQuery& query, NwcOptions options) {
+  if (options.use_iwp && session.iwp() == nullptr) options.use_iwp = false;
+  NwcEngine engine(session.tree(), session.iwp(), session.grid());
+  Result<NwcResult> result = engine.Execute(query, options, nullptr);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+bool SameResult(const NwcResult& a, const NwcResult& b) {
+  if (a.found != b.found || a.distance != b.distance ||
+      a.objects.size() != b.objects.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.objects.size(); ++i) {
+    if (!(a.objects[i] == b.objects[i])) return false;
+  }
+  return true;
+}
+
+TEST(SnapshotStoreTest, OpenPublishesEpochOne) {
+  auto store = OpenStore(UniformObjects(50, 1));
+  EXPECT_EQ(store->epoch(), 1u);
+  const SnapshotStore::SnapshotRef ref = store->Acquire();
+  ASSERT_NE(ref.session, nullptr);
+  EXPECT_EQ(ref.epoch, 1u);
+  EXPECT_EQ(ref.session->tree().size(), 50u);
+  EXPECT_NE(ref.session->iwp(), nullptr);
+  EXPECT_NE(ref.session->grid(), nullptr);
+  EXPECT_TRUE(ValidateTree(ref.session->tree()).ok());
+}
+
+TEST(SnapshotStoreTest, ApplyIsInvisibleUntilPublish) {
+  auto store = OpenStore(UniformObjects(50, 2));
+  MutationBatch batch{Mutation::Insert(DataObject{1000, Point{50, 50}})};
+  ASSERT_TRUE(store->Apply(batch).ok());
+  EXPECT_EQ(store->writer_object_count(), 51u);
+  EXPECT_EQ(store->Acquire().session->tree().size(), 50u);  // readers see epoch 1
+  EXPECT_EQ(store->epoch(), 1u);
+
+  const SnapshotStore::SnapshotRef ref = store->Publish();
+  EXPECT_EQ(ref.epoch, 2u);
+  EXPECT_EQ(ref.session->tree().size(), 51u);
+}
+
+TEST(SnapshotStoreTest, PublishWithoutMutationsReturnsCurrentSnapshot) {
+  auto store = OpenStore(UniformObjects(20, 3));
+  const SnapshotStore::SnapshotRef before = store->Acquire();
+  const SnapshotStore::SnapshotRef again = store->Publish();
+  EXPECT_EQ(again.epoch, 1u);
+  EXPECT_EQ(again.session.get(), before.session.get());  // no clone happened
+
+  SnapshotStore::SnapshotRef out;
+  ASSERT_TRUE(store->ApplyAndPublish(MutationBatch{}, nullptr, &out).ok());
+  EXPECT_EQ(out.epoch, 1u);
+}
+
+TEST(SnapshotStoreTest, ReaderHoldingOldEpochGetsBitExactOldAnswers) {
+  const std::vector<DataObject> objects = UniformObjects(200, 4);
+  auto store = OpenStore(objects);
+  const NwcQuery query{Point{50, 50}, 20, 20, 4};
+
+  const SnapshotStore::SnapshotRef old_ref = store->Acquire();
+  const NwcResult before = RunQuery(*old_ref.session, query, NwcOptions::Star());
+
+  // Pile mutations right into the query window across several publishes.
+  for (int round = 0; round < 3; ++round) {
+    MutationBatch batch;
+    for (int i = 0; i < 10; ++i) {
+      batch.push_back(Mutation::Insert(DataObject{
+          static_cast<ObjectId>(5000 + round * 10 + i),
+          Point{45.0 + i * 0.5, 45.0 + round * 0.5}}));
+    }
+    ASSERT_TRUE(store->ApplyAndPublish(batch, nullptr, nullptr).ok());
+  }
+  EXPECT_EQ(store->epoch(), 4u);
+
+  // The pinned epoch-1 session answers exactly as before the churn...
+  const NwcResult after = RunQuery(*old_ref.session, query, NwcOptions::Star());
+  EXPECT_TRUE(SameResult(before, after));
+  // ...while the current epoch sees the new, denser data.
+  const NwcResult fresh = RunQuery(*store->Acquire().session, query, NwcOptions::Star());
+  ASSERT_TRUE(fresh.found);
+  EXPECT_LE(fresh.distance, before.found ? before.distance : 1e300);
+}
+
+TEST(SnapshotStoreTest, OldSessionDestroyedOnlyAfterLastReaderReleases) {
+  auto store = OpenStore(UniformObjects(30, 5));
+  SnapshotStore::SnapshotRef ref = store->Acquire();
+  std::weak_ptr<const Session> watch = ref.session;
+
+  ASSERT_TRUE(store
+                  ->ApplyAndPublish(
+                      MutationBatch{Mutation::Insert(DataObject{999, Point{1, 1}})},
+                      nullptr, nullptr)
+                  .ok());
+  // Epoch 2 is published, but the reader still pins epoch 1.
+  EXPECT_FALSE(watch.expired());
+  ref.session.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SnapshotStoreTest, DeleteMissReportsNotFoundButAppliesRest) {
+  auto store = OpenStore(UniformObjects(10, 6));
+  const SnapshotStore::SnapshotRef before = store->Acquire();
+  const DataObject real = [&] {
+    // Any stored object: collect from the published tree.
+    return CollectTreeObjects(before.session->tree()).front();
+  }();
+
+  MutationBatch batch{
+      Mutation::Delete(DataObject{4242, Point{3, 3}}),  // no such object
+      Mutation::Delete(real),
+      Mutation::Insert(DataObject{777, Point{7, 7}}),
+  };
+  SnapshotStore::ApplyStats stats;
+  SnapshotStore::SnapshotRef out;
+  const Status status = store->ApplyAndPublish(batch, &stats, &out);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.delete_misses, 1u);
+  EXPECT_EQ(out.session->tree().size(), 10u);  // -1 +1
+  EXPECT_TRUE(ValidateTree(out.session->tree()).ok());
+}
+
+TEST(SnapshotStoreTest, LazyIwpRespectsStalenessBoundAndStaysBitExact) {
+  const std::vector<DataObject> objects = UniformObjects(300, 7);
+  auto store = OpenStore(objects, /*iwp_staleness_limit=*/5);
+  EXPECT_NE(store->Acquire().session->iwp(), nullptr);  // first publish builds
+  EXPECT_EQ(store->mutations_since_iwp_build(), 0u);
+
+  // 3 mutations: inside the bound, the snapshot ships without IWP.
+  MutationBatch small;
+  for (int i = 0; i < 3; ++i) {
+    small.push_back(Mutation::Insert(DataObject{static_cast<ObjectId>(9000 + i),
+                                                Point{40.0 + i, 40.0}}));
+  }
+  ASSERT_TRUE(store->ApplyAndPublish(small, nullptr, nullptr).ok());
+  const SnapshotStore::SnapshotRef degraded = store->Acquire();
+  EXPECT_EQ(degraded.session->iwp(), nullptr);
+  EXPECT_EQ(store->mutations_since_iwp_build(), 3u);
+
+  // The IWP-less snapshot still answers bit-exactly (degraded scheme) vs a
+  // from-scratch stack with full IWP over the same data.
+  Result<Session> oracle = Session::Open(
+      BulkLoadStr(CollectTreeObjects(degraded.session->tree()), RTreeOptions{}));
+  ASSERT_TRUE(oracle.ok());
+  const NwcQuery query{Point{42, 41}, 15, 15, 3};
+  EXPECT_TRUE(SameResult(RunQuery(*degraded.session, query, NwcOptions::Star()),
+                         RunQuery(*oracle, query, NwcOptions::Star())));
+
+  // 3 more push past the bound of 5: the next publish rebuilds.
+  MutationBatch more;
+  for (int i = 0; i < 3; ++i) {
+    more.push_back(Mutation::Insert(DataObject{static_cast<ObjectId>(9100 + i),
+                                               Point{60.0 + i, 60.0}}));
+  }
+  ASSERT_TRUE(store->ApplyAndPublish(more, nullptr, nullptr).ok());
+  EXPECT_NE(store->Acquire().session->iwp(), nullptr);
+  EXPECT_EQ(store->mutations_since_iwp_build(), 0u);
+}
+
+TEST(SnapshotStoreTest, ConfigSupportsIsEpochIndependent) {
+  SnapshotStore::Config config;
+  config.iwp_staleness_limit = 100;
+  Result<std::unique_ptr<SnapshotStore>> store =
+      SnapshotStore::Open(BulkLoadStr(UniformObjects(50, 8), RTreeOptions{}), config);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)
+                  ->ApplyAndPublish(
+                      MutationBatch{Mutation::Insert(DataObject{1, Point{2, 2}})},
+                      nullptr, nullptr)
+                  .ok());
+  // The current snapshot has no IWP (inside the bound), but the store is
+  // configured for it — use_iwp requests stay supported and degrade.
+  EXPECT_EQ((*store)->Acquire().session->iwp(), nullptr);
+  EXPECT_TRUE((*store)->Supports(NwcOptions::Star()));
+}
+
+// ---- service-level guarantees -------------------------------------------
+
+ServiceConfig CachedServiceConfig() {
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.queue_capacity = 64;
+  config.default_options = NwcOptions::Star();
+  config.result_cache_bytes = 4u << 20;
+  return config;
+}
+
+TEST(DynamicServiceTest, StaticServiceRejectsUpdates) {
+  Result<Session> session = Session::Open(BulkLoadStr(UniformObjects(20, 9), RTreeOptions{}));
+  ASSERT_TRUE(session.ok());
+  QueryService service(*session, CachedServiceConfig());
+  EXPECT_FALSE(service.is_dynamic());
+  const UpdateResponse response =
+      service.ApplyUpdate(MutationBatch{Mutation::Insert(DataObject{1, Point{1, 1}})});
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(response.epoch, 0u);
+}
+
+TEST(DynamicServiceTest, CachedAnswersNeverSurviveAPublish) {
+  // Seed data so sparse that no 8x8 window anywhere holds 3 objects: the
+  // first query is "not found" — exercising the negative cache — until
+  // inserts create a qualifying cluster.
+  std::vector<DataObject> sparse;
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      sparse.push_back(DataObject{static_cast<ObjectId>(i * 6 + j),
+                                  Point{i * 50.0, j * 50.0}});
+    }
+  }
+  auto store = OpenStore(sparse);
+  QueryService service(*store, CachedServiceConfig());
+  EXPECT_TRUE(service.is_dynamic());
+
+  const NwcQuery probe{Point{10, 10}, 8, 8, 3};
+  NwcResponse first = service.SubmitNwc(NwcRequest{probe, {}}).get();
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.result.found);
+
+  // Same query again: served from the cache (negative entry).
+  NwcResponse cached = service.SubmitNwc(NwcRequest{probe, {}}).get();
+  ASSERT_TRUE(cached.status.ok());
+  EXPECT_TRUE(cached.result_cache_hit);
+  EXPECT_FALSE(cached.result.found);
+
+  // Publish objects inside the probe window; the cached negative answer
+  // must not survive the epoch change.
+  MutationBatch batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(Mutation::Insert(
+        DataObject{static_cast<ObjectId>(100 + i), Point{9.0 + i * 0.5, 10.0}}));
+  }
+  const UpdateResponse update = service.ApplyUpdate(batch);
+  ASSERT_TRUE(update.status.ok()) << update.status.ToString();
+  EXPECT_EQ(update.epoch, 2u);
+  EXPECT_EQ(update.applied_inserts, 4u);
+
+  NwcResponse after = service.SubmitNwc(NwcRequest{probe, {}}).get();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.result_cache_hit);  // new epoch keys a fresh entry
+  EXPECT_TRUE(after.result.found);
+  ASSERT_EQ(after.result.objects.size(), 3u);
+
+  // And the new answer is itself cacheable under the new epoch.
+  NwcResponse again = service.SubmitNwc(NwcRequest{probe, {}}).get();
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_TRUE(again.result_cache_hit);
+  EXPECT_TRUE(SameResult(after.result, again.result));
+}
+
+TEST(DynamicServiceTest, PositiveCachedAnswerTracksMutations) {
+  const std::vector<DataObject> objects = UniformObjects(150, 11);
+  auto store = OpenStore(objects);
+  QueryService service(*store, CachedServiceConfig());
+
+  // Probe from outside the data space so the best group sits at a strictly
+  // positive distance (a window containing q would answer 0 under the
+  // nearest-window measure and mask any improvement).
+  const NwcQuery probe{Point{150, 150}, 10, 10, 4};
+  const NwcResponse first = service.SubmitNwc(NwcRequest{probe, {}}).get();
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(first.result.found);
+  ASSERT_GT(first.result.distance, 0.0);
+
+  // A tight cluster just next to the query point must become the new best
+  // group at a smaller distance.
+  MutationBatch batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(Mutation::Insert(DataObject{
+        static_cast<ObjectId>(800 + i), Point{145.0 + i * 0.01, 150.0}}));
+  }
+  ASSERT_TRUE(service.ApplyUpdate(batch).status.ok());
+
+  const NwcResponse after = service.SubmitNwc(NwcRequest{probe, {}}).get();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.result_cache_hit);
+  ASSERT_TRUE(after.result.found);
+  EXPECT_LT(after.result.distance, first.result.distance);
+
+  // Oracle: rebuilt-from-scratch stack over the published data agrees.
+  Result<Session> oracle = Session::Open(BulkLoadStr(
+      CollectTreeObjects(store->Acquire().session->tree()), RTreeOptions{}));
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(SameResult(after.result, RunQuery(*oracle, probe, NwcOptions::Star())));
+}
+
+}  // namespace
+}  // namespace nwc

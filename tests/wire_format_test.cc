@@ -349,6 +349,72 @@ TEST(WireFormat, UnknownTypeFailsAndPoisons) {
   EXPECT_EQ(decoder.Poll(&has_frame, &frame).code(), StatusCode::kInvalidArgument);
 }
 
+MutationBatch MakeBatch() {
+  return MutationBatch{
+      Mutation::Insert(DataObject{12, Point{1.5, -2.25}}),
+      Mutation::Delete(DataObject{34, Point{0.0, 9000.125}}),
+      Mutation::Insert(DataObject{56, Point{-0.5, 0.5}}),
+  };
+}
+
+TEST(WireFormat, UpdateRequestRoundtrip) {
+  const MutationBatch batch = MakeBatch();
+  const WireFrame frame = MustDecodeFrame(EncodeUpdateRequestFrame(21, batch));
+  EXPECT_EQ(frame.type, MsgType::kUpdateRequest);
+  EXPECT_EQ(frame.request_id, 21u);
+  MutationBatch decoded;
+  ASSERT_TRUE(DecodeUpdateRequest(frame.body, &decoded).ok());
+  ASSERT_EQ(decoded.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) EXPECT_EQ(decoded[i], batch[i]);
+}
+
+TEST(WireFormat, EmptyUpdateRequestRoundtrip) {
+  const WireFrame frame = MustDecodeFrame(EncodeUpdateRequestFrame(22, MutationBatch{}));
+  MutationBatch decoded = MakeBatch();  // must be cleared by the decoder
+  ASSERT_TRUE(DecodeUpdateRequest(frame.body, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(WireFormat, UpdateResponseRoundtrip) {
+  UpdateResponse response;
+  response.status = Status::NotFound("2 of 5 deletes matched no stored object");
+  response.epoch = 17;
+  response.applied_inserts = 3;
+  response.applied_deletes = 1;
+  response.delete_misses = 2;
+  response.latency_micros = 905;
+  const WireFrame frame = MustDecodeFrame(EncodeUpdateResponseFrame(23, response));
+  EXPECT_EQ(frame.type, MsgType::kUpdateResponse);
+  UpdateResponse decoded;
+  ASSERT_TRUE(DecodeUpdateResponse(frame.body, &decoded).ok());
+  EXPECT_EQ(decoded.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.status.message(), response.status.message());
+  EXPECT_EQ(decoded.epoch, 17u);
+  EXPECT_EQ(decoded.applied_inserts, 3u);
+  EXPECT_EQ(decoded.applied_deletes, 1u);
+  EXPECT_EQ(decoded.delete_misses, 2u);
+  EXPECT_EQ(decoded.latency_micros, 905u);
+}
+
+TEST(WireFormat, UpdateRequestRejectsBadKindTruncationAndTrailing) {
+  std::string body;
+  EncodeUpdateRequest(MakeBatch(), &body);
+  MutationBatch decoded;
+  ASSERT_TRUE(DecodeUpdateRequest(body, &decoded).ok());
+
+  // The first mutation's kind byte sits right after the u32 count.
+  std::string corrupt = body;
+  corrupt[4] = 2;  // no such Mutation::Kind
+  EXPECT_EQ(DecodeUpdateRequest(corrupt, &decoded).code(), StatusCode::kInvalidArgument);
+
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_EQ(DecodeUpdateRequest(body.substr(0, cut), &decoded).code(),
+              StatusCode::kInvalidArgument)
+        << "cut at " << cut;
+  }
+  EXPECT_EQ(DecodeUpdateRequest(body + "x", &decoded).code(), StatusCode::kInvalidArgument);
+}
+
 TEST(WireFormat, BodyDecodersRejectTruncationAndTrailingBytes) {
   std::string body;
   EncodeNwcRequest(MakeNwcRequest(), &body);
@@ -391,6 +457,8 @@ TEST(WireFormat, FuzzedStreamsNeverCrashTheDecoder) {
   pristine += EncodeNwcResponseFrame(3, MakeNwcResponse());
   pristine += EncodeKnwcResponseFrame(4, MakeKnwcResponse());
   pristine += EncodeErrorFrame(5, Status::Unavailable("shed"));
+  pristine += EncodeUpdateRequestFrame(6, MakeBatch());
+  pristine += EncodeUpdateResponseFrame(7, UpdateResponse{Status::Ok(), 9, 2, 1, 0, 333});
 
   Rng rng(0xF00D);
   for (int round = 0; round < 2000; ++round) {
@@ -459,6 +527,16 @@ TEST(WireFormat, FuzzedStreamsNeverCrashTheDecoder) {
           case MsgType::kError:
             (void)DecodeStatusBody(frame.body, &body_status);
             break;
+          case MsgType::kUpdateRequest: {
+            MutationBatch batch;
+            (void)DecodeUpdateRequest(frame.body, &batch);
+            break;
+          }
+          case MsgType::kUpdateResponse: {
+            UpdateResponse update;
+            (void)DecodeUpdateResponse(frame.body, &update);
+            break;
+          }
         }
       }
       if (poisoned) break;

@@ -47,10 +47,20 @@
 //       SubmitKnwcBatch, which groups compatible queries by Z-order
 //       locality (at most --batch-group per group) so each worker reuses
 //       memoized window walks. Results are bit-identical either way.
+//       Dynamic data: --mutations=F.txt replays a mutation file (one
+//       "insert ID X Y" / "delete ID X Y" per line, "---" closing a
+//       batch) interleaved with the query stream through an MVCC
+//       SnapshotStore — each batch applies and publishes a new epoch
+//       after every --mutate-every queries (default: spread evenly).
+//       --iwp-staleness=N lets published snapshots omit the IWP for up
+//       to N mutations since its last build (queries degrade to
+//       SRR+DIP+DEP for those epochs). Incompatible with --batch (the
+//       batch planner snapshots the whole file up front).
 //   serve    --index=F.nwctree [--host=127.0.0.1] [--port=0]
 //            [--threads=4] [--queue=256] [--scheme=...] [--measure=...]
 //            [--no-iwp] [--no-grid] [--max-frame-bytes=1048576]
 //            [--deadline-us=N] [--shed-watermark=N] [--cache-mb=N]
+//            [--dynamic] [--iwp-staleness=N]
 //            [--metrics-json=F.json] [--prom=F.prom]
 //       Serve NWC/kNWC queries over TCP (the binary frame protocol of
 //       src/net/wire.h) until SIGINT/SIGTERM, then drain gracefully:
@@ -63,6 +73,10 @@
 //       clients may override the scheme per request; --no-iwp /
 //       --no-grid trade that flexibility for startup time and memory.
 //       Drive it with nwc_load (open-loop QPS, pipelined connections).
+//       --dynamic serves from an MVCC SnapshotStore so clients may send
+//       kUpdateRequest frames (insert/delete batches); each batch
+//       publishes a new epoch that later queries observe while in-flight
+//       ones keep their snapshot. --iwp-staleness as in serve-batch.
 //   trace    --index=F.nwctree --q=X,Y --l=L --w=W --n=N [--k=K --m=M]
 //            [--scheme=...] [--measure=...] [--data=F.csv]
 //            [--format=<chrome|jsonl>] [--out=F.json]
@@ -80,6 +94,7 @@
 //   nwc_tool trace --index=/tmp/ca.nwctree --data=/tmp/ca.csv
 //       --q=5000,5000 --l=64 --w=64 --n=8 --scheme=star --out=/tmp/q.json
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -88,6 +103,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -474,8 +490,34 @@ int CmdServeBatch(const Args& args) {
   session_config.build_iwp = options->use_iwp;
   session_config.build_grid = options->use_dep;
   session_config.grid_cell_size = args.GetDouble("grid-cell", 25.0);
-  Result<Session> session = Session::Open(std::move(tree).value(), session_config);
-  if (!session.ok()) return Fail(session.status().ToString());
+
+  // With --mutations the tree goes behind an MVCC SnapshotStore instead
+  // of a static Session; mutation batches publish new epochs between
+  // query submissions.
+  const std::string mutations_path = args.Get("mutations");
+  std::vector<MutationBatch> mutation_batches;
+  std::optional<Session> session;
+  std::unique_ptr<SnapshotStore> store;
+  if (!mutations_path.empty()) {
+    if (args.Has("batch")) {
+      return Fail("--mutations cannot be combined with --batch (the batch planner "
+                  "snapshots the whole file up front)");
+    }
+    Result<std::vector<MutationBatch>> batches = LoadMutationFile(mutations_path);
+    if (!batches.ok()) return Fail(batches.status().ToString());
+    mutation_batches = std::move(*batches);
+    SnapshotStore::Config store_config;
+    store_config.session = session_config;
+    store_config.iwp_staleness_limit = static_cast<size_t>(args.GetLong("iwp-staleness", 0));
+    Result<std::unique_ptr<SnapshotStore>> opened =
+        SnapshotStore::Open(std::move(tree).value(), store_config);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    store = std::move(*opened);
+  } else {
+    Result<Session> opened = Session::Open(std::move(tree).value(), session_config);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    session.emplace(std::move(*opened));
+  }
 
   Result<ServiceConfig> service_config = ServiceConfigFromArgs(args, *options);
   if (!service_config.ok()) return Fail(service_config.status().ToString());
@@ -486,11 +528,18 @@ int CmdServeBatch(const Args& args) {
   const Status installed = ShutdownSignal::Instance().Install();
   if (!installed.ok()) return Fail(installed.ToString());
 
-  QueryService service(*session, *service_config);
+  std::optional<QueryService> service_holder;
+  if (store != nullptr) {
+    service_holder.emplace(*store, *service_config);
+  } else {
+    service_holder.emplace(*session, *service_config);
+  }
+  QueryService& service = *service_holder;
   DrainWatcher drain_watcher(service);
-  std::printf("serving %zu queries from %s across %zu worker(s), scheme %s\n",
+  std::printf("serving %zu queries from %s across %zu worker(s), scheme %s%s\n",
               entries->size(), queries_path.c_str(), service.num_workers(),
-              args.Get("scheme", "star").c_str());
+              args.Get("scheme", "star").c_str(),
+              store != nullptr ? " (dynamic)" : "");
 
   // Submit everything in file order (blocking submit = natural
   // backpressure), then harvest the futures in the same order. With
@@ -513,11 +562,41 @@ int CmdServeBatch(const Args& args) {
     nwc_futures = service.SubmitNwcBatch(nwc_requests);
     knwc_futures = service.SubmitKnwcBatch(knwc_requests);
   } else {
+    // Mutation batches publish after every `mutate_every` submitted
+    // queries — by default spaced so the stream outlives the batches.
+    const size_t mutate_every =
+        mutation_batches.empty()
+            ? 0
+            : std::max<size_t>(
+                  1, args.Has("mutate-every")
+                         ? static_cast<size_t>(args.GetLong("mutate-every", 1))
+                         : entries->size() / (mutation_batches.size() + 1));
+    size_t next_batch = 0;
+    size_t since_mutation = 0;
     for (const WorkloadEntry& entry : *entries) {
+      if (mutate_every != 0 && since_mutation >= mutate_every &&
+          next_batch < mutation_batches.size()) {
+        // NotFound (delete misses) is tolerated: a replay against a
+        // different seed tree may legitimately miss.
+        const UpdateResponse update = service.ApplyUpdate(mutation_batches[next_batch++]);
+        if (!update.status.ok() && update.status.code() != StatusCode::kNotFound) {
+          return Fail(update.status.ToString());
+        }
+        since_mutation = 0;
+      }
       if (entry.is_knwc) {
         knwc_futures.push_back(service.SubmitKnwc(KnwcRequest{entry.knwc, {}}));
       } else {
         nwc_futures.push_back(service.SubmitNwc(NwcRequest{entry.nwc, {}}));
+      }
+      ++since_mutation;
+    }
+    // Leftover batches (short query file): apply them so the replay is
+    // complete even if nothing queries the final epochs.
+    while (next_batch < mutation_batches.size()) {
+      const UpdateResponse update = service.ApplyUpdate(mutation_batches[next_batch++]);
+      if (!update.status.ok() && update.status.code() != StatusCode::kNotFound) {
+        return Fail(update.status.ToString());
       }
     }
   }
@@ -568,6 +647,11 @@ int CmdServeBatch(const Args& args) {
   std::printf("\n--- metrics report ---\n");
   std::printf("wall time:  %.3f s (%.1f queries/sec)\n", seconds,
               seconds > 0.0 ? static_cast<double>(snapshot.queries) / seconds : 0.0);
+  if (store != nullptr) {
+    std::printf("mutations:  %zu batch(es) applied, final epoch %llu, %zu object(s)\n",
+                mutation_batches.size(), static_cast<unsigned long long>(store->epoch()),
+                store->writer_object_count());
+  }
   std::printf("%s", snapshot.ToString().c_str());
 
   const std::string metrics_json = args.Get("metrics-json");
@@ -628,8 +712,22 @@ int CmdServe(const Args& args) {
   session_config.build_iwp = !args.Has("no-iwp");
   session_config.build_grid = !args.Has("no-grid");
   session_config.grid_cell_size = args.GetDouble("grid-cell", 25.0);
-  Result<Session> session = Session::Open(std::move(tree).value(), session_config);
-  if (!session.ok()) return Fail(session.status().ToString());
+
+  std::optional<Session> session;
+  std::unique_ptr<SnapshotStore> store;
+  if (args.Has("dynamic")) {
+    SnapshotStore::Config store_config;
+    store_config.session = session_config;
+    store_config.iwp_staleness_limit = static_cast<size_t>(args.GetLong("iwp-staleness", 0));
+    Result<std::unique_ptr<SnapshotStore>> opened =
+        SnapshotStore::Open(std::move(tree).value(), store_config);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    store = std::move(*opened);
+  } else {
+    Result<Session> opened = Session::Open(std::move(tree).value(), session_config);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    session.emplace(std::move(*opened));
+  }
 
   Result<ServiceConfig> service_config = ServiceConfigFromArgs(args, *options);
   if (!service_config.ok()) return Fail(service_config.status().ToString());
@@ -642,13 +740,19 @@ int CmdServe(const Args& args) {
   const Status installed = ShutdownSignal::Instance().Install();
   if (!installed.ok()) return Fail(installed.ToString());
 
-  QueryService service(*session, *service_config);
+  std::optional<QueryService> service_holder;
+  if (store != nullptr) {
+    service_holder.emplace(*store, *service_config);
+  } else {
+    service_holder.emplace(*session, *service_config);
+  }
+  QueryService& service = *service_holder;
   Result<std::unique_ptr<NetServer>> server = NetServer::Start(service, net_config);
   if (!server.ok()) return Fail(server.status().ToString());
 
-  std::printf("listening on %s:%u (%zu worker(s), scheme %s)\n", net_config.host.c_str(),
+  std::printf("listening on %s:%u (%zu worker(s), scheme %s%s)\n", net_config.host.c_str(),
               static_cast<unsigned>((*server)->port()), service.num_workers(),
-              args.Get("scheme", "star").c_str());
+              args.Get("scheme", "star").c_str(), store != nullptr ? ", dynamic" : "");
   std::fflush(stdout);
 
   ShutdownSignal::Instance().WaitUntilRequested();
