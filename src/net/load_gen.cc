@@ -33,14 +33,25 @@ Status LoadGenConfig::Validate() const {
 
 std::string LoadGenReport::ToString() const {
   std::string out = StrFormat(
-      "sent %llu, received %llu (%llu error(s), %llu lost) in %.3f s\n"
-      "achieved %.1f q/s; latency from due time: p50 %llu us, p95 %llu us, "
-      "p99 %llu us, max %llu us\n",
+      "sent %llu, received %llu (%llu error(s), %llu lost) in %.3f s\n",
       static_cast<unsigned long long>(sent), static_cast<unsigned long long>(received),
       static_cast<unsigned long long>(errors), static_cast<unsigned long long>(lost),
-      wall_seconds, achieved_qps, static_cast<unsigned long long>(p50_micros),
-      static_cast<unsigned long long>(p95_micros), static_cast<unsigned long long>(p99_micros),
-      static_cast<unsigned long long>(max_micros));
+      wall_seconds);
+  if (received == 0) {
+    // No request completed (immediate SIGTERM, all shed before first
+    // response, refused writes): the percentile fields are all zero by
+    // construction, and printing them as if they were measurements would
+    // read as "the server answered in 0 us". Say what happened instead.
+    out += StrFormat("achieved %.1f q/s; latency from due time: no data (samples=0)\n",
+                     achieved_qps);
+  } else {
+    out += StrFormat(
+        "achieved %.1f q/s; latency from due time: p50 %llu us, p95 %llu us, "
+        "p99 %llu us, max %llu us\n",
+        achieved_qps, static_cast<unsigned long long>(p50_micros),
+        static_cast<unsigned long long>(p95_micros), static_cast<unsigned long long>(p99_micros),
+        static_cast<unsigned long long>(max_micros));
+  }
   if (traced > 0) {
     out += StrFormat(
         "server timing over %llu traced response(s): "

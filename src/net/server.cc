@@ -97,7 +97,7 @@ uint64_t OffsetMicros(uint64_t now_us, uint64_t origin_us) {
 
 class NetServer::Impl {
  public:
-  Impl(QueryService& service, NetServerConfig config)
+  Impl(QueryBackend& service, NetServerConfig config)
       : service_(service), config_(std::move(config)) {}
 
   ~Impl() {
@@ -308,7 +308,19 @@ class NetServer::Impl {
   void AcceptAll() {
     while (true) {
       const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) return;  // EAGAIN, or a transient accept failure
+      if (fd < 0) {
+        // A connection that died in the backlog (ECONNABORTED), a signal
+        // (EINTR), or a peer protocol hiccup (EPROTO) is about THAT
+        // connection, not the listener: returning here — as this loop once
+        // did — stranded the rest of the backlog until the next EPOLLIN,
+        // which with a level-triggered listener may be one accept storm
+        // away. Skip the failed slot and keep draining. EAGAIN means the
+        // backlog is empty; anything else (EMFILE/ENFILE/ENOMEM/EBADF) is
+        // a listener- or process-level condition where spinning would
+        // busy-loop, so yield back to epoll.
+        if (errno == ECONNABORTED || errno == EINTR || errno == EPROTO) continue;
+        return;
+      }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       if (config_.send_buffer_bytes > 0) {
@@ -453,7 +465,7 @@ class NetServer::Impl {
           service_.SubmitNwcAsyncTraced(
               std::move(request),
               [this, conn_id, request_id, receive_us, decode_us](
-                  NwcResponse response, const QueryService::AsyncTiming& stamps) {
+                  NwcResponse response, const AsyncTiming& stamps) {
                 // Worker thread: encode here so the loop only memcpys.
                 // The flush stamp is provisional until the loop patches
                 // it at send time.
@@ -506,7 +518,7 @@ class NetServer::Impl {
           service_.SubmitKnwcAsyncTraced(
               std::move(request),
               [this, conn_id, request_id, receive_us, decode_us](
-                  KnwcResponse response, const QueryService::AsyncTiming& stamps) {
+                  KnwcResponse response, const AsyncTiming& stamps) {
                 ServerTiming timing;
                 timing.decode_us = decode_us;
                 timing.enqueue_us = OffsetMicros(stamps.enqueue_us, receive_us);
@@ -615,6 +627,9 @@ class NetServer::Impl {
     if (path == "/metrics") {
       std::string body =
           ToPrometheusText(service_.SnapshotMetrics(), service_.SnapshotLatencyHistogram());
+      // Backend-specific series (e.g. a shard router's per-shard families)
+      // slot in between the aggregate and net-layer blocks.
+      service_.AppendPrometheusText(&body);
       AppendNetMetricsText(metrics_.Snapshot(), &body);
       HttpRespond(conn, "200 OK", "text/plain; version=0.0.4", body, close);
     } else if (path == "/healthz") {
@@ -810,7 +825,7 @@ class NetServer::Impl {
     }
   }
 
-  QueryService& service_;
+  QueryBackend& service_;
   NetServerConfig config_;
   int listen_fd_ = -1;
   int wake_fd_ = -1;
@@ -841,7 +856,7 @@ NetServer::NetServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 
 NetServer::~NetServer() = default;
 
-Result<std::unique_ptr<NetServer>> NetServer::Start(QueryService& service,
+Result<std::unique_ptr<NetServer>> NetServer::Start(QueryBackend& service,
                                                     NetServerConfig config) {
   auto impl = std::make_unique<Impl>(service, std::move(config));
   const Status status = impl->Start();

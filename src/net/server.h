@@ -7,7 +7,7 @@
 
 #include "common/status.h"
 #include "obs/net_metrics.h"
-#include "service/query_service.h"
+#include "service/query_backend.h"
 
 namespace nwc {
 
@@ -32,7 +32,8 @@ struct NetServerConfig {
   Status Validate() const;
 };
 
-/// A single-listener epoll TCP server in front of a QueryService.
+/// A single-listener epoll TCP server in front of a QueryBackend — the
+/// single-tree QueryService or the spatially sharded ShardRouter.
 ///
 /// One event-loop thread owns every socket (level-triggered epoll,
 /// non-blocking fds) and does no query work: decoded requests are handed
@@ -73,7 +74,7 @@ struct NetServerConfig {
 /// connection.
 ///
 /// ThreadSafety: Start/Wait/RequestDrain/GetStats may be called from any
-/// thread. The QueryService must outlive the server.
+/// thread. The backend must outlive the server.
 class NetServer {
  public:
   /// Event-loop counters (all monotonic except none — gauges live in the
@@ -91,7 +92,7 @@ class NetServer {
   /// Binds, listens, and starts the event loop. On success the returned
   /// server is already accepting; port() is the bound port (useful with
   /// port 0).
-  static Result<std::unique_ptr<NetServer>> Start(QueryService& service,
+  static Result<std::unique_ptr<NetServer>> Start(QueryBackend& service,
                                                   NetServerConfig config);
 
   /// Drains (if not already draining) and joins the event loop.

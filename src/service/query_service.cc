@@ -135,6 +135,23 @@ UpdateResponse QueryService::ApplyUpdate(const MutationBatch& mutations) {
   return response;
 }
 
+bool QueryService::AdmitJob(size_t request_count) {
+  size_t depth = admitted_depth_.load(std::memory_order_relaxed);
+  while (true) {
+    if (config_.shed_queue_depth > 0 && depth >= config_.shed_queue_depth) {
+      metrics_.RecordShed(request_count);
+      return false;
+    }
+    // One CAS decides check AND increment: a racing submitter either sees
+    // this slot (and sheds / retries at the new depth) or lost the race
+    // and re-reads. No interleaving admits past the watermark.
+    if (admitted_depth_.compare_exchange_weak(depth, depth + 1, std::memory_order_relaxed)) {
+      metrics_.RecordQueueDepth(depth + 1);
+      return true;
+    }
+  }
+}
+
 QueryService::RequestTiming QueryService::MakeTiming(uint64_t request_deadline_micros) const {
   RequestTiming timing;
   const uint64_t micros =
@@ -363,20 +380,21 @@ std::future<NwcResponse> QueryService::SubmitNwc(NwcRequest request) {
     return future;
   }
   // Load shedding: past the watermark, failing fast beats blocking the
-  // caller on a queue that is already drowning.
-  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
-    metrics_.RecordShed();
+  // caller on a queue that is already drowning. AdmitJob decides and
+  // reserves the slot in one atomic step.
+  if (!AdmitJob(1)) {
     promise->set_value(FailedResponse<NwcResponse>(
         Status::Unavailable("request shed: queue past the shed watermark")));
     return future;
   }
   const RequestTiming timing = MakeTiming(request.deadline_micros);
-  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
   const bool accepted = pool_.Submit(
       [this, query = request.query, options, timing, promise](size_t worker) mutable {
+        ReleaseJobSlot();
         Execute<NwcResponse>(worker, query, options, timing, FulfillPromise(promise));
       });
   if (!accepted) {
+    ReleaseJobSlot();
     promise->set_value(FailedResponse<NwcResponse>(
         Status::FailedPrecondition("query service is shut down")));
   }
@@ -392,19 +410,19 @@ std::future<KnwcResponse> QueryService::SubmitKnwc(KnwcRequest request) {
     promise->set_value(FailedResponse<KnwcResponse>(status));
     return future;
   }
-  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
-    metrics_.RecordShed();
+  if (!AdmitJob(1)) {
     promise->set_value(FailedResponse<KnwcResponse>(
         Status::Unavailable("request shed: queue past the shed watermark")));
     return future;
   }
   const RequestTiming timing = MakeTiming(request.deadline_micros);
-  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
   const bool accepted = pool_.Submit(
       [this, query = request.query, options, timing, promise](size_t worker) mutable {
+        ReleaseJobSlot();
         Execute<KnwcResponse>(worker, query, options, timing, FulfillPromise(promise));
       });
   if (!accepted) {
+    ReleaseJobSlot();
     promise->set_value(FailedResponse<KnwcResponse>(
         Status::FailedPrecondition("query service is shut down")));
   }
@@ -422,11 +440,17 @@ bool QueryService::TrySubmitNwc(NwcRequest request, std::future<NwcResponse>* ou
     return true;
   }
   const RequestTiming timing = MakeTiming(request.deadline_micros);
+  // TrySubmit never sheds (full-queue fast-fail is its own admission
+  // control) but still occupies a slot, so the watermark keeps counting
+  // every queued job under mixed Try/blocking traffic.
+  TakeJobSlot();
   const bool accepted = pool_.TrySubmit(
       [this, query = request.query, options, timing, promise](size_t worker) mutable {
+        ReleaseJobSlot();
         Execute<NwcResponse>(worker, query, options, timing, FulfillPromise(promise));
       });
   if (!accepted) {
+    ReleaseJobSlot();
     metrics_.RecordRejection();
     return false;
   }
@@ -446,11 +470,14 @@ bool QueryService::TrySubmitKnwc(KnwcRequest request, std::future<KnwcResponse>*
     return true;
   }
   const RequestTiming timing = MakeTiming(request.deadline_micros);
+  TakeJobSlot();
   const bool accepted = pool_.TrySubmit(
       [this, query = request.query, options, timing, promise](size_t worker) mutable {
+        ReleaseJobSlot();
         Execute<KnwcResponse>(worker, query, options, timing, FulfillPromise(promise));
       });
   if (!accepted) {
+    ReleaseJobSlot();
     metrics_.RecordRejection();
     return false;
   }
@@ -466,25 +493,25 @@ void QueryService::SubmitNwcAsync(NwcRequest request, std::function<void(NwcResp
     done(FailedResponse<NwcResponse>(status));
     return;
   }
-  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
-    metrics_.RecordShed();
+  if (!AdmitJob(1)) {
     done(FailedResponse<NwcResponse>(
         Status::Unavailable("request shed: queue past the shed watermark")));
     return;
   }
   const RequestTiming timing = MakeTiming(request.deadline_micros);
-  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
   // shared_ptr keeps the (possibly move-only-state) callback alive for the
   // copyable ThreadPool::Job and for the rejection path below.
   auto shared_done = std::make_shared<std::function<void(NwcResponse)>>(std::move(done));
   const bool accepted = pool_.Submit(
       [this, query = request.query, options, timing, shared_done](size_t worker) {
+        ReleaseJobSlot();
         Execute<NwcResponse>(worker, query, options, timing,
                              [&shared_done](NwcResponse response) {
                                (*shared_done)(std::move(response));
                              });
       });
   if (!accepted) {
+    ReleaseJobSlot();
     (*shared_done)(
         FailedResponse<NwcResponse>(Status::FailedPrecondition("query service is shut down")));
   }
@@ -497,23 +524,23 @@ void QueryService::SubmitKnwcAsync(KnwcRequest request, std::function<void(KnwcR
     done(FailedResponse<KnwcResponse>(status));
     return;
   }
-  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
-    metrics_.RecordShed();
+  if (!AdmitJob(1)) {
     done(FailedResponse<KnwcResponse>(
         Status::Unavailable("request shed: queue past the shed watermark")));
     return;
   }
   const RequestTiming timing = MakeTiming(request.deadline_micros);
-  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
   auto shared_done = std::make_shared<std::function<void(KnwcResponse)>>(std::move(done));
   const bool accepted = pool_.Submit(
       [this, query = request.query, options, timing, shared_done](size_t worker) {
+        ReleaseJobSlot();
         Execute<KnwcResponse>(worker, query, options, timing,
                               [&shared_done](KnwcResponse response) {
                                 (*shared_done)(std::move(response));
                               });
       });
   if (!accepted) {
+    ReleaseJobSlot();
     (*shared_done)(
         FailedResponse<KnwcResponse>(Status::FailedPrecondition("query service is shut down")));
   }
@@ -528,8 +555,7 @@ void QueryService::SubmitNwcAsyncTraced(
     done(FailedResponse<NwcResponse>(status), AsyncTiming{now, now, now});
     return;
   }
-  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
-    metrics_.RecordShed();
+  if (!AdmitJob(1)) {
     const uint64_t now = SteadyNowMicros();
     done(FailedResponse<NwcResponse>(
              Status::Unavailable("request shed: queue past the shed watermark")),
@@ -537,13 +563,13 @@ void QueryService::SubmitNwcAsyncTraced(
     return;
   }
   const RequestTiming timing = MakeTiming(request.deadline_micros);
-  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
   auto shared_done =
       std::make_shared<std::function<void(NwcResponse, const AsyncTiming&)>>(std::move(done));
   AsyncTiming stamps;
   stamps.enqueue_us = SteadyNowMicros();
   const bool accepted = pool_.Submit(
       [this, query = request.query, options, timing, stamps, shared_done](size_t worker) mutable {
+        ReleaseJobSlot();
         stamps.dequeue_us = SteadyNowMicros();
         Execute<NwcResponse>(
             worker, query, options, timing,
@@ -553,6 +579,7 @@ void QueryService::SubmitNwcAsyncTraced(
             });
       });
   if (!accepted) {
+    ReleaseJobSlot();
     const uint64_t now = SteadyNowMicros();
     (*shared_done)(
         FailedResponse<NwcResponse>(Status::FailedPrecondition("query service is shut down")),
@@ -569,8 +596,7 @@ void QueryService::SubmitKnwcAsyncTraced(
     done(FailedResponse<KnwcResponse>(status), AsyncTiming{now, now, now});
     return;
   }
-  if (config_.shed_queue_depth > 0 && pool_.QueueDepth() >= config_.shed_queue_depth) {
-    metrics_.RecordShed();
+  if (!AdmitJob(1)) {
     const uint64_t now = SteadyNowMicros();
     done(FailedResponse<KnwcResponse>(
              Status::Unavailable("request shed: queue past the shed watermark")),
@@ -578,13 +604,13 @@ void QueryService::SubmitKnwcAsyncTraced(
     return;
   }
   const RequestTiming timing = MakeTiming(request.deadline_micros);
-  metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
   auto shared_done =
       std::make_shared<std::function<void(KnwcResponse, const AsyncTiming&)>>(std::move(done));
   AsyncTiming stamps;
   stamps.enqueue_us = SteadyNowMicros();
   const bool accepted = pool_.Submit(
       [this, query = request.query, options, timing, stamps, shared_done](size_t worker) mutable {
+        ReleaseJobSlot();
         stamps.dequeue_us = SteadyNowMicros();
         Execute<KnwcResponse>(
             worker, query, options, timing,
@@ -594,6 +620,7 @@ void QueryService::SubmitKnwcAsyncTraced(
             });
       });
   if (!accepted) {
+    ReleaseJobSlot();
     const uint64_t now = SteadyNowMicros();
     (*shared_done)(
         FailedResponse<KnwcResponse>(Status::FailedPrecondition("query service is shut down")),
@@ -682,10 +709,21 @@ std::vector<std::future<Response>> QueryService::SubmitBatchImpl(
     for (const size_t plan_index : group) {
       request_indices.push_back(plan_to_request[plan_index]);
     }
-    metrics_.RecordQueueDepth(pool_.QueueDepth() + 1);
+    // Shed admission per group job, shed accounting per request: a group
+    // bounced by the watermark fails each member with a typed Unavailable
+    // and counts indices.size() sheds, so nwc_requests_shed_total stays
+    // comparable between batched and per-query load.
+    if (!AdmitJob(request_indices.size())) {
+      for (const size_t i : request_indices) {
+        state->promises[i].set_value(FailedResponse<Response>(
+            Status::Unavailable("request shed: queue past the shed watermark")));
+      }
+      continue;
+    }
     // Captured by copy: the rejection path below still needs the indices.
     const bool accepted =
         pool_.Submit([this, state, indices = request_indices](size_t worker) {
+          ReleaseJobSlot();
           // One memo per group: repeated window walks within the group are
           // answered from memory, and the Z-order visit order keeps the
           // worker's buffer pool warm across consecutive queries. The
@@ -705,6 +743,7 @@ std::vector<std::future<Response>> QueryService::SubmitBatchImpl(
           metrics_.RecordWindowMemoHits(memo.hits());
         });
     if (!accepted) {
+      ReleaseJobSlot();
       for (const size_t i : request_indices) {
         state->promises[i].set_value(
             FailedResponse<Response>(Status::FailedPrecondition("query service is shut down")));

@@ -20,6 +20,7 @@
 #include "rtree/iwp_index.h"
 #include "rtree/queries.h"
 #include "rtree/rstar_tree.h"
+#include "service/query_backend.h"
 #include "service/result_cache.h"
 #include "service/service_metrics.h"
 #include "service/session.h"
@@ -105,62 +106,9 @@ struct ServiceConfig {
   Status Validate() const;
 };
 
-/// One NWC request: the query plus an optional per-request option
-/// override (scheme + measure); absent means the service default.
-/// `deadline_micros` bounds the request's total time from submit (queue
-/// wait included); 0 applies the service's default_deadline_micros.
-struct NwcRequest {
-  NwcQuery query;
-  std::optional<NwcOptions> options;
-  uint64_t deadline_micros = 0;
-};
-
-/// One kNWC request; see NwcRequest.
-struct KnwcRequest {
-  KnwcQuery query;
-  std::optional<NwcOptions> options;
-  uint64_t deadline_micros = 0;
-};
-
-/// Outcome of one NWC request. `result` is meaningful only when
-/// status.ok(); `io` is the query's private counter (also merged into the
-/// service metrics), `latency_micros` the wall time inside the worker.
-struct NwcResponse {
-  Status status;
-  NwcResult result;
-  uint64_t latency_micros = 0;
-  uint64_t traversal_reads = 0;
-  uint64_t window_query_reads = 0;
-  uint64_t cache_hits = 0;
-  /// True when the response was served from the result cache (all read
-  /// counters are then 0 — a hit performs no tree I/O).
-  bool result_cache_hit = false;
-};
-
-/// Outcome of one kNWC request; see NwcResponse.
-struct KnwcResponse {
-  Status status;
-  KnwcResult result;
-  uint64_t latency_micros = 0;
-  uint64_t traversal_reads = 0;
-  uint64_t window_query_reads = 0;
-  uint64_t cache_hits = 0;
-  bool result_cache_hit = false;
-};
-
-/// Outcome of one ApplyUpdate call (dynamic services only). `epoch` is the
-/// epoch the mutations were published under; on a static service `status`
-/// is FailedPrecondition and everything else is zero. A NotFound status
-/// reports delete misses — the other mutations in the batch were still
-/// applied and published.
-struct UpdateResponse {
-  Status status;
-  uint64_t epoch = 0;
-  uint64_t applied_inserts = 0;
-  uint64_t applied_deletes = 0;
-  uint64_t delete_misses = 0;
-  uint64_t latency_micros = 0;
-};
+// NwcRequest / KnwcRequest / NwcResponse / KnwcResponse / UpdateResponse /
+// AsyncTiming live in service/query_backend.h (re-exported here): they are
+// the vocabulary of the QueryBackend interface this service implements.
 
 /// Concurrent query execution over an immutable index stack.
 ///
@@ -190,7 +138,7 @@ struct UpdateResponse {
 /// ThreadSafety: Submit/TrySubmit/RunBatch, ApplyUpdate and the metrics
 /// accessors may be called from any thread. The Session / SnapshotStore
 /// must outlive the service.
-class QueryService {
+class QueryService : public QueryBackend {
  public:
   /// Binds to `session` (not owned, must outlive the service) and starts
   /// the workers. `config` must already be validated.
@@ -201,7 +149,7 @@ class QueryService {
   /// functional.
   QueryService(SnapshotStore& store, const ServiceConfig& config);
 
-  ~QueryService();
+  ~QueryService() override;
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -224,19 +172,13 @@ class QueryService {
   /// down. Shed/shutdown outcomes arrive as typed Unavailable /
   /// FailedPrecondition response statuses, same as SubmitNwc. `done` must
   /// tolerate being called from any of those contexts.
-  void SubmitNwcAsync(NwcRequest request, std::function<void(NwcResponse)> done);
-  void SubmitKnwcAsync(KnwcRequest request, std::function<void(KnwcResponse)> done);
+  void SubmitNwcAsync(NwcRequest request, std::function<void(NwcResponse)> done) override;
+  void SubmitKnwcAsync(KnwcRequest request, std::function<void(KnwcResponse)> done) override;
 
-  /// Worker-side timestamps for one traced async request: absolute
-  /// microseconds on the steady clock (SteadyNowMicros()), so a caller on
-  /// the same host subtracts them from its own marks directly. On the
-  /// synchronous failure paths (invalid, shed, shutdown) all three carry
-  /// the same instant — the request never reached the queue.
-  struct AsyncTiming {
-    uint64_t enqueue_us = 0;  ///< accepted into the pool queue
-    uint64_t dequeue_us = 0;  ///< a worker picked the job up
-    uint64_t finish_us = 0;   ///< response populated, handed to `done`
-  };
+  /// Worker-side timestamps of one traced async request (namespace-scope
+  /// type from query_backend.h; the alias keeps QueryService::AsyncTiming
+  /// spelling working for existing callers).
+  using AsyncTiming = nwc::AsyncTiming;
 
   /// Traced variants of the async submits for the serving layer: `done`
   /// additionally receives the request's worker-side timestamps. The
@@ -245,10 +187,10 @@ class QueryService {
   /// span traces remain the slow-query machinery's job (trace_slow_queries
   /// arms every query, traced or not). Untraced requests keep the
   /// null-recorder path — one branch per record site.
-  void SubmitNwcAsyncTraced(NwcRequest request,
-                            std::function<void(NwcResponse, const AsyncTiming&)> done);
-  void SubmitKnwcAsyncTraced(KnwcRequest request,
-                             std::function<void(KnwcResponse, const AsyncTiming&)> done);
+  void SubmitNwcAsyncTraced(
+      NwcRequest request, std::function<void(NwcResponse, const AsyncTiming&)> done) override;
+  void SubmitKnwcAsyncTraced(
+      KnwcRequest request, std::function<void(KnwcResponse, const AsyncTiming&)> done) override;
 
   /// Jobs queued but not yet picked up by a worker (approximate — for
   /// monitoring and external admission control).
@@ -269,9 +211,12 @@ class QueryService {
   /// Semantics match SubmitNwc per request: deadlines are measured from
   /// this call (queue wait and any earlier group members count against
   /// them), CancelAll reaches queued groups, and results are bit-identical
-  /// to individual submission. Unlike the single-request submits, the
-  /// batch is never load-shed (it is one job per group, not a queue
-  /// flood); it still blocks on queue backpressure.
+  /// to individual submission. Groups are admitted against the same shed
+  /// watermark as the single-request submits: a group arriving past the
+  /// watermark fails its requests with typed Unavailable responses and
+  /// counts one shed PER REQUEST (not per job), so nwc_requests_shed_total
+  /// means the same thing under batched and per-query load. Admitted
+  /// groups still block on queue backpressure.
   std::vector<std::future<NwcResponse>> SubmitNwcBatch(const std::vector<NwcRequest>& requests);
   std::vector<std::future<KnwcResponse>> SubmitKnwcBatch(const std::vector<KnwcRequest>& requests);
 
@@ -284,7 +229,7 @@ class QueryService {
   /// cache entries make that structural, and the generation bump lets the
   /// cache reclaim the dead epoch's entries lazily. On a static service,
   /// returns FailedPrecondition and changes nothing.
-  UpdateResponse ApplyUpdate(const MutationBatch& mutations);
+  UpdateResponse ApplyUpdate(const MutationBatch& mutations) override;
 
   /// True when this service was constructed over a SnapshotStore.
   bool is_dynamic() const { return store_ != nullptr; }
@@ -298,7 +243,7 @@ class QueryService {
 
   /// Aggregated per-query metrics since construction / the last reset,
   /// with the result-cache counters/gauges overlaid from the cache itself.
-  MetricsSnapshot SnapshotMetrics() const;
+  MetricsSnapshot SnapshotMetrics() const override;
   void ResetMetrics();
 
   /// The result cache, or nullptr when result_cache_bytes == 0.
@@ -312,11 +257,11 @@ class QueryService {
 
   /// Copy of the raw latency histogram (bucket-level export; see
   /// obs/prometheus.h).
-  LatencyHistogram SnapshotLatencyHistogram() const { return metrics_.LatencySnapshot(); }
+  LatencyHistogram SnapshotLatencyHistogram() const override { return metrics_.LatencySnapshot(); }
 
   /// Traces retained by the slow-query machinery, oldest first (empty when
   /// config().trace_slow_queries is false).
-  std::vector<std::shared_ptr<const QueryTrace>> SlowTraces() const {
+  std::vector<std::shared_ptr<const QueryTrace>> SlowTraces() const override {
     return slow_traces_ == nullptr
                ? std::vector<std::shared_ptr<const QueryTrace>>{}
                : slow_traces_->Snapshot();
@@ -374,6 +319,29 @@ class QueryService {
   /// default) and the current cancel epoch.
   RequestTiming MakeTiming(uint64_t request_deadline_micros) const;
 
+  /// Atomic shed admission for one pool job carrying `request_count`
+  /// requests. The admitted-job counter (jobs accepted but not yet picked
+  /// up by a worker) is compared against the shed watermark and
+  /// incremented in ONE compare-exchange, so concurrent submitters cannot
+  /// all pass a stale check and overshoot the watermark — the race the old
+  /// copy-pasted `QueueDepth() >= shed_queue_depth` checks had. On
+  /// admission the post-increment depth is recorded as the queue-depth
+  /// sample (the old code re-read QueueDepth() and added 1, double-counting
+  /// racing submitters). On shed, records `request_count` sheds (per
+  /// request, not per job) and returns false.
+  bool AdmitJob(size_t request_count);
+
+  /// Reverts AdmitJob's slot: called by the worker the moment it picks the
+  /// job up, and by submit paths unwinding a job the pool refused. Every
+  /// admitted job releases exactly once.
+  void ReleaseJobSlot() { admitted_depth_.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// Bypass used by paths that never shed (TrySubmit has its own fast-fail
+  /// at queue capacity): takes a slot unconditionally so the admitted-job
+  /// counter keeps covering ALL queued jobs and the watermark stays
+  /// meaningful under mixed traffic.
+  void TakeJobSlot() { admitted_depth_.fetch_add(1, std::memory_order_relaxed); }
+
   /// Runs one query on a worker: binds the per-worker pool and fault
   /// injector (if any) to a fresh IoCounter, arms a QueryControl from
   /// `timing`, probes the result cache (deadline/cancel checked first, so
@@ -412,6 +380,12 @@ class QueryService {
   // CancelAll's epoch cell: requests capture the value at submit and stop
   // once it moves on.
   std::atomic<uint64_t> cancel_epoch_{0};
+  // Jobs admitted to the pool queue and not yet picked up by a worker —
+  // the shed watermark's authoritative depth. Kept >= the instantaneous
+  // queue length (a job leaves the queue before its worker releases the
+  // slot), so admission against it is conservative: with shedding enabled,
+  // blocking-submit traffic can never push the queue past the watermark.
+  std::atomic<size_t> admitted_depth_{0};
   ThreadPool pool_;
 };
 

@@ -120,9 +120,9 @@ void ServiceMetrics::RecordRejection() {
   ++rejections_;
 }
 
-void ServiceMetrics::RecordShed() {
+void ServiceMetrics::RecordShed(uint64_t count) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++shed_;
+  shed_ += count;
 }
 
 void ServiceMetrics::RecordRetry() {

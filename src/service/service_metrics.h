@@ -110,8 +110,11 @@ class ServiceMetrics {
   /// Records one TrySubmit rejection (queue full).
   void RecordRejection();
 
-  /// Records one request shed at submit time (queue past the watermark).
-  void RecordShed();
+  /// Records `count` requests shed at submit time (queue past the
+  /// watermark). The count matters on the batch path, where one shed group
+  /// job carries many requests — shed accounting is per request, not per
+  /// job, so `nwc_requests_shed_total` stays comparable across submit APIs.
+  void RecordShed(uint64_t count = 1);
 
   /// Records one transient-fault retry attempt.
   void RecordRetry();

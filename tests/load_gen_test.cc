@@ -62,6 +62,27 @@ TEST(LinearInterpolatedQuantile, DoesNotSnapToAnObservation) {
   EXPECT_EQ(LinearInterpolatedQuantile(sample, 0.99), 19701u);
 }
 
+// Regression: a run that received nothing used to print the all-zero
+// percentile fields as if the server had answered in 0 us. The report
+// now says explicitly that there is no data.
+TEST(LoadGenReportToString, ZeroReceivedSaysNoDataInsteadOfZeroLatency) {
+  LoadGenReport report;
+  report.sent = 12;
+  report.received = 0;
+  report.errors = 12;
+  report.wall_seconds = 0.5;
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("no data (samples=0)"), std::string::npos) << text;
+  EXPECT_EQ(text.find("p50"), std::string::npos) << text;
+
+  // One received response flips it back to the percentile line.
+  report.received = 1;
+  report.p50_micros = 40;
+  const std::string with_data = report.ToString();
+  EXPECT_EQ(with_data.find("samples=0"), std::string::npos) << with_data;
+  EXPECT_NE(with_data.find("p50"), std::string::npos) << with_data;
+}
+
 TEST(LoadGenConfigValidate, RejectsNonPositiveParameters) {
   LoadGenConfig config;
   config.target_qps = 0;

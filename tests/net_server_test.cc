@@ -7,6 +7,7 @@
 
 #include "net/server.h"
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <string>
@@ -383,6 +384,64 @@ TEST(NetServer, BackpressuredPeerDoesNotStallOthers) {
     EXPECT_FALSE(seen[reply.request_id]);
     seen[reply.request_id] = true;
   }
+}
+
+// Accept-storm regression: the accept loop used to treat every accept4
+// failure as fatal and stop accepting, so one aborted handshake (a peer
+// that connects and dies before accept runs, surfacing ECONNABORTED)
+// silently killed the listener. A storm of simultaneous connects — half
+// of them closing immediately without sending a byte — must leave the
+// server accepting and serving every well-behaved client, during and
+// after the storm.
+TEST(NetServer, AcceptStormWithAbortingPeersKeepsTheListenerAlive) {
+  const Session session = OpenTestSession(1000);
+  ServiceConfig config;
+  config.num_threads = 2;
+  QueryService service(session, config);
+  const auto server = StartServer(service);
+
+  constexpr int kWaves = 4;
+  constexpr int kClientsPerWave = 8;
+  std::atomic<int> served{0};
+  std::atomic<int> connect_failures{0};
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClientsPerWave; ++c) {
+      clients.emplace_back([&, c] {
+        Result<NetClient> client = NetClient::Connect("127.0.0.1", server->port());
+        if (!client.ok()) {
+          connect_failures.fetch_add(1);
+          return;
+        }
+        if (c % 2 == 1) return;  // abort: close without sending anything
+        NwcRequest request;
+        request.query = NwcQuery{Point{5000, 5000}, 300, 300, 4};
+        if (!client->SendNwc(static_cast<uint64_t>(c), request).ok()) return;
+        NetReply reply;
+        if (client->Receive(&reply).ok() && reply.type == MsgType::kNwcResponse &&
+            reply.nwc.status.ok()) {
+          served.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+
+  EXPECT_EQ(connect_failures.load(), 0);
+  EXPECT_EQ(served.load(), kWaves * kClientsPerWave / 2)
+      << "every client that asked a question got its answer";
+
+  // The listener survived the storm: a fresh connection still works.
+  NetClient fresh = ConnectTo(*server);
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 300, 300, 4};
+  ASSERT_TRUE(fresh.SendNwc(99, request).ok());
+  NetReply reply;
+  ASSERT_TRUE(fresh.Receive(&reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kNwcResponse);
+  EXPECT_TRUE(reply.nwc.status.ok()) << reply.nwc.status;
+  EXPECT_GE(server->GetStats().connections_accepted,
+            static_cast<uint64_t>(kWaves * kClientsPerWave / 2));
 }
 
 TEST(NetServer, StartRejectsBadConfig) {

@@ -253,6 +253,111 @@ TEST(QueryServiceTest, TrySubmitShedsLoadWhenSaturated) {
   EXPECT_GE(service.SnapshotMetrics().rejections, 1u);
 }
 
+TEST(QueryServiceTest, ConcurrentSubmittersNeverAdmitPastTheShedWatermark) {
+  // Regression: the shed check used to be a read-then-enqueue in six
+  // copy-pasted sites, so racing submitters could all observe depth just
+  // under the watermark and push the queue past it. AdmitJob's CAS makes
+  // check-and-increment atomic: the recorded admitted depth can never
+  // exceed the watermark, no matter how many threads hammer submit.
+  const Session session = OpenTestSession(500);
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.queue_capacity = 64;
+  config.shed_queue_depth = 4;
+  // Every read sleeps: workers drain slowly, so submitters outpace them
+  // and the queue rides the watermark for the whole test.
+  config.fault_plan = FaultPlan::LatencySpike(1, 100);
+  QueryService service(session, config);
+
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 200, 200, 3};
+  request.options = NwcOptions::Plain();
+
+  constexpr int kSubmitters = 8;
+  constexpr int kPerThread = 10;
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> shed_count{0};
+  std::atomic<uint64_t> other_count{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const NwcResponse response = service.SubmitNwc(request).get();
+        if (response.status.ok()) {
+          ok_count.fetch_add(1);
+        } else if (response.status.code() == StatusCode::kUnavailable) {
+          shed_count.fetch_add(1);
+        } else {
+          other_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+
+  const MetricsSnapshot metrics = service.SnapshotMetrics();
+  EXPECT_EQ(other_count.load(), 0u);
+  EXPECT_EQ(ok_count.load() + shed_count.load(),
+            static_cast<uint64_t>(kSubmitters) * kPerThread);
+  EXPECT_GT(ok_count.load(), 0u) << "some requests must get through";
+  EXPECT_GT(metrics.shed, 0u) << "slow workers + 8 submitters must shed";
+  EXPECT_EQ(metrics.shed, shed_count.load());
+  // The regression signal: the old racy checks let the admitted depth
+  // overshoot; the CAS caps it at the watermark exactly.
+  EXPECT_LE(metrics.max_queue_depth, config.shed_queue_depth);
+}
+
+TEST(QueryServiceBatchTest, ShedBatchGroupCountsOneShedPerRequest) {
+  // A shed group job carries many requests; accounting is per request so
+  // the shed totals stay comparable between the batch and single-submit
+  // paths (one shed == one query that never ran, either way).
+  const Session session = OpenTestSession(500);
+  ServiceConfig config;
+  config.num_threads = 1;
+  config.queue_capacity = 8;
+  config.shed_queue_depth = 1;
+  config.batch_group_size = 0;  // identical requests collapse to one group
+  // The occupying query below holds the single worker for its whole
+  // (spiked) runtime, keeping the follow-up job queued past the batch
+  // submission.
+  config.fault_plan = FaultPlan::LatencySpike(1, 300);
+  QueryService service(session, config);
+
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 200, 200, 3};
+  request.options = NwcOptions::Plain();
+
+  // First submit occupies the worker; a second admitted submit then sits
+  // in the queue and pins the admitted depth at the watermark. Until the
+  // worker picks the first job up its slot is still held, so the second
+  // submit may shed a few times first — a shed future is resolved before
+  // SubmitNwc returns, which tells the two outcomes apart without
+  // blocking on the (spiked, hence long-running) occupying query.
+  std::future<NwcResponse> occupying = service.SubmitNwc(request);
+  std::future<NwcResponse> queued;
+  uint64_t presheds = 0;
+  while (true) {
+    queued = service.SubmitNwc(request);
+    if (queued.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      ASSERT_EQ(queued.get().status.code(), StatusCode::kUnavailable);
+      ++presheds;
+      continue;
+    }
+    break;
+  }
+
+  const std::vector<NwcRequest> batch(5, request);
+  std::vector<std::future<NwcResponse>> futures = service.SubmitNwcBatch(batch);
+  ASSERT_EQ(futures.size(), batch.size());
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(service.SnapshotMetrics().shed, presheds + batch.size())
+      << "one shed group job of 5 requests must count 5 sheds";
+  EXPECT_TRUE(occupying.get().status.ok());
+  EXPECT_TRUE(queued.get().status.ok());
+}
+
 TEST(QueryServiceTest, RunBatchPreservesRequestOrder) {
   const Session session = OpenTestSession(1000);
   QueryService service(session, ServiceConfig{.num_threads = 4});

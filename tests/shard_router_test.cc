@@ -1,0 +1,366 @@
+// ShardRouter unit tests: the Z-order partition machinery (equal-count
+// boundaries, Morton range -> rect cover), ownership/halo routing of
+// points and mutations, the sharded-serving guard rails (window cap,
+// config validation), cancel semantics, update routing with authoritative
+// owner counts, and the per-shard Prometheus series.
+
+#include "service/shard_router.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "service/batch_planner.h"
+
+namespace nwc {
+namespace {
+
+constexpr uint64_t kSeed = 20160315;
+
+std::unique_ptr<ShardRouter> OpenRouter(ShardRouterConfig config, size_t cardinality = 3000) {
+  Dataset dataset = MakeCaLike(kSeed, cardinality);
+  Result<std::unique_ptr<ShardRouter>> router =
+      ShardRouter::Open(dataset.objects, config);
+  EXPECT_TRUE(router.ok()) << router.status();
+  return std::move(router).value();
+}
+
+ShardRouterConfig FourShardConfig() {
+  ShardRouterConfig config;
+  config.num_shards = 4;
+  config.max_window_length = 400;
+  config.max_window_width = 400;
+  config.service.num_threads = 2;
+  return config;
+}
+
+TEST(EqualCountKeyBoundaries, SplitsCountsEvenlyAndBracketsTheKeySpace) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 1000; ++i) keys.push_back(i * 977 % 65536);
+  const std::vector<uint64_t> boundaries = EqualCountKeyBoundaries(keys, 4);
+  ASSERT_EQ(boundaries.size(), 5u);
+  EXPECT_EQ(boundaries.front(), 0u);
+  EXPECT_EQ(boundaries.back(), kZOrderKeyEnd);
+  for (size_t i = 1; i < boundaries.size(); ++i) {
+    EXPECT_LT(boundaries[i - 1], boundaries[i]) << "boundaries must strictly increase";
+  }
+  // Each shard owns roughly a quarter of the keys.
+  for (size_t s = 0; s < 4; ++s) {
+    const auto owned = std::count_if(keys.begin(), keys.end(), [&](uint64_t k) {
+      return k >= boundaries[s] && k < boundaries[s + 1];
+    });
+    EXPECT_NEAR(static_cast<double>(owned), 250.0, 60.0) << "shard " << s;
+  }
+}
+
+TEST(EqualCountKeyBoundaries, EmptyAndDegenerateInputsStillBracket) {
+  // No keys: uniform split of the key space.
+  std::vector<uint64_t> uniform = EqualCountKeyBoundaries({}, 3);
+  ASSERT_EQ(uniform.size(), 4u);
+  EXPECT_EQ(uniform.front(), 0u);
+  EXPECT_EQ(uniform.back(), kZOrderKeyEnd);
+  for (size_t i = 1; i < uniform.size(); ++i) EXPECT_LT(uniform[i - 1], uniform[i]);
+
+  // All keys identical: boundaries still strictly increase (trailing
+  // shards own empty ranges), so OwnerShard stays total.
+  std::vector<uint64_t> same(100, 42);
+  std::vector<uint64_t> degenerate = EqualCountKeyBoundaries(same, 4);
+  ASSERT_EQ(degenerate.size(), 5u);
+  EXPECT_EQ(degenerate.front(), 0u);
+  EXPECT_EQ(degenerate.back(), kZOrderKeyEnd);
+  for (size_t i = 1; i < degenerate.size(); ++i) EXPECT_LT(degenerate[i - 1], degenerate[i]);
+}
+
+TEST(ZOrderRangeRegion, CoversEveryPointWhoseKeyFallsInTheRange) {
+  const Rect space{0, 0, 10000, 8000};
+  // Random key splits; for each, every sampled point must lie inside the
+  // rect cover of the sub-range its key lands in.
+  Rng rng(kSeed ^ 0x2E6);
+  for (int trial = 0; trial < 8; ++trial) {
+    uint64_t split = 1 + rng.NextUint64(kZOrderKeyEnd - 1);
+    const std::vector<Rect> low = ZOrderRangeRegion(0, split, space);
+    const std::vector<Rect> high = ZOrderRangeRegion(split, kZOrderKeyEnd, space);
+    ASSERT_FALSE(low.empty());
+    ASSERT_FALSE(high.empty());
+    for (int i = 0; i < 200; ++i) {
+      const Point p{rng.NextDouble(-100, 10100), rng.NextDouble(-100, 8100)};
+      const uint64_t key = ZOrderKey(p, space);
+      const std::vector<Rect>& cover = key < split ? low : high;
+      const bool contained = std::any_of(cover.begin(), cover.end(),
+                                         [&](const Rect& r) { return r.Contains(p); });
+      EXPECT_TRUE(contained) << "trial " << trial << " point (" << p.x << "," << p.y
+                             << ") key " << key << " split " << split;
+    }
+  }
+}
+
+TEST(ZOrderRangeRegion, FullRangeIsOneUnboundedRect) {
+  const Rect space{0, 0, 100, 100};
+  const std::vector<Rect> cover = ZOrderRangeRegion(0, kZOrderKeyEnd, space);
+  ASSERT_EQ(cover.size(), 1u);
+  // Boundary cells absorb out-of-space points, so the full range must
+  // contain arbitrarily far points on every side.
+  EXPECT_TRUE(cover[0].Contains(Point{-1e9, -1e9}));
+  EXPECT_TRUE(cover[0].Contains(Point{1e9, 1e9}));
+}
+
+TEST(ShardRouterConfigValidate, EnforcesShardedServingParameters) {
+  ShardRouterConfig config;
+  EXPECT_TRUE(config.Validate().ok()) << "single shard needs no window bound";
+
+  config.num_shards = 4;
+  EXPECT_FALSE(config.Validate().ok()) << "shards > 1 requires max window extents";
+  config.max_window_length = 400;
+  config.max_window_width = 400;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.halo_factor = 0.5;
+  EXPECT_FALSE(config.Validate().ok()) << "halo factor below 1 breaks exactness";
+  config.halo_factor = 3.0;
+
+  config.fault_shard = 4;
+  EXPECT_FALSE(config.Validate().ok()) << "fault shard must index a shard";
+  config.fault_shard = 3;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.num_shards = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ShardRouter, PartitionOwnsEveryObjectExactlyOnceAndReplicatesHalos) {
+  const size_t cardinality = 3000;
+  const auto router = OpenRouter(FourShardConfig(), cardinality);
+  ASSERT_EQ(router->num_shards(), 4u);
+
+  size_t owned_total = 0;
+  size_t resident_total = 0;
+  for (size_t s = 0; s < router->num_shards(); ++s) {
+    owned_total += router->shard_owned_count(s);
+    resident_total += router->shard_resident_count(s);
+    EXPECT_GE(router->shard_resident_count(s), router->shard_owned_count(s));
+  }
+  EXPECT_EQ(owned_total, cardinality) << "ownership is a partition";
+  EXPECT_GT(resident_total, cardinality) << "halos replicate boundary objects";
+
+  // Ownership is balanced: equal-count boundaries put ~N/4 in each shard.
+  for (size_t s = 0; s < router->num_shards(); ++s) {
+    EXPECT_NEAR(static_cast<double>(router->shard_owned_count(s)), cardinality / 4.0,
+                cardinality / 8.0)
+        << "shard " << s;
+  }
+}
+
+TEST(ShardRouter, TargetShardsAlwaysIncludeTheOwner) {
+  const auto router = OpenRouter(FourShardConfig());
+  Rng rng(kSeed ^ 0x7A);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.NextDouble(-500, 10500), rng.NextDouble(-500, 10500)};
+    const size_t owner = router->OwnerShard(p);
+    ASSERT_LT(owner, router->num_shards());
+    const std::vector<size_t> targets = router->TargetShards(p);
+    EXPECT_NE(std::find(targets.begin(), targets.end(), owner), targets.end())
+        << "owner must be a target at (" << p.x << "," << p.y << ")";
+    // Ascending and unique.
+    for (size_t t = 1; t < targets.size(); ++t) EXPECT_LT(targets[t - 1], targets[t]);
+  }
+}
+
+TEST(ShardRouter, OversizedWindowIsRejectedUpFront) {
+  const auto router = OpenRouter(FourShardConfig());
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 500, 200, 4};  // l > max 400
+  const NwcResponse response = router->RouteNwc(request);
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition) << response.status;
+  EXPECT_NE(response.status.message().find("sharded serving bound"), std::string::npos)
+      << response.status;
+
+  KnwcRequest krequest;
+  krequest.query = KnwcQuery{NwcQuery{Point{5000, 5000}, 200, 500, 4}, 2, 1};
+  const KnwcResponse kresponse = router->RouteKnwc(krequest);
+  EXPECT_EQ(kresponse.status.code(), StatusCode::kFailedPrecondition) << kresponse.status;
+
+  // At the bound the query passes.
+  request.query = NwcQuery{Point{5000, 5000}, 400, 400, 4};
+  EXPECT_TRUE(router->RouteNwc(request).status.ok());
+}
+
+TEST(ShardRouter, SingleShardPassesOversizedWindowsThrough) {
+  ShardRouterConfig config;  // num_shards = 1: no halo, no window cap
+  config.service.num_threads = 2;
+  const auto router = OpenRouter(config);
+  ASSERT_EQ(router->num_shards(), 1u);
+  NwcRequest request;
+  request.query = NwcQuery{Point{5000, 5000}, 3000, 3000, 8};
+  EXPECT_TRUE(router->RouteNwc(request).status.ok());
+}
+
+TEST(ShardRouter, AsyncSubmitsResolveAndAggregateMetrics) {
+  const auto router = OpenRouter(FourShardConfig());
+  std::promise<NwcResponse> nwc_promise;
+  router->SubmitNwcAsync(NwcRequest{NwcQuery{Point{5000, 5000}, 300, 300, 4}, {}, 0},
+                         [&](NwcResponse r) { nwc_promise.set_value(std::move(r)); });
+  std::promise<KnwcResponse> knwc_promise;
+  router->SubmitKnwcAsync(
+      KnwcRequest{KnwcQuery{NwcQuery{Point{5000, 5000}, 300, 300, 4}, 2, 1}, {}, 0},
+      [&](KnwcResponse r) { knwc_promise.set_value(std::move(r)); });
+  const NwcResponse nwc = nwc_promise.get_future().get();
+  const KnwcResponse knwc = knwc_promise.get_future().get();
+  EXPECT_TRUE(nwc.status.ok()) << nwc.status;
+  EXPECT_TRUE(knwc.status.ok()) << knwc.status;
+
+  // The aggregate view sums per-shard executions (the kNWC scatter runs
+  // on all four shards, the NWC chain on at least one).
+  uint64_t per_shard_total = 0;
+  for (size_t s = 0; s < router->num_shards(); ++s) {
+    per_shard_total += router->ShardMetrics(s).queries;
+  }
+  const MetricsSnapshot aggregate = router->SnapshotMetrics();
+  EXPECT_EQ(aggregate.queries, per_shard_total);
+  EXPECT_GE(aggregate.queries, 5u) << "kNWC alone touches all 4 shards";
+  EXPECT_EQ(aggregate.failures, 0u);
+  EXPECT_EQ(static_cast<uint64_t>(router->SnapshotLatencyHistogram().count()),
+            per_shard_total);
+}
+
+TEST(ShardRouter, CancelAllCancelsQueuedWorkButNotLaterSubmits) {
+  ShardRouterConfig config = FourShardConfig();
+  config.router_threads = 1;  // queue routed requests behind one executor
+  config.service.num_threads = 1;
+  // Slow every shard read so the first routed query pins the executor
+  // while the rest sit in the router queue where CancelAll must reach.
+  config.fault_plan = FaultPlan::LatencySpike(1, 200);
+  const auto router = OpenRouter(config, 1000);
+
+  constexpr size_t kInFlight = 8;
+  std::vector<std::future<NwcResponse>> futures;
+  for (size_t i = 0; i < kInFlight; ++i) {
+    auto promise = std::make_shared<std::promise<NwcResponse>>();
+    futures.push_back(promise->get_future());
+    router->SubmitNwcAsync(NwcRequest{NwcQuery{Point{5000, 5000}, 300, 300, 4}, {}, 0},
+                           [promise](NwcResponse r) { promise->set_value(std::move(r)); });
+  }
+  router->CancelAll();
+
+  size_t cancelled = 0;
+  for (auto& future : futures) {
+    const NwcResponse response = future.get();
+    if (response.status.code() == StatusCode::kCancelled) {
+      ++cancelled;
+    } else {
+      EXPECT_TRUE(response.status.ok()) << response.status;
+    }
+  }
+  EXPECT_GT(cancelled, 0u) << "queued routed requests must observe the cancel";
+
+  // The contract matches QueryService::CancelAll: later submits run.
+  NwcRequest after;
+  after.query = NwcQuery{Point{5000, 5000}, 300, 300, 4};
+  EXPECT_TRUE(router->RouteNwc(after).status.ok());
+}
+
+TEST(ShardRouter, UpdateRoutingKeepsOwnerCountsAuthoritative) {
+  ShardRouterConfig config = FourShardConfig();
+  config.dynamic = true;
+  const auto router = OpenRouter(config);
+
+  // Probe near the space center, then insert a tight cluster next to it:
+  // the answer must strictly improve, proving the inserts landed in every
+  // tree the router consults.
+  const NwcQuery probe{Point{5000, 5000}, 120, 120, 4};
+  const NwcResponse before = router->RouteNwc(NwcRequest{probe, {}, 0});
+  ASSERT_TRUE(before.status.ok()) << before.status;
+
+  MutationBatch inserts;
+  for (int i = 0; i < 4; ++i) {
+    inserts.push_back(Mutation::Insert(
+        DataObject{static_cast<ObjectId>(700000 + i), Point{5001.0 + 0.25 * i, 5001.0}}));
+  }
+  const UpdateResponse applied = router->ApplyUpdate(inserts);
+  ASSERT_TRUE(applied.status.ok()) << applied.status;
+  // Counts come from owner shards only: 4 inserts, even though the
+  // cluster sits in several shards' halos and was replicated there too.
+  EXPECT_EQ(applied.applied_inserts, 4u);
+  EXPECT_EQ(applied.applied_deletes, 0u);
+  EXPECT_EQ(applied.delete_misses, 0u);
+  EXPECT_GE(applied.epoch, 2u);
+
+  const NwcResponse after = router->RouteNwc(NwcRequest{probe, {}, 0});
+  ASSERT_TRUE(after.status.ok()) << after.status;
+  ASSERT_TRUE(after.result.found);
+  if (before.result.found) {
+    EXPECT_LT(after.result.distance, before.result.distance);
+  }
+
+  // Deleting the cluster restores the original answer; counts again come
+  // from the owners (4 deletes, no misses).
+  MutationBatch deletes;
+  for (int i = 0; i < 4; ++i) {
+    deletes.push_back(Mutation::Delete(
+        DataObject{static_cast<ObjectId>(700000 + i), Point{5001.0 + 0.25 * i, 5001.0}}));
+  }
+  const UpdateResponse removed = router->ApplyUpdate(deletes);
+  ASSERT_TRUE(removed.status.ok()) << removed.status;
+  EXPECT_EQ(removed.applied_deletes, 4u);
+  EXPECT_EQ(removed.delete_misses, 0u);
+  const NwcResponse restored = router->RouteNwc(NwcRequest{probe, {}, 0});
+  ASSERT_TRUE(restored.status.ok());
+  EXPECT_EQ(restored.result.found, before.result.found);
+  if (before.result.found) {
+    EXPECT_EQ(restored.result.distance, before.result.distance);
+    EXPECT_EQ(restored.result.objects, before.result.objects);
+  }
+
+  // A miss surfaces as typed NotFound with the miss counted once.
+  MutationBatch miss{Mutation::Delete(DataObject{987654321, Point{1234.0, 4321.0}})};
+  const UpdateResponse missed = router->ApplyUpdate(miss);
+  EXPECT_EQ(missed.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(missed.delete_misses, 1u);
+}
+
+TEST(ShardRouter, StaticRouterRejectsUpdates) {
+  const auto router = OpenRouter(FourShardConfig());
+  const UpdateResponse response =
+      router->ApplyUpdate(MutationBatch{Mutation::Insert(DataObject{1, Point{1, 1}})});
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(response.epoch, 0u);
+}
+
+TEST(ShardRouter, PrometheusTextCarriesPerShardSeries) {
+  const auto router = OpenRouter(FourShardConfig());
+  const NwcResponse response =
+      router->RouteNwc(NwcRequest{NwcQuery{Point{5000, 5000}, 300, 300, 4}, {}, 0});
+  ASSERT_TRUE(response.status.ok());
+
+  std::string text;
+  router->AppendPrometheusText(&text);
+  for (size_t s = 0; s < router->num_shards(); ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    EXPECT_NE(text.find("nwc_shard_queries_total" + label), std::string::npos) << text;
+    EXPECT_NE(text.find("nwc_shard_resident_objects" + label), std::string::npos);
+    EXPECT_NE(text.find("nwc_shard_owned_objects" + label), std::string::npos);
+  }
+  // Distinct family names: the per-shard series must not collide with the
+  // aggregate families the exposition renderer emits.
+  EXPECT_EQ(text.find("nwc_queries_total{"), std::string::npos);
+  // Static router: no epoch gauge.
+  EXPECT_EQ(text.find("nwc_shard_epoch"), std::string::npos);
+
+  ShardRouterConfig dynamic_config = FourShardConfig();
+  dynamic_config.dynamic = true;
+  const auto dynamic_router = OpenRouter(dynamic_config, 1000);
+  std::string dynamic_text;
+  dynamic_router->AppendPrometheusText(&dynamic_text);
+  EXPECT_NE(dynamic_text.find("nwc_shard_epoch{shard=\"0\"}"), std::string::npos)
+      << dynamic_text;
+}
+
+}  // namespace
+}  // namespace nwc

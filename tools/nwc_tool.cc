@@ -56,6 +56,14 @@
 //       to N mutations since its last build (queries degrade to
 //       SRR+DIP+DEP for those epochs). Incompatible with --batch (the
 //       batch planner snapshots the whole file up front).
+//       Sharded serving: --shards=N splits the tree into N Z-order range
+//       shards behind a ShardRouter (one session + service per shard).
+//       Requires --shard-max-l/--shard-max-w (upper bounds on any query's
+//       window dims; larger queries are rejected). --shard-halo=F scales
+//       the halo replication band, --shard-partial=<fail|degrade> picks
+//       the partial-failure policy, and --fault-shard=S scopes
+//       --inject-faults to one shard. Incompatible with --batch (the
+//       planned batch APIs are single-tree).
 //   serve    --index=F.nwctree [--host=127.0.0.1] [--port=0]
 //            [--threads=4] [--queue=256] [--scheme=...] [--measure=...]
 //            [--no-iwp] [--no-grid] [--max-frame-bytes=1048576]
@@ -77,6 +85,10 @@
 //       kUpdateRequest frames (insert/delete batches); each batch
 //       publishes a new epoch that later queries observe while in-flight
 //       ones keep their snapshot. --iwp-staleness as in serve-batch.
+//       --shards=N (with --shard-max-l/--shard-max-w and the other
+//       --shard-* knobs, as in serve-batch) serves from a ShardRouter
+//       over N Z-order range shards; /metrics then includes per-shard
+//       nwc_shard_* series alongside the aggregated families.
 //   trace    --index=F.nwctree --q=X,Y --l=L --w=W --n=N [--k=K --m=M]
 //            [--scheme=...] [--measure=...] [--data=F.csv]
 //            [--format=<chrome|jsonl>] [--out=F.json]
@@ -102,7 +114,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <future>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -125,6 +140,8 @@
 #include "rtree/tree_stats.h"
 #include "rtree/validate.h"
 #include "service/query_service.h"
+#include "service/session.h"
+#include "service/shard_router.h"
 #include "service/workload.h"
 
 namespace nwc {
@@ -419,16 +436,16 @@ int CmdTrace(const Args& args) {
   return EmitTrace(args, trace, io);
 }
 
-/// Watches the process shutdown latch and cancels the service's queued and
+/// Watches the process shutdown latch and cancels the backend's queued and
 /// running work once a signal lands, so a blocking harvest loop unblocks
 /// promptly with Cancelled responses. Joinable; Stop() ends the watch.
 class DrainWatcher {
  public:
-  explicit DrainWatcher(QueryService& service)
-      : thread_([this, &service] {
+  explicit DrainWatcher(std::function<void()> cancel)
+      : thread_([this, cancel = std::move(cancel)] {
           while (!stop_.load(std::memory_order_acquire)) {
             if (ShutdownSignal::Instance().requested()) {
-              service.CancelAll();
+              cancel();
               return;
             }
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -473,6 +490,69 @@ Result<ServiceConfig> ServiceConfigFromArgs(const Args& args, const NwcOptions& 
   return service_config;
 }
 
+/// Sharding flags shared by `serve-batch` and `serve` (--shards > 1 puts a
+/// ShardRouter over per-shard QueryServices; see service/shard_router.h).
+/// --shard-max-l / --shard-max-w bound the windows routed queries may
+/// carry (the halo basis — required with --shards > 1); --shard-halo is
+/// the halo factor; --shard-partial picks the partial-failure policy;
+/// --fault-shard scopes --inject-faults to one shard.
+Result<ShardRouterConfig> ShardConfigFromArgs(const Args& args,
+                                              const ServiceConfig& service_config,
+                                              const SessionConfig& session_config, bool dynamic) {
+  ShardRouterConfig config;
+  config.num_shards = static_cast<size_t>(args.GetLong("shards", 1));
+  config.max_window_length = args.GetDouble("shard-max-l", 0.0);
+  config.max_window_width = args.GetDouble("shard-max-w", 0.0);
+  config.halo_factor = args.GetDouble("shard-halo", 3.0);
+  const std::string partial = args.Get("shard-partial", "fail");
+  if (partial == "fail") {
+    config.partial_failure = PartialFailurePolicy::kFail;
+  } else if (partial == "degrade") {
+    config.partial_failure = PartialFailurePolicy::kDegrade;
+  } else {
+    return Status::InvalidArgument("--shard-partial must be 'fail' or 'degrade'");
+  }
+  config.service = service_config;
+  config.session = session_config;
+  config.dynamic = dynamic;
+  config.iwp_staleness_limit = static_cast<size_t>(args.GetLong("iwp-staleness", 0));
+  config.fault_plan = service_config.fault_plan;
+  config.fault_shard = static_cast<int>(args.GetLong("fault-shard", -1));
+  // Router dispatch parallelism defaults to the per-shard worker count:
+  // NWC routing holds a router thread across its (mostly sequential)
+  // shard visits, so fewer router threads than workers would idle the
+  // shard services.
+  config.router_threads = static_cast<size_t>(
+      args.GetLong("router-threads", static_cast<long>(service_config.num_threads)));
+  config.router_queue_capacity = static_cast<size_t>(
+      args.GetLong("router-queue", static_cast<long>(service_config.queue_capacity)));
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  return config;
+}
+
+/// Future adapters over the QueryBackend callback submits, so the replay
+/// loop in serve-batch is agnostic to single-tree vs sharded backends.
+/// Both backends block the caller on queue backpressure, preserving the
+/// submit loop's natural flow control.
+std::future<NwcResponse> SubmitNwcFuture(QueryBackend& backend, NwcRequest request) {
+  auto promise = std::make_shared<std::promise<NwcResponse>>();
+  std::future<NwcResponse> future = promise->get_future();
+  backend.SubmitNwcAsync(std::move(request), [promise](NwcResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+std::future<KnwcResponse> SubmitKnwcFuture(QueryBackend& backend, KnwcRequest request) {
+  auto promise = std::make_shared<std::promise<KnwcResponse>>();
+  std::future<KnwcResponse> future = promise->get_future();
+  backend.SubmitKnwcAsync(std::move(request), [promise](KnwcResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
 int CmdServeBatch(const Args& args) {
   const Result<NwcOptions> options = ParseOptions(args);
   if (!options.ok()) return Fail(options.status().ToString());
@@ -491,9 +571,16 @@ int CmdServeBatch(const Args& args) {
   session_config.build_grid = options->use_dep;
   session_config.grid_cell_size = args.GetDouble("grid-cell", 25.0);
 
+  const size_t num_shards = static_cast<size_t>(args.GetLong("shards", 1));
+  if (num_shards > 1 && args.Has("batch")) {
+    return Fail("--shards cannot be combined with --batch (the planned batch APIs are "
+                "single-tree)");
+  }
+
   // With --mutations the tree goes behind an MVCC SnapshotStore instead
   // of a static Session; mutation batches publish new epochs between
-  // query submissions.
+  // query submissions. With --shards > 1 the ShardRouter builds the
+  // per-shard stacks itself from the tree's objects.
   const std::string mutations_path = args.Get("mutations");
   std::vector<MutationBatch> mutation_batches;
   std::optional<Session> session;
@@ -506,14 +593,16 @@ int CmdServeBatch(const Args& args) {
     Result<std::vector<MutationBatch>> batches = LoadMutationFile(mutations_path);
     if (!batches.ok()) return Fail(batches.status().ToString());
     mutation_batches = std::move(*batches);
-    SnapshotStore::Config store_config;
-    store_config.session = session_config;
-    store_config.iwp_staleness_limit = static_cast<size_t>(args.GetLong("iwp-staleness", 0));
-    Result<std::unique_ptr<SnapshotStore>> opened =
-        SnapshotStore::Open(std::move(tree).value(), store_config);
-    if (!opened.ok()) return Fail(opened.status().ToString());
-    store = std::move(*opened);
-  } else {
+    if (num_shards <= 1) {
+      SnapshotStore::Config store_config;
+      store_config.session = session_config;
+      store_config.iwp_staleness_limit = static_cast<size_t>(args.GetLong("iwp-staleness", 0));
+      Result<std::unique_ptr<SnapshotStore>> opened =
+          SnapshotStore::Open(std::move(tree).value(), store_config);
+      if (!opened.ok()) return Fail(opened.status().ToString());
+      store = std::move(*opened);
+    }
+  } else if (num_shards <= 1) {
     Result<Session> opened = Session::Open(std::move(tree).value(), session_config);
     if (!opened.ok()) return Fail(opened.status().ToString());
     session.emplace(std::move(*opened));
@@ -529,17 +618,41 @@ int CmdServeBatch(const Args& args) {
   if (!installed.ok()) return Fail(installed.ToString());
 
   std::optional<QueryService> service_holder;
-  if (store != nullptr) {
+  std::unique_ptr<ShardRouter> router;
+  QueryBackend* backend = nullptr;
+  if (num_shards > 1) {
+    const Result<ShardRouterConfig> shard_config =
+        ShardConfigFromArgs(args, *service_config, session_config, !mutations_path.empty());
+    if (!shard_config.ok()) return Fail(shard_config.status().ToString());
+    Result<std::unique_ptr<ShardRouter>> opened =
+        ShardRouter::Open(CollectTreeObjects(*tree), *shard_config);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    router = std::move(*opened);
+    backend = router.get();
+  } else if (store != nullptr) {
     service_holder.emplace(*store, *service_config);
+    backend = &*service_holder;
   } else {
     service_holder.emplace(*session, *service_config);
+    backend = &*service_holder;
   }
-  QueryService& service = *service_holder;
-  DrainWatcher drain_watcher(service);
-  std::printf("serving %zu queries from %s across %zu worker(s), scheme %s%s\n",
-              entries->size(), queries_path.c_str(), service.num_workers(),
-              args.Get("scheme", "star").c_str(),
-              store != nullptr ? " (dynamic)" : "");
+  DrainWatcher drain_watcher([&service_holder, &router] {
+    if (router != nullptr) {
+      router->CancelAll();
+    } else {
+      service_holder->CancelAll();
+    }
+  });
+  if (router != nullptr) {
+    std::printf("serving %zu queries from %s across %zu shard(s) x %zu worker(s), scheme %s%s\n",
+                entries->size(), queries_path.c_str(), router->num_shards(),
+                service_config->num_threads, args.Get("scheme", "star").c_str(),
+                router->is_dynamic() ? " (dynamic)" : "");
+  } else {
+    std::printf("serving %zu queries from %s across %zu worker(s), scheme %s%s\n",
+                entries->size(), queries_path.c_str(), service_holder->num_workers(),
+                args.Get("scheme", "star").c_str(), store != nullptr ? " (dynamic)" : "");
+  }
 
   // Submit everything in file order (blocking submit = natural
   // backpressure), then harvest the futures in the same order. With
@@ -548,6 +661,7 @@ int CmdServeBatch(const Args& args) {
   // so the harvest loop below is shared.
   std::vector<std::future<NwcResponse>> nwc_futures;
   std::vector<std::future<KnwcResponse>> knwc_futures;
+  UpdateResponse last_update;
   Stopwatch wall;
   if (args.Has("batch")) {
     std::vector<NwcRequest> nwc_requests;
@@ -559,8 +673,8 @@ int CmdServeBatch(const Args& args) {
         nwc_requests.push_back(NwcRequest{entry.nwc, {}});
       }
     }
-    nwc_futures = service.SubmitNwcBatch(nwc_requests);
-    knwc_futures = service.SubmitKnwcBatch(knwc_requests);
+    nwc_futures = service_holder->SubmitNwcBatch(nwc_requests);
+    knwc_futures = service_holder->SubmitKnwcBatch(knwc_requests);
   } else {
     // Mutation batches publish after every `mutate_every` submitted
     // queries — by default spaced so the stream outlives the batches.
@@ -578,26 +692,28 @@ int CmdServeBatch(const Args& args) {
           next_batch < mutation_batches.size()) {
         // NotFound (delete misses) is tolerated: a replay against a
         // different seed tree may legitimately miss.
-        const UpdateResponse update = service.ApplyUpdate(mutation_batches[next_batch++]);
+        const UpdateResponse update = backend->ApplyUpdate(mutation_batches[next_batch++]);
         if (!update.status.ok() && update.status.code() != StatusCode::kNotFound) {
           return Fail(update.status.ToString());
         }
+        last_update = update;
         since_mutation = 0;
       }
       if (entry.is_knwc) {
-        knwc_futures.push_back(service.SubmitKnwc(KnwcRequest{entry.knwc, {}}));
+        knwc_futures.push_back(SubmitKnwcFuture(*backend, KnwcRequest{entry.knwc, {}}));
       } else {
-        nwc_futures.push_back(service.SubmitNwc(NwcRequest{entry.nwc, {}}));
+        nwc_futures.push_back(SubmitNwcFuture(*backend, NwcRequest{entry.nwc, {}}));
       }
       ++since_mutation;
     }
     // Leftover batches (short query file): apply them so the replay is
     // complete even if nothing queries the final epochs.
     while (next_batch < mutation_batches.size()) {
-      const UpdateResponse update = service.ApplyUpdate(mutation_batches[next_batch++]);
+      const UpdateResponse update = backend->ApplyUpdate(mutation_batches[next_batch++]);
       if (!update.status.ok() && update.status.code() != StatusCode::kNotFound) {
         return Fail(update.status.ToString());
       }
+      last_update = update;
     }
   }
 
@@ -643,7 +759,7 @@ int CmdServeBatch(const Args& args) {
   }
   const double seconds = wall.ElapsedSeconds();
 
-  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  const MetricsSnapshot snapshot = backend->SnapshotMetrics();
   std::printf("\n--- metrics report ---\n");
   std::printf("wall time:  %.3f s (%.1f queries/sec)\n", seconds,
               seconds > 0.0 ? static_cast<double>(snapshot.queries) / seconds : 0.0);
@@ -651,6 +767,15 @@ int CmdServeBatch(const Args& args) {
     std::printf("mutations:  %zu batch(es) applied, final epoch %llu, %zu object(s)\n",
                 mutation_batches.size(), static_cast<unsigned long long>(store->epoch()),
                 store->writer_object_count());
+  } else if (router != nullptr && !mutation_batches.empty()) {
+    // The router has no single writer store; report the last update's
+    // owner-shard view (max per-shard epoch, counts from the final batch).
+    std::printf("mutations:  %zu batch(es) applied, final epoch %llu (last batch: %llu "
+                "insert(s), %llu delete(s), %llu miss(es))\n",
+                mutation_batches.size(), static_cast<unsigned long long>(last_update.epoch),
+                static_cast<unsigned long long>(last_update.applied_inserts),
+                static_cast<unsigned long long>(last_update.applied_deletes),
+                static_cast<unsigned long long>(last_update.delete_misses));
   }
   std::printf("%s", snapshot.ToString().c_str());
 
@@ -666,7 +791,9 @@ int CmdServeBatch(const Args& args) {
   if (!prom.empty()) {
     std::ofstream file(prom, std::ios::trunc);
     if (!file) return Fail("cannot open " + prom + " for writing");
-    file << ToPrometheusText(snapshot, service.SnapshotLatencyHistogram());
+    std::string text = ToPrometheusText(snapshot, backend->SnapshotLatencyHistogram());
+    backend->AppendPrometheusText(&text);
+    file << text;
     if (!file.good()) return Fail("failed writing " + prom);
     std::printf("wrote Prometheus metrics to %s\n", prom.c_str());
   }
@@ -675,7 +802,7 @@ int CmdServeBatch(const Args& args) {
     std::error_code ec;
     std::filesystem::create_directories(trace_dir, ec);
     if (ec) return Fail("cannot create " + trace_dir + ": " + ec.message());
-    const auto traces = service.SlowTraces();
+    const auto traces = backend->SlowTraces();
     size_t written = 0;
     for (const auto& trace : traces) {
       char name[32];
@@ -713,9 +840,12 @@ int CmdServe(const Args& args) {
   session_config.build_grid = !args.Has("no-grid");
   session_config.grid_cell_size = args.GetDouble("grid-cell", 25.0);
 
+  const size_t num_shards = static_cast<size_t>(args.GetLong("shards", 1));
   std::optional<Session> session;
   std::unique_ptr<SnapshotStore> store;
-  if (args.Has("dynamic")) {
+  if (num_shards > 1) {
+    // The ShardRouter builds its own per-shard stacks below.
+  } else if (args.Has("dynamic")) {
     SnapshotStore::Config store_config;
     store_config.session = session_config;
     store_config.iwp_staleness_limit = static_cast<size_t>(args.GetLong("iwp-staleness", 0));
@@ -741,18 +871,37 @@ int CmdServe(const Args& args) {
   if (!installed.ok()) return Fail(installed.ToString());
 
   std::optional<QueryService> service_holder;
-  if (store != nullptr) {
+  std::unique_ptr<ShardRouter> router;
+  QueryBackend* backend = nullptr;
+  if (num_shards > 1) {
+    const Result<ShardRouterConfig> shard_config =
+        ShardConfigFromArgs(args, *service_config, session_config, args.Has("dynamic"));
+    if (!shard_config.ok()) return Fail(shard_config.status().ToString());
+    Result<std::unique_ptr<ShardRouter>> opened =
+        ShardRouter::Open(CollectTreeObjects(*tree), *shard_config);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    router = std::move(*opened);
+    backend = router.get();
+  } else if (store != nullptr) {
     service_holder.emplace(*store, *service_config);
+    backend = &*service_holder;
   } else {
     service_holder.emplace(*session, *service_config);
+    backend = &*service_holder;
   }
-  QueryService& service = *service_holder;
-  Result<std::unique_ptr<NetServer>> server = NetServer::Start(service, net_config);
+  Result<std::unique_ptr<NetServer>> server = NetServer::Start(*backend, net_config);
   if (!server.ok()) return Fail(server.status().ToString());
 
-  std::printf("listening on %s:%u (%zu worker(s), scheme %s%s)\n", net_config.host.c_str(),
-              static_cast<unsigned>((*server)->port()), service.num_workers(),
-              args.Get("scheme", "star").c_str(), store != nullptr ? ", dynamic" : "");
+  if (router != nullptr) {
+    std::printf("listening on %s:%u (%zu shard(s) x %zu worker(s), scheme %s%s)\n",
+                net_config.host.c_str(), static_cast<unsigned>((*server)->port()),
+                router->num_shards(), service_config->num_threads,
+                args.Get("scheme", "star").c_str(), router->is_dynamic() ? ", dynamic" : "");
+  } else {
+    std::printf("listening on %s:%u (%zu worker(s), scheme %s%s)\n", net_config.host.c_str(),
+                static_cast<unsigned>((*server)->port()), service_holder->num_workers(),
+                args.Get("scheme", "star").c_str(), store != nullptr ? ", dynamic" : "");
+  }
   std::fflush(stdout);
 
   ShutdownSignal::Instance().WaitUntilRequested();
@@ -768,7 +917,7 @@ int CmdServe(const Args& args) {
               static_cast<unsigned long long>(stats.responses_sent),
               static_cast<unsigned long long>(stats.protocol_errors),
               static_cast<unsigned long long>(stats.connections_accepted));
-  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  const MetricsSnapshot snapshot = backend->SnapshotMetrics();
   std::printf("%s", snapshot.ToString().c_str());
 
   const std::string metrics_json = args.Get("metrics-json");
@@ -782,7 +931,9 @@ int CmdServe(const Args& args) {
   if (!prom.empty()) {
     std::ofstream file(prom, std::ios::trunc);
     if (!file) return Fail("cannot open " + prom + " for writing");
-    file << ToPrometheusText(snapshot, service.SnapshotLatencyHistogram());
+    std::string text = ToPrometheusText(snapshot, backend->SnapshotLatencyHistogram());
+    backend->AppendPrometheusText(&text);
+    file << text;
     if (!file.good()) return Fail("failed writing " + prom);
   }
   return 0;
